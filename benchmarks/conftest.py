@@ -1,0 +1,47 @@
+"""Shared benchmark fixtures and reporting helpers.
+
+Every benchmark prints a paper-vs-measured table (captured into
+bench_output.txt by the EXPERIMENTS harness) and asserts the *shape* of
+the paper's result — who wins and by roughly what factor — rather than
+absolute numbers, per DESIGN.md §4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.database import Database
+from repro.workloads.orgdb import (DEPS_ARC_QUERY, OrgScale,
+                                   create_org_schema, populate_org)
+
+BENCH_ORG = OrgScale(departments=30, employees_per_dept=10,
+                     projects_per_dept=5, skills=50,
+                     skills_per_employee=3, skills_per_project=3,
+                     arc_fraction=0.2, seed=1994)
+
+
+def make_org_db(scale: OrgScale = BENCH_ORG,
+                with_indexes: bool = True) -> Database:
+    db = Database()
+    create_org_schema(db.catalog, with_indexes=with_indexes)
+    populate_org(db.catalog, scale)
+    db.execute(f"CREATE VIEW deps_arc AS {DEPS_ARC_QUERY}")
+    return db
+
+
+@pytest.fixture(scope="module")
+def bench_org_db() -> Database:
+    return make_org_db()
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[list]) -> None:
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows))
+              for i, h in enumerate(headers)] if rows else \
+        [len(str(h)) for h in headers]
+    line = " | ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print(f"\n== {title} ==")
+    print(line)
+    print("-+-".join("-" * w for w in widths))
+    for row in rows:
+        print(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))

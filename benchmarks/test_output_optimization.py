@@ -1,0 +1,76 @@
+"""Sect. 4.2 footnote: relationship output optimization ablation.
+
+"Since the data for relationship employment is already captured by the
+xemp tuples, a separate output of the employment connection tuples can
+be omitted.  Fortunately, this kind of output optimization is applicable
+to many relationships in an XNF query."
+
+With the optimization, the n:1 relationships (employment, ownership)
+ship no connection stream — the child tuples carry their parent's
+identity; the cache reconstructs the pointers.  The m:n relationships
+(empproperty, projproperty) are not eligible and always ship.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import make_org_db, print_table
+from repro.api.transport import TransportSimulator
+from repro.xnf.translate import XNFOptions
+
+
+@pytest.mark.benchmark(group="output-optimization")
+def test_output_optimization_ablation(bench_org_db, benchmark):
+    db = bench_org_db
+    with_opt = db.xnf_executable(
+        "deps_arc", xnf_options=XNFOptions(output_optimization=True))
+    without_opt = db.xnf_executable(
+        "deps_arc", xnf_options=XNFOptions(output_optimization=False))
+
+    co_with = with_opt.run()
+    co_without = without_opt.run()
+    benchmark(with_opt.run)
+
+    # Identical composite objects either way.
+    for name in co_with.components:
+        assert sorted(co_with.component(name).rows) == \
+            sorted(co_without.component(name).rows)
+    for name in co_with.relationships:
+        assert sorted(co_with.relationship(name).connections) == \
+            sorted(co_without.relationship(name).connections)
+
+    simulator = TransportSimulator()
+    bytes_with = simulator.block_shipping(co_with).payload_bytes
+    bytes_without = simulator.block_shipping(co_without).payload_bytes
+    saved_tuples = co_without.shipped_tuples - co_with.shipped_tuples
+    elided = [name for name, stream in co_with.relationships.items()
+              if stream.reconstructed]
+
+    print_table(
+        "Sect. 4.2 fn — relationship output optimization",
+        ["variant", "shipped tuples", "payload bytes"],
+        [["optimization on", co_with.shipped_tuples,
+          f"{simulator.block_shipping(co_with).payload_bytes:,}"],
+         ["optimization off", co_without.shipped_tuples,
+          f"{simulator.block_shipping(co_without).payload_bytes:,}"]],
+    )
+    print(f"elided relationships: {elided}; "
+          f"tuples saved: {saved_tuples}")
+
+    assert set(elided) == {"EMPLOYMENT", "OWNERSHIP"}
+    assert saved_tuples == (
+        len(co_without.relationship("employment"))
+        + len(co_without.relationship("ownership"))
+    )
+    # Connection tuples are tiny vs. full rows, so byte savings are
+    # modest but real; tuple-count savings are the paper's point.
+    assert bytes_with < bytes_without
+
+
+@pytest.mark.benchmark(group="output-optimization")
+def test_mn_relationships_never_elided(bench_org_db, benchmark):
+    co = benchmark(bench_org_db.xnf_executable("deps_arc").run)
+    assert not co.relationship("empproperty").reconstructed
+    assert not co.relationship("projproperty").reconstructed
+    assert len(co.relationship("empproperty")) > 0

@@ -1,0 +1,17 @@
+"""Root pytest configuration.
+
+Makes the test and benchmark suites runnable straight from a checkout:
+``src/`` joins ``sys.path`` if the package is not installed.  (On
+environments whose setuptools lacks PEP 660 support, ``pip install -e .``
+may fail; ``python setup.py develop`` or this path shim both work.)
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.abspath(__file__)), "src")
+
+try:
+    import repro  # noqa: F401  (already installed)
+except ModuleNotFoundError:  # pragma: no cover - environment dependent
+    sys.path.insert(0, _SRC)

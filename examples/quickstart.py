@@ -1,0 +1,76 @@
+"""Quickstart: from relational tables to a navigable composite object.
+
+Builds a small department/employee database, defines an XNF view over
+it (the paper's ``OUT OF ... RELATE ... TAKE`` constructor), extracts
+the composite object and navigates it through the client-side cache.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+
+def main() -> None:
+    db = Database()
+
+    # --- plain SQL: schema and data ------------------------------------
+    db.execute_script("""
+    CREATE TABLE DEPT (DNO INT PRIMARY KEY, DNAME VARCHAR, LOC VARCHAR);
+    CREATE TABLE EMP (ENO INT PRIMARY KEY, ENAME VARCHAR, EDNO INT,
+                      SAL INT,
+                      FOREIGN KEY (EDNO) REFERENCES DEPT (DNO));
+    CREATE INDEX IX_EMP_EDNO ON EMP (EDNO);
+    INSERT INTO DEPT VALUES (1, 'Tools', 'ARC'), (2, 'Apps', 'SF'),
+                            (3, 'Databases', 'ARC');
+    INSERT INTO EMP VALUES (10, 'ann', 1, 120), (11, 'bob', 2, 100),
+                           (12, 'carl', 1, 90), (13, 'dee', 3, 200);
+    """)
+
+    # Ordinary SQL keeps working — XNF is strictly an extension.
+    print("ARC departments:",
+          db.query("SELECT dname FROM DEPT WHERE loc = 'ARC'").rows)
+
+    # --- the XNF view: a composite-object abstraction -------------------
+    db.execute("""
+    CREATE VIEW arc_orgs AS
+    OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+           xemp AS EMP,
+           employment AS (RELATE xdept VIA EMPLOYS, xemp
+                          WHERE xdept.dno = xemp.edno)
+    TAKE *
+    """)
+
+    # One set-oriented extraction materializes the whole CO.
+    co = db.xnf("arc_orgs")
+    print(f"\nextracted {co.total_tuples()} tuples "
+          f"({co.shipped_tuples} shipped; employment connections were "
+          f"elided and rebuilt client-side)")
+
+    # --- the CO cache: pointer navigation, no server round trips --------
+    cache = db.open_cache("arc_orgs")
+    for dept in cache.extent("xdept"):
+        employees = [f"{e.ename} (${e.sal}k)"
+                     for e in dept.children("employment")]
+        print(f"  {dept.dname}: {', '.join(employees)}")
+
+    # Dependent cursors navigate parent -> child (Sect. 2's API).
+    cursor = cache.dependent_cursor("employment")
+    tools = cache.find("xdept", dname="Tools")[0]
+    cursor.position_on(tools)
+    print("\ncursor over Tools:",
+          [employee.ename for employee in cursor])
+
+    # --- local updates, written back atomically -------------------------
+    ann = cache.find("xemp", ename="ann")[0]
+    ann.set("SAL", 130)
+    applied = cache.write_back()
+    print(f"\nwrite-back applied {applied} change(s); server now says:",
+          db.query("SELECT sal FROM EMP WHERE ename = 'ann'").rows)
+
+    # --- composition: CO components are tables again ---------------------
+    print("\navg ARC salary:",
+          db.query("SELECT AVG(sal) FROM arc_orgs.xemp").rows)
+
+
+if __name__ == "__main__":
+    main()

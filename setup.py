@@ -1,0 +1,13 @@
+"""Legacy setup shim: lets ``pip install -e .`` work on environments
+whose setuptools predates PEP 660 editable installs (no wheel package).
+All real metadata lives in pyproject.toml."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

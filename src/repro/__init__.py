@@ -1,0 +1,44 @@
+"""repro — Composite-Object Views in a Relational DBMS.
+
+A from-scratch Python reproduction of Pirahesh, Mitschang, Suedkamp and
+Lindsay, "Composite-Object Views in Relational DBMS: An Implementation
+Perspective" (Information Systems 19(1), 1994): the XNF language
+extension (OUT OF ... RELATE ... TAKE), a Starburst-style relational
+engine underneath (QGM, rule-based rewrite, cost-based planning,
+pipelined execution), and the client-side composite-object cache with
+cursors, a seamless object interface and write-back.
+
+Quickstart::
+
+    from repro import Database
+    db = Database()
+    db.execute("CREATE TABLE DEPT (DNO INT PRIMARY KEY, LOC VARCHAR)")
+    db.execute("CREATE TABLE EMP (ENO INT PRIMARY KEY, EDNO INT)")
+    db.execute("INSERT INTO DEPT VALUES (1, 'ARC')")
+    db.execute("INSERT INTO EMP VALUES (10, 1)")
+    cache = db.open_cache('''
+        OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+               xemp AS EMP,
+               employment AS (RELATE xdept VIA EMPLOYS, xemp
+                              WHERE xdept.dno = xemp.edno)
+        TAKE *
+    ''')
+    for dept in cache.extent("xdept"):
+        print(dept.dno, [e.eno for e in dept.children("employment")])
+"""
+
+from repro.api.database import Database
+from repro.api.gateway import ObjectGateway, ObjectView
+from repro.api.transport import TransportSimulator
+from repro.cache.manager import XNFCache
+from repro.errors import ReproError
+from repro.executor.runtime import QueryResult
+from repro.xnf.result import COResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database", "ObjectGateway", "ObjectView", "TransportSimulator",
+    "XNFCache", "ReproError", "QueryResult", "COResult",
+    "__version__",
+]

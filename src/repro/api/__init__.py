@@ -1,0 +1,12 @@
+"""Public API: database facade, transport simulation, object gateway."""
+
+from repro.api.database import Database
+from repro.api.gateway import ObjectGateway, ObjectView
+from repro.api.transport import (TransportSimulator, TransportStats,
+                                 tuple_size, value_size)
+
+__all__ = [
+    "Database",
+    "ObjectGateway", "ObjectView",
+    "TransportSimulator", "TransportStats", "tuple_size", "value_size",
+]

@@ -1,0 +1,271 @@
+"""The public database facade.
+
+One object wiring the whole Fig. 2 pipeline together: parse ->
+QGM build -> (XNF semantic rewrite ->) NF rewrite -> plan -> execute,
+plus DDL, DML (atomic), transactions, XNF views, CO caches, and EXPLAIN.
+
+    db = Database()
+    db.execute("CREATE TABLE DEPT (DNO INT PRIMARY KEY, LOC VARCHAR)")
+    db.execute("INSERT INTO DEPT VALUES (1, 'ARC')")
+    db.execute("CREATE VIEW deps AS OUT OF ... TAKE *")
+    co = db.xnf("deps")              # a materialized COResult
+    cache = db.open_cache("deps")    # a navigable client cache
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.errors import CatalogError, SemanticError
+from repro.executor.dml import DMLExecutor
+from repro.executor.runtime import (PipelineOptions, QueryPipeline,
+                                    QueryResult)
+from repro.cache.manager import XNFCache
+from repro.qgm.builder import QGMBuilder
+from repro.qgm.dump import dump_graph
+from repro.qgm.model import Box, QGMGraph
+from repro.sql import ast
+from repro.sql.parser import parse_statement
+from repro.storage.catalog import Catalog, ViewDefinition
+from repro.storage.stats import StatisticsManager
+from repro.storage.table import Table
+from repro.storage.transactions import TransactionManager
+from repro.storage.types import Column, type_from_name
+from repro.xnf.naive import NaiveXNFEvaluator
+from repro.xnf.result import COResult, XNFExecutable
+from repro.xnf.translate import TranslatedXNF, XNFOptions, XNFTranslator
+
+ExecuteResult = Union[QueryResult, COResult, int, None]
+
+
+class Database:
+    """An embedded XNF-capable relational database."""
+
+    def __init__(self, pipeline_options: Optional[PipelineOptions] = None,
+                 xnf_options: Optional[XNFOptions] = None):
+        self.catalog = Catalog()
+        self.stats = StatisticsManager(self.catalog)
+        self.transactions = TransactionManager(self.catalog)
+        self.pipeline_options = pipeline_options or PipelineOptions()
+        self.xnf_options = xnf_options or XNFOptions()
+        self.pipeline = QueryPipeline(
+            self.catalog, self.stats, self.pipeline_options,
+            xnf_component_resolver=self._resolve_xnf_component,
+        )
+        self.dml = DMLExecutor(self.pipeline)
+
+    # ------------------------------------------------------------------
+    # Statement execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str) -> ExecuteResult:
+        """Run one statement of any kind; return type depends on it."""
+        statement = parse_statement(sql)
+        return self.execute_statement(statement)
+
+    def execute_statement(self, statement: ast.Statement) -> ExecuteResult:
+        if isinstance(statement, ast.SelectStatement):
+            return self.pipeline.run_select(statement)
+        if isinstance(statement, ast.XNFQuery):
+            return self.run_xnf_query(statement)
+        if isinstance(statement, ast.InsertStatement):
+            return self.transactions.run_atomic(
+                lambda: self.dml.insert(statement))
+        if isinstance(statement, ast.UpdateStatement):
+            return self.transactions.run_atomic(
+                lambda: self.dml.update(statement))
+        if isinstance(statement, ast.DeleteStatement):
+            return self.transactions.run_atomic(
+                lambda: self.dml.delete(statement))
+        if isinstance(statement, ast.CreateTableStatement):
+            self._create_table(statement)
+            return None
+        if isinstance(statement, ast.CreateIndexStatement):
+            self.catalog.create_index(statement.name, statement.table,
+                                      list(statement.columns),
+                                      unique=statement.unique)
+            return None
+        if isinstance(statement, ast.CreateViewStatement):
+            self._create_view(statement)
+            return None
+        if isinstance(statement, ast.DropStatement):
+            self._drop(statement)
+            return None
+        raise SemanticError(f"cannot execute {type(statement).__name__}")
+
+    def query(self, sql: str) -> QueryResult:
+        """Run a SELECT and return its result."""
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.SelectStatement):
+            raise SemanticError("query() expects a SELECT statement")
+        return self.pipeline.run_select(statement)
+
+    def execute_script(self, sql: str) -> list[ExecuteResult]:
+        from repro.sql.parser import parse_script
+        return [self.execute_statement(s) for s in parse_script(sql)]
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+    def _create_table(self, statement: ast.CreateTableStatement) -> None:
+        pk = {c.upper() for c in statement.primary_key}
+        columns = []
+        for definition in statement.columns:
+            is_pk = definition.primary_key or definition.name.upper() in pk
+            columns.append(Column(
+                name=definition.name.upper(),
+                data_type=type_from_name(definition.type_name,
+                                         definition.type_length),
+                nullable=definition.nullable and not is_pk,
+                primary_key=is_pk,
+            ))
+        self.catalog.create_table(statement.name, columns)
+        for number, fk in enumerate(statement.foreign_keys):
+            name = fk.name or f"FK_{statement.name}_{number}".upper()
+            self.catalog.add_foreign_key(
+                name, statement.name, list(fk.columns),
+                fk.parent_table, list(fk.parent_columns),
+            )
+
+    def _create_view(self, statement: ast.CreateViewStatement) -> None:
+        view = ViewDefinition(
+            name=statement.name,
+            definition=statement.query,
+            text="",
+            is_xnf=statement.is_xnf,
+            column_names=tuple(c.upper() for c in statement.column_names),
+        )
+        if not statement.is_xnf:
+            # Validate eagerly: building the QGM catches bad references.
+            QGMBuilder(self.catalog,
+                       self._resolve_xnf_component).build_select(
+                statement.query)
+        else:
+            QGMBuilder(self.catalog,
+                       self._resolve_xnf_component).build_xnf(
+                statement.query, view_name=statement.name)
+        self.catalog.create_view(view)
+
+    def _drop(self, statement: ast.DropStatement) -> None:
+        if statement.kind == "TABLE":
+            self.catalog.drop_table(statement.name)
+            self.stats.invalidate(statement.name)
+        elif statement.kind == "VIEW":
+            self.catalog.drop_view(statement.name)
+        elif statement.kind == "INDEX":
+            self.catalog.drop_index(statement.name)
+        else:  # pragma: no cover - parser restricts kinds
+            raise SemanticError(f"cannot drop {statement.kind}")
+
+    # ------------------------------------------------------------------
+    # XNF entry points
+    # ------------------------------------------------------------------
+    def xnf_executable(self, source: Union[str, ast.XNFQuery],
+                       xnf_options: Optional[XNFOptions] = None,
+                       ) -> XNFExecutable:
+        """Compile an XNF query (text, view name, or AST) to plans."""
+        query, view_name = self._xnf_query_of(source)
+        builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
+        graph = builder.build_xnf(query, view_name=view_name)
+        translator = XNFTranslator(self.catalog,
+                                   xnf_options or self.xnf_options)
+        translated = translator.translate(graph)
+        return XNFExecutable(translated, self.catalog, self.stats,
+                             self.pipeline_options.planner)
+
+    def run_xnf_query(self, source: Union[str, ast.XNFQuery]) -> COResult:
+        return self.xnf_executable(source).run()
+
+    def xnf(self, source: Union[str, ast.XNFQuery]) -> COResult:
+        """Materialize a CO view (alias of :meth:`run_xnf_query`)."""
+        return self.run_xnf_query(source)
+
+    def xnf_naive(self, source: Union[str, ast.XNFQuery]) -> COResult:
+        """Evaluate with the reference (unoptimized) evaluator."""
+        query, view_name = self._xnf_query_of(source)
+        builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
+        graph = builder.build_xnf(query, view_name=view_name)
+        return NaiveXNFEvaluator(self.catalog, self.stats).evaluate(graph)
+
+    def open_cache(self, source: Union[str, ast.XNFQuery]) -> XNFCache:
+        """Evaluate a CO view into a navigable client-side cache."""
+        executable = self.xnf_executable(source)
+        return XNFCache.evaluate(executable, catalog=self.catalog,
+                                 transactions=self.transactions)
+
+    def _xnf_query_of(self, source: Union[str, ast.XNFQuery]
+                      ) -> tuple[ast.XNFQuery, str]:
+        if isinstance(source, ast.XNFQuery):
+            return source, "XNF"
+        text = source.strip()
+        if " " not in text and self.catalog.has_view(text):
+            view = self.catalog.view(text)
+            if not view.is_xnf:
+                raise SemanticError(f"view {text!r} is not an XNF view")
+            return view.definition, view.name
+        statement = parse_statement(source)
+        if not isinstance(statement, ast.XNFQuery):
+            raise SemanticError("expected an XNF query (OUT OF ... TAKE)")
+        return statement, "XNF"
+
+    def _resolve_xnf_component(self, view_name: str,
+                               component: str) -> Box:
+        """FROM-clause hook: ``viewname.component`` resolves to the
+        component's reachability-restricted derivation — XNF's closure
+        under composition (Sect. 2)."""
+        view = self.catalog.view(view_name)
+        if not view.is_xnf:
+            raise SemanticError(f"{view_name!r} is not an XNF view")
+        builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
+        graph = builder.build_xnf(view.definition, view_name=view.name)
+        translated = XNFTranslator(self.catalog,
+                                   self.xnf_options).translate(graph)
+        key = component.upper()
+        info = translated.components.get(key)
+        if info is None:
+            raise CatalogError(
+                f"XNF view {view_name!r} has no component {component!r}"
+            )
+        if translated.recursive:
+            raise SemanticError(
+                "components of recursive XNF views cannot be composed "
+                "into other queries"
+            )
+        return info.final_box
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def explain(self, sql: str) -> str:
+        """QGM graph plus physical plan for a SELECT or XNF query."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.SelectStatement):
+            compiled = self.pipeline.compile_select(statement)
+            parts = ["-- QGM (after rewrite) --",
+                     dump_graph(compiled.graph),
+                     "-- plan --", compiled.plan.explain()]
+            if compiled.rewrite_context is not None:
+                parts.append(
+                    f"-- rewrites: {compiled.rewrite_context.applications}"
+                )
+            return "\n".join(parts)
+        if isinstance(statement, ast.XNFQuery):
+            executable = self.xnf_executable(statement)
+            return "\n".join(["-- XNF QGM (after semantic rewrite) --",
+                              dump_graph(executable.translated.graph),
+                              "-- plan --", executable.explain()])
+        raise SemanticError("EXPLAIN supports SELECT and XNF queries")
+
+    def table(self, name: str) -> Table:
+        return self.catalog.table(name)
+
+    # ------------------------------------------------------------------
+    # Transactions
+    # ------------------------------------------------------------------
+    def begin(self) -> None:
+        self.transactions.begin()
+
+    def commit(self) -> None:
+        self.transactions.commit()
+
+    def rollback(self) -> None:
+        self.transactions.rollback()

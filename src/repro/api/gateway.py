@@ -1,0 +1,80 @@
+"""An Object/SQL gateway over XNF views (Sect. 6, [33]).
+
+"We can use an XNF DBMS ... to provide server services to an
+object-oriented programming system running on the application site.
+This idea was realized in the prototype system called 'Object/SQL
+Gateway' ... providing object-oriented access to data residing in a
+relational DBMS."
+
+:class:`ObjectGateway` opens CO views as object graphs: generated
+classes (via :mod:`repro.cache.objects`), extents, navigation, local
+updates, and a ``commit`` that writes changes back through the view's
+updatability analysis — the Persistence-DBMS/ObjectStore bridging role
+the paper's introduction motivates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.api.database import Database
+from repro.errors import CacheError
+from repro.cache.manager import XNFCache
+from repro.cache.objects import bind_classes
+
+
+class ObjectView:
+    """One opened CO view: classes, extents, and a unit of work."""
+
+    def __init__(self, database: Database, source: str):
+        self.database = database
+        self.source = source
+        self.cache: XNFCache = database.open_cache(source)
+        self.classes = bind_classes(self.cache)
+
+    # -- schema-ish access -------------------------------------------------
+    def __getattr__(self, name: str):
+        classes = object.__getattribute__(self, "classes")
+        cls = classes.get(name.upper())
+        if cls is None:
+            raise AttributeError(name)
+        return cls
+
+    def extent(self, component: str):
+        cls = self.classes.get(component.upper())
+        if cls is None:
+            raise CacheError(f"no component {component!r} in this view")
+        return cls.extent
+
+    # -- unit of work --------------------------------------------------
+    @property
+    def dirty(self) -> bool:
+        return self.cache.dirty
+
+    def commit(self) -> int:
+        """Write local changes back to the database, atomically."""
+        return self.cache.write_back()
+
+    def refresh(self) -> None:
+        """Re-extract the view (discarding local state)."""
+        self.cache = self.database.open_cache(self.source)
+        self.classes = bind_classes(self.cache)
+
+
+class ObjectGateway:
+    """Factory of object views over one database."""
+
+    def __init__(self, database: Database):
+        self.database = database
+        self._views: dict[str, ObjectView] = {}
+
+    def open(self, source: str, name: Optional[str] = None) -> ObjectView:
+        view = ObjectView(self.database, source)
+        self._views[(name or source).upper()] = view
+        return view
+
+    def view(self, name: str) -> ObjectView:
+        try:
+            return self._views[name.upper()]
+        except KeyError:
+            raise CacheError(f"no open object view {name!r}") from None

@@ -1,0 +1,13 @@
+"""Baselines the paper compares XNF against."""
+
+from repro.baseline.navigational import (NavigationalExtractor,
+                                         NavigationalResult)
+from repro.baseline.single_component import (SingleComponentDerivation,
+                                             StandaloneQuery, Table1Row,
+                                             table1_rows)
+
+__all__ = [
+    "NavigationalExtractor", "NavigationalResult",
+    "SingleComponentDerivation", "StandaloneQuery", "Table1Row",
+    "table1_rows",
+]

@@ -1,0 +1,181 @@
+"""Navigational (query-per-parent) extraction: the Sect. 1 strawman.
+
+"One straightforward way of extracting data with complex structure is to
+follow the parent/child relationships: for each parent instance, execute
+a query to get the children; repeat the same thing for each child ...
+However, this style of data extraction leads to numerous queries ...
+the number of fragments is in the order of number of instances of parent
+components in the extracted data."
+
+:class:`NavigationalExtractor` implements exactly that against the same
+engine: the root component is fetched with one query, then for every
+extracted parent tuple and every outgoing relationship one SQL query is
+issued (with the parent's join values substituted as literals).  It
+counts the queries it issues; the extraction benchmark compares this
+count and wall-clock against the single set-oriented XNF extraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XNFError
+from repro.executor.runtime import QueryPipeline
+from repro.qgm.builder import QGMBuilder
+from repro.qgm.model import (QRef, Quantifier, RidRef, XNFBox,
+                             XNFRelationship, replace_qrefs)
+from repro.sql import ast
+from repro.xnf.schema_graph import SchemaGraph
+
+
+@dataclass
+class NavigationalResult:
+    """What the fragmented extraction produced, plus its cost."""
+
+    components: dict[str, list[tuple]] = field(default_factory=dict)
+    component_columns: dict[str, list[str]] = field(default_factory=dict)
+    connections: dict[str, list[tuple]] = field(default_factory=dict)
+    queries_issued: int = 0
+
+    def total_tuples(self) -> int:
+        return (sum(len(r) for r in self.components.values())
+                + sum(len(c) for c in self.connections.values()))
+
+
+class NavigationalExtractor:
+    """Fragmented CO extraction over the relational engine."""
+
+    def __init__(self, pipeline: QueryPipeline):
+        self.pipeline = pipeline
+        self.catalog = pipeline.catalog
+
+    # ------------------------------------------------------------------
+    def extract(self, query: ast.XNFQuery) -> NavigationalResult:
+        builder = QGMBuilder(self.catalog)
+        xnf = builder._build_xnf_box(query, view_name="navigational")
+        schema = SchemaGraph.from_xnf_box(xnf)
+        if schema.topological_order() is None:
+            raise XNFError(
+                "navigational extraction of recursive COs would not "
+                "terminate without cycle detection; use the XNF path"
+            )
+        for relationship in xnf.relationships.values():
+            if len(relationship.children) != 1:
+                raise XNFError(
+                    "navigational extraction supports binary "
+                    "relationships only"
+                )
+
+        component_defs = {c.name.upper(): c.query
+                          for c in query.components}
+        result = NavigationalResult()
+        seen: dict[str, set[tuple]] = {name: set()
+                                       for name in xnf.components}
+        frontier: dict[str, list[tuple]] = {name: []
+                                            for name in xnf.components}
+
+        # 1. One query per root component.
+        for name, component in xnf.components.items():
+            result.components[name] = []
+            result.component_columns[name] = [
+                c.name for c in component.box.head
+                if not c.name.startswith("$")
+            ]
+            if component.is_root:
+                root_result = self.pipeline.run_select(
+                    component_defs[name])
+                result.queries_issued += 1
+                for row in root_result.rows:
+                    if row not in seen[name]:
+                        seen[name].add(row)
+                        result.components[name].append(row)
+                        frontier[name].append(row)
+        for name in xnf.relationships:
+            result.connections[name] = []
+
+        # 2. Per parent instance, one query per outgoing relationship.
+        while any(frontier.values()):
+            next_frontier: dict[str, list[tuple]] = {
+                name: [] for name in xnf.components
+            }
+            for parent_name, parents in frontier.items():
+                for edge in schema.outgoing(parent_name):
+                    relationship = xnf.relationships[edge.name]
+                    child_name = relationship.children[0]
+                    child_def = component_defs[child_name]
+                    for parent_row in parents:
+                        rows = self._children_of(
+                            relationship, parent_row,
+                            xnf, child_def, result
+                        )
+                        for row in rows:
+                            result.connections[edge.name].append(
+                                (parent_row, row)
+                            )
+                            if row not in seen[child_name]:
+                                seen[child_name].add(row)
+                                result.components[child_name].append(row)
+                                next_frontier[child_name].append(row)
+            frontier = next_frontier
+        return result
+
+    # ------------------------------------------------------------------
+    def _children_of(self, relationship: XNFRelationship,
+                     parent_row: tuple, xnf: XNFBox,
+                     child_def: ast.SelectStatement,
+                     result: NavigationalResult) -> list[tuple]:
+        """Issue one child-fetch query with parent values inlined."""
+        statement = self._child_query(relationship, parent_row, xnf,
+                                      child_def)
+        child_result = self.pipeline.run_select(statement)
+        result.queries_issued += 1
+        return child_result.rows
+
+    def _child_query(self, relationship: XNFRelationship,
+                     parent_row: tuple, xnf: XNFBox,
+                     child_def: ast.SelectStatement
+                     ) -> ast.SelectStatement:
+        """``SELECT c.* FROM (child_def) c [, using...] WHERE pred``
+        with the parent's column values substituted as literals."""
+        child_name = relationship.children[0]
+        child_alias = child_name.lower()
+        parent_box = xnf.components[relationship.parent].box
+        parent_positions = {
+            column.name.upper(): index
+            for index, column in enumerate(parent_box.head)
+        }
+
+        parent_q = relationship.parent_quantifier
+        child_q = relationship.child_quantifiers[0]
+
+        def mapping(leaf):
+            if isinstance(leaf, QRef):
+                if leaf.quantifier is parent_q:
+                    position = parent_positions[leaf.column.upper()]
+                    return ast.Literal(parent_row[position])
+                if leaf.quantifier is child_q:
+                    return ast.ColumnRef(child_alias, leaf.column)
+                # USING-table reference: keep the binding name.
+                return ast.ColumnRef(leaf.quantifier.name, leaf.column)
+            if isinstance(leaf, RidRef):
+                raise XNFError(
+                    "navigational extraction cannot parameterize RIDs"
+                )
+            return leaf
+
+        where = None
+        if relationship.predicate is not None:
+            where = replace_qrefs(relationship.predicate, mapping)
+
+        from_items: list[ast.FromItem] = [
+            ast.SubqueryRef(child_def, alias=child_alias)
+        ]
+        for using_q in relationship.using_quantifiers:
+            from_items.append(ast.TableRef(using_q.box.label,
+                                           alias=using_q.name))
+        return ast.SelectStatement(
+            select_items=(ast.SelectItem(ast.Star(child_alias)),),
+            from_items=tuple(from_items),
+            where=where,
+            distinct=True,
+        )

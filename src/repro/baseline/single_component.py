@@ -1,0 +1,363 @@
+"""Single-component SQL derivation: the pre-XNF baseline (Fig. 6).
+
+Without the XNF operator, an application derives a CO by issuing one SQL
+query *per component* and one *per relationship*.  Each query must
+re-express reachability with existential subqueries over the parent
+derivations (Fig. 3/6), so the derivation work of shared ancestors is
+replicated across queries — the redundancy Table 1 quantifies.
+
+This module builds those standalone queries generically from an XNF
+query, at the QGM level:
+
+* a root component's query is its raw derivation;
+* a non-root component's query restricts its raw derivation by an
+  existential quantifier over the parent's standalone derivation via the
+  relationship predicate (a UNION of such restrictions when several
+  relationships reach it);
+* a relationship's query joins the parent's and children's standalone
+  derivations under the relationship predicate.
+
+Within one query the builder shares boxes (a view referenced twice is
+one box), but *across* queries nothing is shared — exactly the Fig. 6
+situation.  :func:`table1_rows` counts operations per query with
+:mod:`repro.qgm.ops` and reports the paper's Table 1 columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import XNFError
+from repro.optimizer.optimizer import Planner, PlannerOptions
+from repro.qgm.builder import QGMBuilder
+from repro.qgm.model import (HeadColumn, OutputStream, QGMGraph, QRef,
+                             Quantifier, RidRef, SelectBox, SetOpBox,
+                             TopBox, XNFBox, XNFRelationship, replace_qrefs)
+from repro.qgm.ops import (OperationCount, count_operations,
+                           replicated_operations)
+from repro.rewrite.engine import Rule, RuleEngine
+from repro.rewrite.nf_rules import (ExistentialToJoin,
+                                    TrivialPredicateElimination)
+from repro.sql import ast
+from repro.storage.catalog import Catalog
+from repro.storage.stats import StatisticsManager
+from repro.xnf.schema_graph import SchemaGraph
+
+#: Rule set used when *counting* operations: convert existentials to
+#: joins but keep the box structure intact so structurally identical
+#: derivations in different queries keep identical signatures.
+COUNTING_RULES: list[Rule] = [TrivialPredicateElimination(),
+                              ExistentialToJoin()]
+
+
+def _refs(expression: ast.Expression):
+    from repro.qgm.model import quantifiers_in
+    return quantifiers_in(expression)
+
+
+@dataclass
+class StandaloneQuery:
+    """One per-component (or per-relationship) derivation query."""
+
+    name: str
+    kind: str  # 'component' | 'relationship'
+    graph: QGMGraph
+    operations: OperationCount = field(
+        default_factory=OperationCount)
+
+
+class SingleComponentDerivation:
+    """Builds and runs the Fig. 6 style query set for an XNF view."""
+
+    def __init__(self, catalog: Catalog,
+                 stats: Optional[StatisticsManager] = None,
+                 counting_rules: Optional[list[Rule]] = None):
+        self.catalog = catalog
+        self.stats = stats or StatisticsManager(catalog)
+        self.counting_rules = (COUNTING_RULES if counting_rules is None
+                               else counting_rules)
+
+    # ------------------------------------------------------------------
+    def build_queries(self, query: ast.XNFQuery) -> list[StandaloneQuery]:
+        """One standalone QGM graph per component and relationship."""
+        queries: list[StandaloneQuery] = []
+        for component in query.components:
+            queries.append(self._standalone(query, component.name.upper(),
+                                            "component"))
+        for relationship in query.relationships:
+            queries.append(self._standalone(query,
+                                            relationship.name.upper(),
+                                            "relationship"))
+        for standalone in queries:
+            RuleEngine(self.counting_rules).run(standalone.graph,
+                                                self.catalog)
+            standalone.operations = count_operations(standalone.graph)
+        return queries
+
+    def _standalone(self, query: ast.XNFQuery, name: str,
+                    kind: str) -> StandaloneQuery:
+        # Every standalone query rebuilds the XNF box so its QGM boxes
+        # are private: nothing is shared across queries.
+        builder = QGMBuilder(self.catalog)
+        xnf = builder._build_xnf_box(query, view_name="standalone")
+        schema = SchemaGraph.from_xnf_box(xnf)
+        memo: dict[str, SelectBox] = {}
+        if kind == "component":
+            box = self._final(name, xnf, schema, memo)
+        else:
+            box = self._relationship_query(xnf.relationships[name], xnf,
+                                           schema, memo)
+        top = TopBox()
+        top.outputs.append(OutputStream(name=name, box=box))
+        return StandaloneQuery(name=name, kind=kind,
+                               graph=QGMGraph(top=top))
+
+    # ------------------------------------------------------------------
+    def _final(self, name: str, xnf: XNFBox, schema: SchemaGraph,
+               memo: dict) -> SelectBox:
+        """The standalone reachability-restricted derivation of one
+        component (memoized per query for intra-query sharing)."""
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        component = xnf.components[name]
+        incoming = schema.incoming(name)
+        if component.is_root or not component.reachability_required \
+                or not incoming:
+            memo[name] = component.box
+            return component.box
+        branches: list[SelectBox] = []
+        for edge in incoming:
+            relationship = xnf.relationships[edge.name]
+            branches.append(
+                self._reachable_branch(name, relationship, xnf, schema,
+                                       memo)
+            )
+        if len(branches) == 1:
+            memo[name] = branches[0]
+            return branches[0]
+        union = SetOpBox("UNION", all_rows=False,
+                         label=f"{name.lower()}_union")
+        for branch in branches:
+            union.inputs.append(Quantifier(branch, Quantifier.F))
+        union.head = [HeadColumn(c.name) for c in branches[0].head]
+        memo[name] = union
+        return union
+
+    def _reachable_branch(self, child: str,
+                          relationship: XNFRelationship, xnf: XNFBox,
+                          schema: SchemaGraph, memo: dict) -> SelectBox:
+        """SELECT * FROM child_raw WHERE EXISTS(parent via predicate) —
+        the Fig. 3a shape, as a QGM box with E quantifiers."""
+        raw = xnf.components[child].box
+        box = SelectBox(label=f"{child.lower()}_via_"
+                              f"{relationship.name.lower()}")
+        child_q = box.add_quantifier(Quantifier(raw, Quantifier.F,
+                                                name=child))
+        parent_final = self._final(relationship.parent, xnf, schema, memo)
+        parent_q = box.add_quantifier(
+            Quantifier(parent_final, Quantifier.E,
+                       name=relationship.parent)
+        )
+        remap: dict[int, Quantifier] = {
+            relationship.parent_quantifier.qid: parent_q,
+        }
+        # This child binds to the ForEach side; sibling children (n-ary)
+        # and USING tables become jointly-existential quantifiers.
+        for old, sibling_name in zip(relationship.child_quantifiers,
+                                     relationship.children):
+            if sibling_name == child and old.qid not in remap:
+                remap[old.qid] = child_q
+            elif old.qid not in remap:
+                remap[old.qid] = box.add_quantifier(
+                    Quantifier(xnf.components[sibling_name].box,
+                               Quantifier.E, name=sibling_name)
+                )
+        for old in relationship.using_quantifiers:
+            remap[old.qid] = box.add_quantifier(
+                Quantifier(old.box, Quantifier.E, name=old.name)
+            )
+        box.predicates.extend(self._remapped(relationship, remap))
+        box.head = [HeadColumn(c.name, QRef(child_q, c.name))
+                    for c in raw.head]
+        return box
+
+    def _relationship_query(self, relationship: XNFRelationship,
+                            xnf: XNFBox, schema: SchemaGraph,
+                            memo: dict) -> SelectBox:
+        """Join of the partners' standalone derivations (Fig. 6c).
+
+        A practical SQL programmer skips joining a child whose key
+        already sits in the USING mapping table (empproperty needs only
+        xemp x EMPSKILLS — the skill number is ES.ESSNO); we reproduce
+        that, which is also what makes Table 1's empproperty row cost 3
+        operations rather than 4.  The shortcut applies when every
+        conjunct touching the child equates a child column with a USING
+        column and the child is an unrestricted base select (referential
+        integrity guarantees the joined key exists).
+        """
+        box = SelectBox(label=f"rel_{relationship.name.lower()}")
+        parent_final = self._final(relationship.parent, xnf, schema, memo)
+        parent_q = box.add_quantifier(
+            Quantifier(parent_final, Quantifier.F,
+                       name=relationship.parent)
+        )
+        remap: dict[int, Quantifier] = {
+            relationship.parent_quantifier.qid: parent_q,
+        }
+        child_keys: list[tuple[Quantifier, str]] = []
+        omitted: dict[int, list[tuple[Quantifier, str]]] = {}
+        for old, child_name in zip(relationship.child_quantifiers,
+                                   relationship.children):
+            shortcut = self._mapping_shortcut(relationship, old,
+                                              child_name, xnf)
+            if shortcut is not None:
+                omitted[old.qid] = shortcut
+                continue
+            child_final = self._final(child_name, xnf, schema, memo)
+            quantifier = box.add_quantifier(
+                Quantifier(child_final, Quantifier.F, name=child_name)
+            )
+            remap[old.qid] = quantifier
+            for column in child_final.head:
+                child_keys.append((quantifier, column.name))
+        using_remap: dict[int, Quantifier] = {}
+        for old in relationship.using_quantifiers:
+            quantifier = box.add_quantifier(
+                Quantifier(old.box, Quantifier.F, name=old.name)
+            )
+            remap[old.qid] = quantifier
+            using_remap[old.qid] = quantifier
+
+        for predicate in self._remapped(relationship, remap,
+                                        skip_quantifiers=set(omitted)):
+            box.predicates.append(predicate)
+        head: list[HeadColumn] = []
+        for column in parent_final.head:
+            head.append(HeadColumn(
+                f"{relationship.parent}_{column.name}",
+                QRef(parent_q, column.name),
+            ))
+        for quantifier, column_name in child_keys:
+            head.append(HeadColumn(
+                f"{quantifier.name}_{column_name}",
+                QRef(quantifier, column_name),
+            ))
+        for old_qid, key_columns in omitted.items():
+            for old_using_q, using_column in key_columns:
+                new_using_q = using_remap[old_using_q.qid]
+                head.append(HeadColumn(
+                    f"key_{using_column}",
+                    QRef(new_using_q, using_column),
+                ))
+        box.head = head
+        return box
+
+    @staticmethod
+    def _mapping_shortcut(relationship: XNFRelationship,
+                          child_q: Quantifier, child_name: str,
+                          xnf: XNFBox):
+        """If the child's key is carried by USING columns, return the
+        (using-quantifier, column) pairs standing in for it."""
+        if not relationship.using_quantifiers:
+            return None
+        raw = xnf.components[child_name].box
+        unrestricted = (isinstance(raw, SelectBox) and not raw.distinct
+                        and not raw.predicates
+                        and len(raw.foreach_quantifiers()) == 1)
+        if not unrestricted:
+            return None
+        using_set = set(relationship.using_quantifiers)
+        keys: list[tuple[Quantifier, str]] = []
+        for conjunct in ast.conjuncts(relationship.predicate):
+            if not isinstance(conjunct, ast.BinaryOp) \
+                    or conjunct.op != "=":
+                if conjunct is not None and child_q in _refs(conjunct):
+                    return None
+                continue
+            sides = (conjunct.left, conjunct.right)
+            touches_child = any(
+                isinstance(s, QRef) and s.quantifier is child_q
+                for s in sides
+            )
+            if not touches_child:
+                continue
+            other = (sides[1] if isinstance(sides[0], QRef)
+                     and sides[0].quantifier is child_q else sides[0])
+            if not (isinstance(other, QRef)
+                    and other.quantifier in using_set):
+                return None
+            keys.append((other.quantifier, other.column))
+        return keys or None
+
+    @staticmethod
+    def _remapped(relationship: XNFRelationship,
+                  remap: dict[int, Quantifier],
+                  skip_quantifiers: set[int] = frozenset()
+                  ) -> list[ast.Expression]:
+        if relationship.predicate is None:
+            return []
+
+        def mapping(leaf):
+            if isinstance(leaf, QRef):
+                target = remap.get(leaf.quantifier.qid)
+                if target is not None:
+                    return QRef(target, leaf.column)
+            elif isinstance(leaf, RidRef):
+                target = remap.get(leaf.quantifier.qid)
+                if target is not None:
+                    return RidRef(target)
+            return leaf
+
+        kept: list[ast.Expression] = []
+        for conjunct in ast.conjuncts(relationship.predicate):
+            if skip_quantifiers and any(
+                    q.qid in skip_quantifiers for q in _refs(conjunct)):
+                continue
+            remapped = replace_qrefs(conjunct, mapping)
+            if remapped != ast.Literal(True):
+                kept.append(remapped)
+        return kept
+
+    # ------------------------------------------------------------------
+    def run_queries(self, queries: list[StandaloneQuery],
+                    planner_options: Optional[PlannerOptions] = None
+                    ) -> dict[str, list[tuple]]:
+        """Execute every standalone query — each with its own execution
+        context, so nothing is shared (the Fig. 6 cost)."""
+        results: dict[str, list[tuple]] = {}
+        for standalone in queries:
+            planner = Planner(self.catalog, self.stats,
+                              planner_options or PlannerOptions())
+            plan = planner.plan(standalone.graph)
+            ctx = plan.new_context()
+            _stream, node = plan.single_output()
+            results[standalone.name] = list(node.execute(ctx))
+        return results
+
+
+@dataclass
+class Table1Row:
+    """One row of the Table 1 comparison."""
+
+    component: str
+    sql_operations: int
+    replicated: int
+    xnf_operations: int
+
+
+def table1_rows(queries: list[StandaloneQuery],
+                xnf_per_element: dict[str, int]) -> list[Table1Row]:
+    """Assemble Table 1: per-element SQL ops, replicated ops, XNF ops."""
+    counts = [q.operations for q in queries]
+    replicated = replicated_operations(counts)
+    rows = []
+    for standalone, duplicated in zip(queries, replicated):
+        rows.append(Table1Row(
+            component=standalone.name,
+            sql_operations=standalone.operations.total,
+            replicated=duplicated,
+            xnf_operations=xnf_per_element.get(standalone.name, 0),
+        ))
+    return rows

@@ -1,0 +1,17 @@
+"""CO cache: workspace, cursors, cache manager, object binding."""
+
+from repro.cache.cursor import (Cursor, DependentCursor, IndependentCursor,
+                                PathCursor)
+from repro.cache.export import (instance_graph_dot, schema_graph_dot,
+                                to_documents)
+from repro.cache.manager import XNFCache
+from repro.cache.objects import BoundObject, Extent, bind_classes
+from repro.cache.workspace import CachedObject, LogEntry, Workspace
+
+__all__ = [
+    "Cursor", "DependentCursor", "IndependentCursor", "PathCursor",
+    "instance_graph_dot", "schema_graph_dot", "to_documents",
+    "XNFCache",
+    "BoundObject", "Extent", "bind_classes",
+    "CachedObject", "LogEntry", "Workspace",
+]

@@ -1,0 +1,282 @@
+"""The XNF cache manager (Sect. 5.2, Fig. 7).
+
+"There is a public method, called evaluate, which can take an XNF query
+as input and construct an instance of an XNFCache by sending a request
+to the database server, loading the catalog component, and converting
+the heterogeneous stream of tuples delivered by the server into the
+main-memory representation."
+
+:class:`XNFCache` owns a :class:`~repro.cache.workspace.Workspace`, hands
+out cursors, persists itself to disk ("for long transactions, XNF allows
+the cache to be stored on disk and retrieved later, thereby protecting
+the cache from client machine's failure"), and writes local changes back
+through the updatability analysis of :mod:`repro.xnf.updates`.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Optional
+
+from repro.errors import CacheError
+from repro.cache.cursor import DependentCursor, IndependentCursor, PathCursor
+from repro.cache.workspace import CachedObject, LogEntry, Workspace
+from repro.xnf.result import ComponentStream, ConnectionStream, COResult
+from repro.xnf.schema_graph import SchemaEdge, SchemaGraph
+from repro.xnf.updates import (CacheWriteBack, analyze_xnf_box)
+
+SNAPSHOT_FORMAT = 1
+
+
+class XNFCache:
+    """A client-side composite-object cache."""
+
+    def __init__(self, result: COResult, translated=None,
+                 catalog=None, transactions=None):
+        self.workspace = Workspace(result)
+        self.schema = result.schema
+        self._translated = translated
+        self._catalog = catalog
+        self._transactions = transactions
+        self.component_updatability = {}
+        self.relationship_updatability = {}
+        if translated is not None and translated.xnf_box is not None:
+            self.component_updatability, self.relationship_updatability = \
+                analyze_xnf_box(translated.xnf_box)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def evaluate(cls, executable, catalog=None,
+                 transactions=None) -> "XNFCache":
+        """Run an :class:`~repro.xnf.result.XNFExecutable` and cache it."""
+        result = executable.run()
+        return cls(result, translated=executable.translated,
+                   catalog=catalog or executable.catalog,
+                   transactions=transactions)
+
+    # ------------------------------------------------------------------
+    # Navigation API
+    # ------------------------------------------------------------------
+    def independent_cursor(self, component: str) -> IndependentCursor:
+        return IndependentCursor(self.workspace, component)
+
+    def dependent_cursor(self, relationship: str,
+                         parent: Optional[CachedObject] = None
+                         ) -> DependentCursor:
+        return DependentCursor(self.workspace, relationship, parent)
+
+    def path_cursor(self, path: str,
+                    start: Optional[list[CachedObject]] = None
+                    ) -> PathCursor:
+        return PathCursor(self.workspace, path, start)
+
+    def extent(self, component: str) -> list[CachedObject]:
+        return self.workspace.extent(component)
+
+    def find(self, component: str, **equalities) -> list[CachedObject]:
+        return self.workspace.find(component, **equalities)
+
+    def object_count(self) -> int:
+        return self.workspace.object_count()
+
+    # ------------------------------------------------------------------
+    # Update API (CO update operators, Sect. 2)
+    # ------------------------------------------------------------------
+    def insert(self, component: str, **values) -> CachedObject:
+        return self.workspace.insert_object(component, values)
+
+    def delete(self, obj: CachedObject) -> None:
+        self.workspace.delete_object(obj)
+
+    def connect(self, relationship: str, parent: CachedObject,
+                *children: CachedObject) -> None:
+        self.workspace.connect(relationship, parent, *children)
+
+    def disconnect(self, relationship: str, parent: CachedObject,
+                   *children: CachedObject) -> None:
+        self.workspace.disconnect(relationship, parent, *children)
+
+    @property
+    def dirty(self) -> bool:
+        return self.workspace.dirty
+
+    def pending_changes(self) -> list[LogEntry]:
+        return list(self.workspace.log)
+
+    def write_back(self, catalog=None, transactions=None) -> int:
+        """Transfer local changes to the server, all-or-nothing."""
+        catalog = catalog or self._catalog
+        transactions = transactions or self._transactions
+        if catalog is None:
+            raise CacheError("no catalog to write back to")
+        if transactions is None:
+            from repro.storage.transactions import TransactionManager
+            transactions = TransactionManager(catalog)
+        writer = CacheWriteBack(catalog, transactions,
+                                self.component_updatability,
+                                self.relationship_updatability)
+        return writer.apply(self.workspace)
+
+    # ------------------------------------------------------------------
+    # Export (the multi-lingual API surface, Sect. 5.2)
+    # ------------------------------------------------------------------
+    def to_documents(self, roots=None, max_depth: int = 12) -> list[dict]:
+        """Each root CO as a nested dict tree (JSON-ready)."""
+        from repro.cache.export import to_documents
+        return to_documents(self.workspace, roots=roots,
+                            max_depth=max_depth)
+
+    def schema_dot(self) -> str:
+        """Graphviz DOT of the CO schema graph (Fig. 1, left)."""
+        from repro.cache.export import schema_graph_dot
+        return schema_graph_dot(self.schema)
+
+    def instance_dot(self, label_columns=None) -> str:
+        """Graphviz DOT of the instance graphs (Fig. 1, right)."""
+        from repro.cache.export import instance_graph_dot
+        return instance_graph_dot(self.workspace,
+                                  label_columns=label_columns)
+
+    # ------------------------------------------------------------------
+    # Persistence (Sect. 3: protect the cache from client failure)
+    # ------------------------------------------------------------------
+    def save(self, path: str) -> None:
+        with open(path, "wb") as handle:
+            pickle.dump(self._snapshot(), handle)
+
+    @classmethod
+    def load(cls, path: str, catalog=None, transactions=None,
+             translated=None) -> "XNFCache":
+        """Reload a saved cache.
+
+        Pass the view's ``TranslatedXNF`` (e.g. from
+        ``Database.xnf_executable``) to restore updatability metadata so
+        the reloaded cache can still write back.
+        """
+        with open(path, "rb") as handle:
+            snapshot = pickle.load(handle)
+        if snapshot.get("format") != SNAPSHOT_FORMAT:
+            raise CacheError(
+                f"unsupported cache snapshot format "
+                f"{snapshot.get('format')!r}"
+            )
+        result = _result_from_snapshot(snapshot)
+        cache = cls(result, translated=translated, catalog=catalog,
+                    transactions=transactions)
+        for entry in snapshot["log"]:
+            cache.workspace.log.append(
+                LogEntry(entry["operation"], entry["target"],
+                         _revive_payload(entry["payload"],
+                                         cache.workspace))
+            )
+        return cache
+
+    def _snapshot(self) -> dict:
+        workspace = self.workspace
+        components = {}
+        for name, objects in workspace.objects.items():
+            components[name] = {
+                "columns": workspace.components_columns[name],
+                "rows": [tuple(o.values) for o in objects
+                         if not o.deleted],
+                "oids": [o.oid for o in objects if not o.deleted],
+            }
+        relationships = {}
+        for name in workspace.relationship_names():
+            attribute_names = workspace.relationship_attributes.get(
+                name, ())
+            connections = []
+            emitted_parallel: dict[tuple, int] = {}
+            for parent, child_tuple in workspace.connections_of(name):
+                record = (parent.oid,) + tuple(c.oid
+                                               for c in child_tuple)
+                if attribute_names:
+                    all_values = workspace.connection_attribute_list(
+                        name, parent, *child_tuple)
+                    index = emitted_parallel.get(record, 0)
+                    emitted_parallel[record] = index + 1
+                    values = (all_values[index]
+                              if index < len(all_values) else {})
+                    record += tuple(values.get(a)
+                                    for a in attribute_names)
+                connections.append(record)
+            relationships[name] = {
+                "parent": workspace.relationship_parent[name],
+                "children": workspace.relationship_children[name],
+                "role": workspace.relationship_role[name],
+                "attribute_names": tuple(attribute_names),
+                "connections": connections,
+            }
+        log = [
+            {"operation": e.operation, "target": e.target,
+             "payload": _freeze_payload(e.payload)}
+            for e in workspace.log
+        ]
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "schema": {
+                "components": self.schema.components,
+                "roots": self.schema.roots,
+                "edges": [(e.name, e.role, e.parent, e.children)
+                          for e in self.schema.edges],
+            },
+            "components": components,
+            "relationships": relationships,
+            "log": log,
+        }
+
+
+def _freeze_payload(payload: dict) -> dict:
+    frozen = {}
+    for key, value in payload.items():
+        if isinstance(value, CachedObject):
+            frozen[key] = {"$object$": (value.component, value.oid)}
+        elif isinstance(value, tuple) and value and \
+                all(isinstance(v, CachedObject) for v in value):
+            frozen[key] = {"$objects$": [(v.component, v.oid)
+                                         for v in value]}
+        else:
+            frozen[key] = value
+    return frozen
+
+
+def _revive_payload(payload: dict, workspace: Workspace) -> dict:
+    revived = {}
+    for key, value in payload.items():
+        if isinstance(value, dict) and "$object$" in value:
+            revived[key] = workspace.by_oid[tuple(value["$object$"])]
+        elif isinstance(value, dict) and "$objects$" in value:
+            revived[key] = tuple(workspace.by_oid[tuple(ref)]
+                                 for ref in value["$objects$"])
+        else:
+            revived[key] = value
+    return revived
+
+
+def _result_from_snapshot(snapshot: dict) -> COResult:
+    schema = SchemaGraph(
+        components=list(snapshot["schema"]["components"]),
+        edges=[SchemaEdge(*e) for e in snapshot["schema"]["edges"]],
+        roots=list(snapshot["schema"]["roots"]),
+    )
+    components = {}
+    for number, (name, data) in enumerate(snapshot["components"].items()):
+        stream = ComponentStream(name=name, number=number,
+                                 columns=list(data["columns"]))
+        stream.rows = [tuple(r) for r in data["rows"]]
+        stream.oids = list(data["oids"])
+        components[name] = stream
+    relationships = {}
+    for number, (name, data) in enumerate(
+            snapshot["relationships"].items()):
+        relationships[name] = ConnectionStream(
+            name=name, number=1000 + number,
+            role=data["role"], parent=data["parent"],
+            children=tuple(data["children"]),
+            connections=[tuple(c) for c in data["connections"]],
+            attribute_names=tuple(data.get("attribute_names", ())),
+        )
+    return COResult(schema=schema, components=components,
+                    relationships=relationships)

@@ -1,0 +1,156 @@
+"""The seamless object interface (Sect. 5.2).
+
+"XNF also allows the cache to be stored in C++ structures, allowing
+seamless interface between applications and the data in the cache ...
+creating classes for xemp and xdept which include a data member, whose
+value is a pointer to an xemp object.  In addition to these classes we
+also need a container class to hold all the instances of e.g. class
+xemp."
+
+The Python analogue: :func:`bind_classes` generates one class per
+component, with
+
+* properties for every column (lower-cased attribute names),
+* navigation methods per outgoing relationship (named after the role:
+  ``dept.employs()``) and per incoming relationship
+  (``emp.employs_parents()``),
+* an ``Extent`` container per class holding all instances.
+
+Instances wrap the live :class:`~repro.cache.workspace.CachedObject`, so
+updates made through the generated classes land in the cache's update
+log like any other local change.
+"""
+
+from __future__ import annotations
+
+import keyword
+from typing import Iterator
+
+from repro.cache.manager import XNFCache
+from repro.cache.workspace import CachedObject
+
+
+class Extent:
+    """Container of all instances of one generated class."""
+
+    def __init__(self, cache: XNFCache, component: str, cls: type):
+        self._cache = cache
+        self._component = component
+        self._cls = cls
+
+    def __iter__(self) -> Iterator:
+        for obj in self._cache.extent(self._component):
+            yield self._cls(obj)
+
+    def __len__(self) -> int:
+        return len(self._cache.extent(self._component))
+
+    def find(self, **equalities) -> list:
+        return [self._cls(o)
+                for o in self._cache.find(self._component, **equalities)]
+
+    def insert(self, **values):
+        return self._cls(self._cache.insert(self._component, **values))
+
+    def __repr__(self) -> str:
+        return f"<Extent {self._component} ({len(self)} objects)>"
+
+
+class BoundObject:
+    """Base class of all generated component classes."""
+
+    _component: str = ""
+    _cache: XNFCache = None  # type: ignore[assignment]
+
+    def __init__(self, raw: CachedObject):
+        object.__setattr__(self, "_raw", raw)
+
+    @property
+    def raw(self) -> CachedObject:
+        return self._raw
+
+    def delete(self) -> None:
+        self._cache.delete(self._raw)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BoundObject) and other._raw is self._raw
+
+    def __hash__(self) -> int:
+        return hash(id(self._raw))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self._raw.as_dict()}>"
+
+
+def _safe_name(name: str) -> str:
+    lowered = name.lower()
+    if keyword.iskeyword(lowered) or not lowered.isidentifier():
+        return lowered + "_"
+    return lowered
+
+
+def _make_column_property(column: str):
+    def getter(self):
+        return self._raw.get(column)
+
+    def setter(self, value):
+        self._raw.set(column, value)
+
+    return property(getter, setter, doc=f"column {column}")
+
+
+def _make_children_method(relationship: str):
+    def navigate(self) -> list:
+        found = []
+        for child in self._raw.children(relationship):
+            if isinstance(child, tuple):
+                found.append(tuple(
+                    self._cache._classes[c.component](c) for c in child
+                ))
+            else:
+                found.append(
+                    self._cache._classes[child.component](child)
+                )
+        return found
+    navigate.__doc__ = f"children via relationship {relationship}"
+    return navigate
+
+
+def _make_parents_method(relationship: str):
+    def navigate(self) -> list:
+        return [self._cache._classes[p.component](p)
+                for p in self._raw.parents(relationship)]
+    navigate.__doc__ = f"parents via relationship {relationship}"
+    return navigate
+
+
+def bind_classes(cache: XNFCache) -> dict[str, type]:
+    """Generate component classes over a cache.
+
+    Returns a mapping of component name -> class; each class also
+    carries an ``extent`` attribute (its container).  The mapping is
+    stored on the cache so navigation methods can wrap partners.
+    """
+    workspace = cache.workspace
+    classes: dict[str, type] = {}
+    cache._classes = classes  # type: ignore[attr-defined]
+
+    for component in workspace.component_names():
+        namespace: dict = {
+            "_component": component,
+            "_cache": cache,
+        }
+        for column in workspace.components_columns[component]:
+            namespace[_safe_name(column)] = _make_column_property(column)
+        for rel_name, parent in workspace.relationship_parent.items():
+            role = workspace.relationship_role.get(rel_name) or rel_name
+            if parent == component:
+                namespace[_safe_name(role)] = \
+                    _make_children_method(rel_name)
+            if component in workspace.relationship_children[rel_name]:
+                namespace[_safe_name(role) + "_parents"] = \
+                    _make_parents_method(rel_name)
+        cls = type(component.capitalize(), (BoundObject,), namespace)
+        cls.extent = Extent(cache, component, cls)
+        classes[component] = cls
+    return classes

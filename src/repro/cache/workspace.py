@@ -1,0 +1,400 @@
+"""The workspace: main-memory CO representation (Sect. 5, Fig. 7).
+
+"The workspace is constructed from the output tuples of the XNF query by
+converting connections into pointers which allow traversing the structure
+in any direction.  In addition we generate pointers to allow browsing all
+elements of a component and all elements of a node which are connected to
+a given component by a specified relationship."
+
+Concretely: every component tuple becomes a :class:`CachedObject`;
+connection tuples are *swizzled* into direct Python references held in
+per-relationship adjacency lists (both directions).  Local updates are
+recorded in an update log for later write-back (Sect. 2's CO update
+operators: insert/read/update/delete plus connect/disconnect).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.errors import CacheError
+from repro.xnf.result import COResult
+from repro.xnf.schema_graph import SchemaGraph
+
+
+class CachedObject:
+    """One component tuple in the workspace.
+
+    Column values are accessible by subscript (``obj['ENAME']``) or as
+    lowercase attributes (``obj.ename``), read-only through the latter;
+    mutations go through :meth:`set` so they reach the update log.
+    """
+
+    __slots__ = ("workspace", "component", "oid", "values", "deleted",
+                 "is_new")
+
+    def __init__(self, workspace: "Workspace", component: str, oid,
+                 values: list):
+        self.workspace = workspace
+        self.component = component
+        self.oid = oid
+        self.values = values
+        self.deleted = False
+        self.is_new = False
+
+    # -- value access ----------------------------------------------------
+    def _position(self, column: str) -> int:
+        positions = self.workspace.column_positions[self.component]
+        try:
+            return positions[column.upper()]
+        except KeyError:
+            raise CacheError(
+                f"component {self.component} has no column {column!r}"
+            ) from None
+
+    def __getitem__(self, column: str):
+        return self.values[self._position(column)]
+
+    def get(self, column: str):
+        return self.values[self._position(column)]
+
+    def __getattr__(self, name: str):
+        # __getattr__ only fires for names not found normally; treat
+        # them as column lookups.
+        if name.startswith("_"):
+            raise AttributeError(name)
+        try:
+            return self.values[self._position(name)]
+        except CacheError:
+            raise AttributeError(name) from None
+
+    def set(self, column: str, value) -> None:
+        """Update a column locally, logging for write-back."""
+        self.workspace.update_object(self, column, value)
+
+    def as_dict(self) -> dict:
+        columns = self.workspace.components_columns[self.component]
+        return dict(zip(columns, self.values))
+
+    # -- navigation (swizzled pointers) ----------------------------------
+    def children(self, relationship: Optional[str] = None) -> list:
+        return self.workspace.children_of(self, relationship)
+
+    def parents(self, relationship: Optional[str] = None) -> list:
+        return self.workspace.parents_of(self, relationship)
+
+    def __repr__(self) -> str:
+        flag = " deleted" if self.deleted else ""
+        return (f"<{self.component}:{self.oid}{flag} "
+                f"{dict(list(self.as_dict().items())[:3])}>")
+
+
+@dataclass
+class LogEntry:
+    """One local change awaiting write-back."""
+
+    operation: str  # update | insert | delete | connect | disconnect
+    target: str  # component or relationship name
+    payload: dict = field(default_factory=dict)
+
+
+class Workspace:
+    """Swizzled, navigable, locally-updatable image of a COResult."""
+
+    def __init__(self, result: COResult):
+        self.schema: SchemaGraph = result.schema
+        self.components_columns: dict[str, list[str]] = {}
+        self.column_positions: dict[str, dict[str, int]] = {}
+        self.objects: dict[str, list[CachedObject]] = {}
+        self.by_oid: dict[tuple[str, object], CachedObject] = {}
+        #: relationship -> parent object -> list of child tuples
+        self._children: dict[str, dict[int, list[tuple]]] = {}
+        #: relationship -> child object -> list of parent objects
+        self._parents: dict[str, dict[int, list[CachedObject]]] = {}
+        self.relationship_children: dict[str, tuple[str, ...]] = {}
+        self.relationship_parent: dict[str, str] = {}
+        self.relationship_role: dict[str, str] = {}
+        self.relationship_attributes: dict[str, tuple[str, ...]] = {}
+        #: (rel, id(parent), ids(children)) -> attribute dicts, one per
+        #: parallel connection between the same partners
+        self._connection_attributes: dict[tuple, list[dict]] = {}
+        self.log: list[LogEntry] = []
+        self.dangling_connections = 0
+        self._new_oid_counter = itertools.count(1)
+        self._load(result)
+
+    # ------------------------------------------------------------------
+    # Construction (pointer swizzling)
+    # ------------------------------------------------------------------
+    def _load(self, result: COResult) -> None:
+        for name, stream in result.components.items():
+            columns = [c.upper() for c in stream.columns]
+            self.components_columns[name] = columns
+            self.column_positions[name] = {
+                c: i for i, c in enumerate(columns)
+            }
+            bucket: list[CachedObject] = []
+            for oid, row in zip(stream.oids, stream.rows):
+                obj = CachedObject(self, name, oid, list(row))
+                bucket.append(obj)
+                self.by_oid[(name, oid)] = obj
+            self.objects[name] = bucket
+        for name, stream in result.relationships.items():
+            self.relationship_children[name] = stream.children
+            self.relationship_parent[name] = stream.parent
+            self.relationship_role[name] = stream.role
+            self.relationship_attributes[name] = stream.attribute_names
+            width = 1 + len(stream.children)
+            children_map: dict[int, list[tuple]] = {}
+            parents_map: dict[int, list[CachedObject]] = {}
+            for connection in stream.connections:
+                parent = self.by_oid.get((stream.parent, connection[0]))
+                child_objects = []
+                missing = parent is None
+                for child_name, child_oid in zip(stream.children,
+                                                 connection[1:]):
+                    child = self.by_oid.get((child_name, child_oid))
+                    if child is None:
+                        missing = True
+                        break
+                    child_objects.append(child)
+                if missing:
+                    # Partner not taken into the view: the connection
+                    # cannot be swizzled (projection dropped a partner).
+                    self.dangling_connections += 1
+                    continue
+                children_map.setdefault(id(parent), []).append(
+                    tuple(child_objects))
+                for child in child_objects:
+                    parents_map.setdefault(id(child), []).append(parent)
+                if stream.attribute_names:
+                    key = (name, id(parent),
+                           tuple(id(c) for c in child_objects))
+                    self._connection_attributes.setdefault(
+                        key, []).append(dict(
+                            zip(stream.attribute_names,
+                                connection[width:])))
+            self._children[name] = children_map
+            self._parents[name] = parents_map
+
+    # ------------------------------------------------------------------
+    # Browsing
+    # ------------------------------------------------------------------
+    def component_names(self) -> list[str]:
+        return list(self.objects)
+
+    def relationship_names(self) -> list[str]:
+        return list(self._children)
+
+    def extent(self, component: str) -> list[CachedObject]:
+        """All live objects of a component (the container class of
+        Sect. 5.2)."""
+        try:
+            bucket = self.objects[component.upper()]
+        except KeyError:
+            raise CacheError(f"no component {component!r} in cache") \
+                from None
+        return [o for o in bucket if not o.deleted]
+
+    def object_count(self) -> int:
+        return sum(len(self.extent(c)) for c in self.objects)
+
+    def find(self, component: str, **equalities) -> list[CachedObject]:
+        """Simple predicate scan over an extent."""
+        wanted = {k.upper(): v for k, v in equalities.items()}
+        found = []
+        for obj in self.extent(component):
+            if all(obj.get(column) == value
+                   for column, value in wanted.items()):
+                found.append(obj)
+        return found
+
+    def children_of(self, obj: CachedObject,
+                    relationship: Optional[str] = None) -> list:
+        """Child objects connected to ``obj``.
+
+        For binary relationships returns the child objects; for n-ary
+        relationships returns tuples of partners.  Without an explicit
+        relationship name, all outgoing relationships contribute.
+        """
+        names = ([relationship.upper()] if relationship is not None
+                 else [n for n, p in self.relationship_parent.items()
+                       if p == obj.component])
+        found: list = []
+        for name in names:
+            relation = self._children.get(name)
+            if relation is None:
+                if relationship is not None:
+                    raise CacheError(f"no relationship {relationship!r}")
+                continue
+            for child_tuple in relation.get(id(obj), ()):
+                live = [c for c in child_tuple if not c.deleted]
+                if len(live) != len(child_tuple):
+                    continue
+                if len(child_tuple) == 1:
+                    found.append(child_tuple[0])
+                else:
+                    found.append(child_tuple)
+        return found
+
+    def parents_of(self, obj: CachedObject,
+                   relationship: Optional[str] = None
+                   ) -> list[CachedObject]:
+        names = ([relationship.upper()] if relationship is not None
+                 else [n for n, cs in self.relationship_children.items()
+                       if obj.component in cs])
+        found: list[CachedObject] = []
+        for name in names:
+            relation = self._parents.get(name)
+            if relation is None:
+                if relationship is not None:
+                    raise CacheError(f"no relationship {relationship!r}")
+                continue
+            found.extend(p for p in relation.get(id(obj), ())
+                         if not p.deleted)
+        return found
+
+    def connection_attributes(self, relationship: str,
+                              parent: CachedObject,
+                              *children: CachedObject) -> dict:
+        """Attribute values of one connection (Sect. 2's relationship
+        attributes); empty dict when the relationship declares none.
+        With parallel connections between the same partners, returns
+        the first — :meth:`connection_attribute_list` returns all."""
+        found = self.connection_attribute_list(relationship, parent,
+                                               *children)
+        return dict(found[0]) if found else {}
+
+    def connection_attribute_list(self, relationship: str,
+                                  parent: CachedObject,
+                                  *children: CachedObject) -> list[dict]:
+        """Attribute dicts of every parallel connection between the
+        given partners."""
+        name = relationship.upper()
+        if name not in self._children:
+            raise CacheError(f"no relationship {relationship!r}")
+        key = (name, id(parent), tuple(id(c) for c in children))
+        return [dict(d) for d in
+                self._connection_attributes.get(key, [])]
+
+    def connections_of(self, relationship: str
+                       ) -> Iterator[tuple[CachedObject, tuple]]:
+        """(parent, child-tuple) pairs of one relationship."""
+        name = relationship.upper()
+        relation = self._children.get(name)
+        if relation is None:
+            raise CacheError(f"no relationship {relationship!r}")
+        parent_component = self.relationship_parent[name]
+        for parent in self.extent(parent_component):
+            for child_tuple in relation.get(id(parent), ()):
+                if all(not c.deleted for c in child_tuple):
+                    yield parent, child_tuple
+
+    # ------------------------------------------------------------------
+    # Local updates (logged for write-back)
+    # ------------------------------------------------------------------
+    def update_object(self, obj: CachedObject, column: str,
+                      value) -> None:
+        if obj.deleted:
+            raise CacheError("cannot update a deleted object")
+        position = obj._position(column)
+        old = obj.values[position]
+        if old == value:
+            return
+        obj.values[position] = value
+        self.log.append(LogEntry("update", obj.component, {
+            "oid": obj.oid, "column": column.upper(),
+            "old": old, "new": value, "is_new": obj.is_new,
+        }))
+
+    def insert_object(self, component: str, values: dict) -> CachedObject:
+        name = component.upper()
+        if name not in self.objects:
+            raise CacheError(f"no component {component!r} in cache")
+        columns = self.components_columns[name]
+        row = [values.get(c) if c in values else
+               values.get(c.lower()) for c in columns]
+        provided = {k.upper() for k in values}
+        unknown = provided - set(columns)
+        if unknown:
+            raise CacheError(f"unknown columns for {component}: "
+                             f"{sorted(unknown)}")
+        oid = ("new", next(self._new_oid_counter))
+        obj = CachedObject(self, name, oid, row)
+        obj.is_new = True
+        self.objects[name].append(obj)
+        self.by_oid[(name, oid)] = obj
+        self.log.append(LogEntry("insert", name, {
+            "oid": oid, "values": dict(zip(columns, row)),
+        }))
+        return obj
+
+    def delete_object(self, obj: CachedObject) -> None:
+        if obj.deleted:
+            return
+        obj.deleted = True
+        self.log.append(LogEntry("delete", obj.component, {
+            "oid": obj.oid, "is_new": obj.is_new,
+            "values": obj.as_dict(),
+        }))
+
+    def connect(self, relationship: str, parent: CachedObject,
+                *children: CachedObject) -> None:
+        name = relationship.upper()
+        if name not in self._children:
+            raise CacheError(f"no relationship {relationship!r}")
+        expected = self.relationship_children[name]
+        if len(children) != len(expected):
+            raise CacheError(
+                f"relationship {relationship} connects "
+                f"{len(expected)} children, got {len(children)}"
+            )
+        if parent.component != self.relationship_parent[name]:
+            raise CacheError(
+                f"{parent.component} is not the parent of {relationship}"
+            )
+        for child, expected_name in zip(children, expected):
+            if child.component != expected_name:
+                raise CacheError(
+                    f"{child.component} is not a child of {relationship}"
+                )
+        child_tuple = tuple(children)
+        existing = self._children[name].setdefault(id(parent), [])
+        if child_tuple in existing:
+            return
+        existing.append(child_tuple)
+        for child in children:
+            self._parents[name].setdefault(id(child), []).append(parent)
+        self.log.append(LogEntry("connect", name, {
+            "parent": parent, "children": child_tuple,
+        }))
+
+    def disconnect(self, relationship: str, parent: CachedObject,
+                   *children: CachedObject) -> None:
+        name = relationship.upper()
+        if name not in self._children:
+            raise CacheError(f"no relationship {relationship!r}")
+        child_tuple = tuple(children)
+        bucket = self._children[name].get(id(parent), [])
+        if child_tuple not in bucket:
+            raise CacheError("no such connection to disconnect")
+        bucket.remove(child_tuple)
+        for child in children:
+            parent_bucket = self._parents[name].get(id(child), [])
+            if parent in parent_bucket:
+                parent_bucket.remove(parent)
+        self.log.append(LogEntry("disconnect", name, {
+            "parent": parent, "children": child_tuple,
+        }))
+
+    @property
+    def dirty(self) -> bool:
+        return bool(self.log)
+
+    def clear_log(self) -> None:
+        self.log.clear()
+        for bucket in self.objects.values():
+            for obj in bucket:
+                obj.is_new = False

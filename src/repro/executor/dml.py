@@ -1,0 +1,167 @@
+"""INSERT / UPDATE / DELETE execution.
+
+DML reuses the query pipeline for anything SELECT-shaped (INSERT ...
+SELECT, and the row-qualification part of UPDATE/DELETE, which compiles
+to a plan producing RIDs plus new values) and then applies storage
+mutations with foreign-key checks.  Atomicity is the caller's concern:
+the Database facade wraps each statement in ``run_atomic``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ExecutionError, SemanticError
+from repro.executor.expressions import ExpressionCompiler
+from repro.executor.runtime import QueryPipeline
+from repro.optimizer.optimizer import Planner
+from repro.qgm.builder import QGMBuilder, Scope, validate_subquery_positions
+from repro.qgm.model import (BaseBox, HeadColumn, OutputStream, QGMGraph,
+                             QRef, Quantifier, RidRef, SelectBox, TopBox)
+from repro.rewrite.engine import RuleEngine
+from repro.rewrite.nf_rules import DEFAULT_NF_RULES
+from repro.sql import ast
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+class DMLExecutor:
+    """Executes data-modification statements against base tables."""
+
+    def __init__(self, pipeline: QueryPipeline):
+        self.pipeline = pipeline
+        self.catalog: Catalog = pipeline.catalog
+
+    # ------------------------------------------------------------------
+    # INSERT
+    # ------------------------------------------------------------------
+    def insert(self, statement: ast.InsertStatement) -> int:
+        table = self.catalog.table(statement.table)
+        target_positions = self._target_positions(table, statement.columns)
+        if statement.query is not None:
+            result = self.pipeline.run_select(statement.query)
+            rows = result.rows
+            width = len(result.columns)
+        else:
+            compiler = ExpressionCompiler({})
+            rows = []
+            width = None
+            for value_row in statement.rows:
+                values = tuple(
+                    compiler.compile(expression)((), None)
+                    for expression in value_row
+                )
+                width = len(values) if width is None else width
+                if len(values) != width:
+                    raise SemanticError(
+                        "INSERT rows have inconsistent widths"
+                    )
+                rows.append(values)
+        if width is not None and width != len(target_positions):
+            raise SemanticError(
+                f"INSERT provides {width} values for "
+                f"{len(target_positions)} columns"
+            )
+        inserted = 0
+        for values in rows:
+            full_row = [None] * len(table.columns)
+            for position, value in zip(target_positions, values):
+                full_row[position] = value
+            self.catalog.check_foreign_keys(table.name, tuple(full_row))
+            table.insert(full_row)
+            inserted += 1
+        self.pipeline.stats.invalidate(table.name)
+        return inserted
+
+    @staticmethod
+    def _target_positions(table: Table,
+                          columns: tuple[str, ...]) -> list[int]:
+        if not columns:
+            return list(range(len(table.columns)))
+        return [table.column_position(c) for c in columns]
+
+    # ------------------------------------------------------------------
+    # UPDATE
+    # ------------------------------------------------------------------
+    def update(self, statement: ast.UpdateStatement) -> int:
+        table = self.catalog.table(statement.table)
+        assigned_positions = [
+            table.column_position(a.column) for a in statement.assignments
+        ]
+        expressions = [a.value for a in statement.assignments]
+        rows = self._qualify(table, statement.where, expressions)
+        updated = 0
+        pk_positions = {table.column_position(c)
+                        for c in table.primary_key}
+        for row_values in rows:
+            rid = row_values[0]
+            new_values = row_values[1:]
+            old_row = table.fetch(rid)
+            new_row = list(old_row)
+            for position, value in zip(assigned_positions, new_values):
+                new_row[position] = value
+            if any(p in pk_positions and old_row[p] != new_row[p]
+                   for p in assigned_positions):
+                self.catalog.check_no_referencing_children(table.name,
+                                                           old_row)
+            self.catalog.check_foreign_keys(table.name, tuple(new_row))
+            table.update(rid, new_row)
+            updated += 1
+        self.pipeline.stats.invalidate(table.name)
+        return updated
+
+    # ------------------------------------------------------------------
+    # DELETE
+    # ------------------------------------------------------------------
+    def delete(self, statement: ast.DeleteStatement) -> int:
+        table = self.catalog.table(statement.table)
+        rows = self._qualify(table, statement.where, [])
+        deleted = 0
+        for row_values in rows:
+            rid = row_values[0]
+            old_row = table.fetch(rid)
+            self.catalog.check_no_referencing_children(table.name, old_row)
+            table.delete(rid)
+            deleted += 1
+        self.pipeline.stats.invalidate(table.name)
+        return deleted
+
+    # ------------------------------------------------------------------
+    def _qualify(self, table: Table, where: Optional[ast.Expression],
+                 value_expressions: list[ast.Expression]) -> list[tuple]:
+        """Plan and run ``SELECT rid, <exprs> FROM table WHERE pred``.
+
+        Rows are materialized before mutation so halloween-style
+        re-visitation cannot occur.
+        """
+        builder = QGMBuilder(self.catalog,
+                             self.pipeline.xnf_component_resolver)
+        box = SelectBox(label=f"dml_{table.name}")
+        base = BaseBox(table)
+        quantifier = box.add_quantifier(
+            Quantifier(base, Quantifier.F, name=table.name)
+        )
+        scope = Scope()
+        scope.bind(table.name, quantifier)
+        head = [HeadColumn("$RID$", RidRef(quantifier))]
+        for position, expression in enumerate(value_expressions):
+            resolved = builder._resolve(expression, scope, box)
+            head.append(HeadColumn(f"V{position}", resolved))
+        box.head = head
+        if where is not None:
+            validate_subquery_positions(where)
+            predicate = builder._resolve(where, scope, box)
+            box.predicates.extend(
+                p for p in ast.conjuncts(predicate)
+                if p != ast.Literal(True)
+            )
+        top = TopBox()
+        top.outputs.append(OutputStream(name="DML", box=box))
+        graph = QGMGraph(top=top, statement_kind="select")
+        RuleEngine(DEFAULT_NF_RULES).run(graph, self.catalog)
+        planner = Planner(self.catalog, self.pipeline.stats,
+                          self.pipeline.options.planner)
+        plan = planner.plan(graph)
+        ctx = plan.new_context()
+        _stream, node = plan.single_output()
+        return list(node.execute(ctx))

@@ -1,0 +1,347 @@
+"""Compilation of QGM expressions into Python closures.
+
+Expressions are compiled once per plan against a *layout* — a mapping
+from (quantifier id, column name) to a position in the flat intermediate
+row — and evaluated as ``fn(row, ctx)``.  SQL three-valued logic is
+implemented with ``None`` standing for UNKNOWN/NULL: comparisons with
+NULL yield None, AND/OR follow Kleene logic, and filters only keep rows
+whose predicate is exactly True.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Optional
+
+from repro.errors import ExecutionError
+from repro.qgm.model import QRef, RidRef
+from repro.sql import ast
+
+#: Layout: (quantifier id, upper-cased column name) -> row position.
+#: RIDs use the pseudo-column name "$RID$".
+Layout = dict[tuple[int, str], int]
+
+RID_COLUMN = "$RID$"
+
+CompiledExpression = Callable[[tuple, Any], Any]
+
+
+def sql_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def sql_or(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def sql_not(value: Optional[bool]) -> Optional[bool]:
+    if value is None:
+        return None
+    return not value
+
+
+def like_to_regex(pattern: str) -> re.Pattern:
+    """Translate a SQL LIKE pattern (%, _) into an anchored regex."""
+    parts: list[str] = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("^" + "".join(parts) + "$", re.DOTALL)
+
+
+def _scalar_upper(value):
+    return None if value is None else str(value).upper()
+
+
+def _scalar_lower(value):
+    return None if value is None else str(value).lower()
+
+
+def _scalar_length(value):
+    return None if value is None else len(value)
+
+
+def _scalar_abs(value):
+    return None if value is None else abs(value)
+
+
+def _scalar_mod(value, divisor):
+    if value is None or divisor is None:
+        return None
+    if divisor == 0:
+        raise ExecutionError("MOD by zero")
+    return value % divisor
+
+
+def _scalar_substr(value, start, length=None):
+    if value is None or start is None:
+        return None
+    begin = max(int(start) - 1, 0)
+    if length is None:
+        return value[begin:]
+    return value[begin:begin + int(length)]
+
+
+def _scalar_trim(value):
+    return None if value is None else value.strip()
+
+
+def _scalar_round(value, digits=0):
+    if value is None:
+        return None
+    return round(value, int(digits or 0))
+
+
+def _scalar_coalesce(*values):
+    for value in values:
+        if value is not None:
+            return value
+    return None
+
+
+def _scalar_idtuple(*values):
+    """Value-based tuple identity for derived composite-object tuples
+    (components whose derivation has no single base-table RID)."""
+    return values
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "$IDTUPLE$": _scalar_idtuple,
+    "UPPER": _scalar_upper,
+    "LOWER": _scalar_lower,
+    "LENGTH": _scalar_length,
+    "ABS": _scalar_abs,
+    "MOD": _scalar_mod,
+    "SUBSTR": _scalar_substr,
+    "SUBSTRING": _scalar_substr,
+    "TRIM": _scalar_trim,
+    "ROUND": _scalar_round,
+    "COALESCE": _scalar_coalesce,
+}
+
+
+def _compare(op: str, left: Any, right: Any) -> Optional[bool]:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return left == right
+        if op == "<>":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot compare {left!r} and {right!r}"
+        ) from exc
+    raise ExecutionError(f"unknown comparison operator {op!r}")
+
+
+def _arith(op: str, left: Any, right: Any) -> Any:
+    if left is None or right is None:
+        return None
+    try:
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                raise ExecutionError("division by zero")
+            result = left / right
+            if isinstance(left, int) and isinstance(right, int) \
+                    and result == int(result):
+                return int(result)
+            return result
+        if op == "||":
+            return f"{left}{right}"
+    except TypeError as exc:
+        raise ExecutionError(
+            f"cannot apply {op} to {left!r} and {right!r}"
+        ) from exc
+    raise ExecutionError(f"unknown operator {op!r}")
+
+
+class ExpressionCompiler:
+    """Compiles QGM expressions against a fixed row layout."""
+
+    def __init__(self, layout: Layout):
+        self.layout = layout
+
+    def compile(self, expression: ast.Expression) -> CompiledExpression:
+        if isinstance(expression, ast.Literal):
+            value = expression.value
+            return lambda row, ctx: value
+        if isinstance(expression, QRef):
+            position = self._position(expression.quantifier.qid,
+                                      expression.column)
+            if position is not None:
+                return lambda row, ctx: row[position]
+            # Not in the layout: a scalar-subquery quantifier, resolved
+            # through the execution context at run time.
+            qid = expression.quantifier.qid
+            return lambda row, ctx: ctx.scalar_value(qid)
+        if isinstance(expression, RidRef):
+            position = self._position(expression.quantifier.qid, RID_COLUMN)
+            if position is None:
+                raise ExecutionError(
+                    f"RID of {expression.quantifier.name} not available "
+                    f"in this plan"
+                )
+            return lambda row, ctx: row[position]
+        if isinstance(expression, ast.BinaryOp):
+            return self._compile_binary(expression)
+        if isinstance(expression, ast.UnaryOp):
+            operand = self.compile(expression.operand)
+            if expression.op == "NOT":
+                return lambda row, ctx: sql_not(operand(row, ctx))
+            if expression.op == "-":
+                return lambda row, ctx: (
+                    None if operand(row, ctx) is None else -operand(row, ctx)
+                )
+            raise ExecutionError(f"unknown unary operator {expression.op!r}")
+        if isinstance(expression, ast.FunctionCall):
+            return self._compile_function(expression)
+        if isinstance(expression, ast.IsNull):
+            operand = self.compile(expression.operand)
+            if expression.negated:
+                return lambda row, ctx: operand(row, ctx) is not None
+            return lambda row, ctx: operand(row, ctx) is None
+        if isinstance(expression, ast.Between):
+            return self._compile_between(expression)
+        if isinstance(expression, ast.Like):
+            return self._compile_like(expression)
+        if isinstance(expression, ast.InList):
+            return self._compile_in_list(expression)
+        if isinstance(expression, ast.CaseWhen):
+            return self._compile_case(expression)
+        raise ExecutionError(f"cannot compile expression {expression!r}")
+
+    # ------------------------------------------------------------------
+    def _position(self, qid: int, column: str) -> Optional[int]:
+        return self.layout.get((qid, column.upper()))
+
+    def _compile_binary(self, expression: ast.BinaryOp) -> CompiledExpression:
+        left = self.compile(expression.left)
+        right = self.compile(expression.right)
+        op = expression.op
+        if op == "AND":
+            return lambda row, ctx: sql_and(left(row, ctx), right(row, ctx))
+        if op == "OR":
+            return lambda row, ctx: sql_or(left(row, ctx), right(row, ctx))
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return lambda row, ctx: _compare(op, left(row, ctx),
+                                             right(row, ctx))
+        return lambda row, ctx: _arith(op, left(row, ctx), right(row, ctx))
+
+    def _compile_function(self,
+                          expression: ast.FunctionCall) -> CompiledExpression:
+        name = expression.name.upper()
+        function = SCALAR_FUNCTIONS.get(name)
+        if function is None:
+            raise ExecutionError(f"unknown function {name!r}")
+        args = [self.compile(a) for a in expression.args]
+        return lambda row, ctx: function(*(a(row, ctx) for a in args))
+
+    def _compile_between(self,
+                         expression: ast.Between) -> CompiledExpression:
+        operand = self.compile(expression.operand)
+        low = self.compile(expression.low)
+        high = self.compile(expression.high)
+
+        def run(row, ctx):
+            value = operand(row, ctx)
+            result = sql_and(_compare(">=", value, low(row, ctx)),
+                             _compare("<=", value, high(row, ctx)))
+            return sql_not(result) if expression.negated else result
+        return run
+
+    def _compile_like(self, expression: ast.Like) -> CompiledExpression:
+        operand = self.compile(expression.operand)
+        if isinstance(expression.pattern, ast.Literal) \
+                and isinstance(expression.pattern.value, str):
+            regex = like_to_regex(expression.pattern.value)
+
+            def run_static(row, ctx):
+                value = operand(row, ctx)
+                if value is None:
+                    return None
+                matched = regex.match(value) is not None
+                return not matched if expression.negated else matched
+            return run_static
+
+        pattern = self.compile(expression.pattern)
+
+        def run_dynamic(row, ctx):
+            value = operand(row, ctx)
+            pattern_value = pattern(row, ctx)
+            if value is None or pattern_value is None:
+                return None
+            matched = like_to_regex(pattern_value).match(value) is not None
+            return not matched if expression.negated else matched
+        return run_dynamic
+
+    def _compile_in_list(self, expression: ast.InList) -> CompiledExpression:
+        operand = self.compile(expression.operand)
+        items = [self.compile(i) for i in expression.items]
+
+        def run(row, ctx):
+            value = operand(row, ctx)
+            if value is None:
+                return None
+            saw_null = False
+            for item in items:
+                candidate = item(row, ctx)
+                if candidate is None:
+                    saw_null = True
+                elif candidate == value:
+                    return False if expression.negated else True
+            if saw_null:
+                return None
+            return True if expression.negated else False
+        return run
+
+    def _compile_case(self, expression: ast.CaseWhen) -> CompiledExpression:
+        whens = [(self.compile(c), self.compile(r))
+                 for c, r in expression.whens]
+        default = (self.compile(expression.default)
+                   if expression.default is not None else None)
+
+        def run(row, ctx):
+            for condition, result in whens:
+                if condition(row, ctx) is True:
+                    return result(row, ctx)
+            return default(row, ctx) if default is not None else None
+        return run
+
+
+def compile_predicate(expression: ast.Expression,
+                      layout: Layout) -> CompiledExpression:
+    """Compile a predicate; callers keep rows where the result is True."""
+    return ExpressionCompiler(layout).compile(expression)
+
+
+def compile_expressions(expressions: list[ast.Expression],
+                        layout: Layout) -> list[CompiledExpression]:
+    compiler = ExpressionCompiler(layout)
+    return [compiler.compile(e) for e in expressions]

@@ -1,0 +1,121 @@
+"""The compile-and-run pipeline for NF (plain SQL) queries.
+
+Wires the Fig. 2 stages together: AST -> QGM (builder) -> query rewrite
+(rule engine) -> plan optimization (planner) -> execution (plan
+iterators).  The Database facade and the XNF translator both drive their
+SQL-shaped work through this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.optimizer.optimizer import (ExecutablePlan, Planner,
+                                       PlannerOptions)
+from repro.optimizer.plan import ExecutionContext
+from repro.qgm.builder import QGMBuilder
+from repro.qgm.model import Box, QGMGraph
+from repro.rewrite.engine import RewriteContext, RuleEngine
+from repro.rewrite.nf_rules import DEFAULT_NF_RULES, prune_unused_columns
+from repro.sql import ast
+from repro.storage.catalog import Catalog
+from repro.storage.stats import StatisticsManager
+
+
+@dataclass
+class QueryResult:
+    """A completed homogeneous (single-stream) query result."""
+
+    columns: list[str]
+    rows: list[tuple]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def column(self, name: str) -> list:
+        position = [c.upper() for c in self.columns].index(name.upper())
+        return [row[position] for row in self.rows]
+
+    def as_dicts(self) -> list[dict]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+@dataclass
+class CompiledQuery:
+    """Everything the pipeline produced for one statement."""
+
+    graph: QGMGraph
+    plan: ExecutablePlan
+    rewrite_context: Optional[RewriteContext] = None
+    pruned_columns: int = 0
+
+
+@dataclass
+class PipelineOptions:
+    """Stage toggles, exposed so benchmarks can ablate the rewrites."""
+
+    apply_nf_rewrite: bool = True
+    prune_columns: bool = True
+    planner: PlannerOptions = field(default_factory=PlannerOptions)
+
+
+class QueryPipeline:
+    """AST -> result, reusing one catalog/statistics pair."""
+
+    def __init__(self, catalog: Catalog,
+                 stats: Optional[StatisticsManager] = None,
+                 options: Optional[PipelineOptions] = None,
+                 xnf_component_resolver: Optional[
+                     Callable[[str, str], Box]] = None):
+        self.catalog = catalog
+        self.stats = stats or StatisticsManager(catalog)
+        self.options = options or PipelineOptions()
+        self.xnf_component_resolver = xnf_component_resolver
+
+    # ------------------------------------------------------------------
+    def builder(self) -> QGMBuilder:
+        return QGMBuilder(self.catalog, self.xnf_component_resolver)
+
+    def build(self, statement: ast.SelectStatement) -> QGMGraph:
+        return self.builder().build_select(statement)
+
+    def rewrite(self, graph: QGMGraph) -> RewriteContext:
+        engine = RuleEngine(DEFAULT_NF_RULES)
+        return engine.run(graph, self.catalog)
+
+    def compile_select(self, statement: ast.SelectStatement
+                       ) -> CompiledQuery:
+        graph = self.build(statement)
+        return self.compile_graph(graph)
+
+    def compile_graph(self, graph: QGMGraph) -> CompiledQuery:
+        rewrite_context = None
+        if self.options.apply_nf_rewrite:
+            rewrite_context = self.rewrite(graph)
+        pruned = 0
+        if self.options.prune_columns:
+            pruned = prune_unused_columns(graph)
+        planner = Planner(self.catalog, self.stats, self.options.planner)
+        plan = planner.plan(graph)
+        return CompiledQuery(graph=graph, plan=plan,
+                             rewrite_context=rewrite_context,
+                             pruned_columns=pruned)
+
+    # ------------------------------------------------------------------
+    def run_select(self, statement: ast.SelectStatement,
+                   ctx: Optional[ExecutionContext] = None) -> QueryResult:
+        compiled = self.compile_select(statement)
+        return self.run_compiled(compiled, ctx)
+
+    @staticmethod
+    def run_compiled(compiled: CompiledQuery,
+                     ctx: Optional[ExecutionContext] = None) -> QueryResult:
+        if ctx is None:
+            ctx = compiled.plan.new_context()
+        _stream, node = compiled.plan.single_output()
+        rows = list(node.execute(ctx))
+        return QueryResult(columns=list(node.columns), rows=rows)

@@ -1,0 +1,151 @@
+"""Cardinality and cost estimation for plan optimization.
+
+A deliberately classic System R-style model: table cardinalities and
+per-column distinct counts from :mod:`repro.storage.stats`, uniform
+selectivity assumptions for predicates (1/distinct for equality, fixed
+fractions for ranges and LIKE).  The estimates only need to rank
+alternatives — join order and access paths — not predict runtimes.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.model import (BaseBox, Box, GroupByBox, OuterJoinBox, QRef,
+                             SelectBox, SetOpBox, quantifiers_in)
+from repro.sql import ast
+from repro.storage.stats import StatisticsManager
+
+DEFAULT_EQUALITY_SELECTIVITY = 0.1
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.25
+DEFAULT_OTHER_SELECTIVITY = 0.5
+DEFAULT_DISTINCT = 10
+
+
+class CostModel:
+    """Estimates row counts of QGM boxes and predicate selectivities."""
+
+    def __init__(self, stats: StatisticsManager):
+        self.stats = stats
+        self._box_cache: dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Box cardinalities
+    # ------------------------------------------------------------------
+    def box_rows(self, box: Box) -> float:
+        cached = self._box_cache.get(box.box_id)
+        if cached is not None:
+            return cached
+        rows = self._estimate(box)
+        self._box_cache[box.box_id] = rows
+        return rows
+
+    def _estimate(self, box: Box) -> float:
+        if isinstance(box, BaseBox):
+            return float(max(len(box.table), 1))
+        if isinstance(box, SelectBox):
+            rows = 1.0
+            for quantifier in box.foreach_quantifiers():
+                rows *= self.box_rows(quantifier.box)
+            for predicate in box.predicates:
+                rows *= self.selectivity(predicate)
+            for quantifier in box.body_quantifiers:
+                if quantifier.qtype in ("E", "A"):
+                    rows *= 0.5
+            if box.distinct:
+                rows *= 0.9
+            if box.limit is not None:
+                rows = min(rows, float(box.limit))
+            return max(rows, 0.1)
+        if isinstance(box, GroupByBox):
+            input_rows = self.box_rows(box.input.box) if box.input else 1.0
+            if not box.group_keys:
+                return 1.0
+            return max(input_rows / DEFAULT_DISTINCT, 1.0)
+        if isinstance(box, SetOpBox):
+            total = sum(self.box_rows(q.box) for q in box.inputs)
+            return max(total * (0.9 if not box.all_rows else 1.0), 1.0)
+        if isinstance(box, OuterJoinBox):
+            left = self.box_rows(box.left.box)
+            right = self.box_rows(box.right.box)
+            joined = left * right * self.selectivity(box.condition) \
+                if box.condition is not None else left * right
+            return max(joined, left)
+        return 1.0
+
+    # ------------------------------------------------------------------
+    # Selectivities
+    # ------------------------------------------------------------------
+    def selectivity(self, predicate: ast.Expression) -> float:
+        if isinstance(predicate, ast.BinaryOp):
+            if predicate.op == "AND":
+                return (self.selectivity(predicate.left)
+                        * self.selectivity(predicate.right))
+            if predicate.op == "OR":
+                left = self.selectivity(predicate.left)
+                right = self.selectivity(predicate.right)
+                return min(left + right, 1.0)
+            if predicate.op == "=":
+                return self._equality_selectivity(predicate)
+            if predicate.op in ("<", "<=", ">", ">="):
+                return DEFAULT_RANGE_SELECTIVITY
+            if predicate.op == "<>":
+                return 1.0 - self._equality_selectivity(predicate)
+        if isinstance(predicate, ast.Like):
+            return DEFAULT_LIKE_SELECTIVITY
+        if isinstance(predicate, ast.Between):
+            return DEFAULT_RANGE_SELECTIVITY
+        if isinstance(predicate, ast.IsNull):
+            return 0.1 if not predicate.negated else 0.9
+        if isinstance(predicate, ast.InList):
+            return min(
+                len(predicate.items) * DEFAULT_EQUALITY_SELECTIVITY, 1.0
+            )
+        if isinstance(predicate, ast.Literal):
+            if predicate.value is True:
+                return 1.0
+            if predicate.value in (False, None):
+                return 0.0
+        return DEFAULT_OTHER_SELECTIVITY
+
+    def _equality_selectivity(self, predicate: ast.BinaryOp) -> float:
+        distinct = max(
+            self._distinct_of(predicate.left),
+            self._distinct_of(predicate.right),
+        )
+        return 1.0 / max(distinct, 1.0)
+
+    def _distinct_of(self, expression: ast.Expression) -> float:
+        if isinstance(expression, QRef):
+            box = expression.quantifier.box
+            if isinstance(box, BaseBox):
+                stats = self.stats.stats_for(box.table.name)
+                return float(stats.column(expression.column).distinct
+                             or DEFAULT_DISTINCT)
+            return float(DEFAULT_DISTINCT)
+        if isinstance(expression, ast.Literal):
+            return 1.0
+        return float(DEFAULT_DISTINCT)
+
+    # ------------------------------------------------------------------
+    # Join helpers for the greedy ordering
+    # ------------------------------------------------------------------
+    def join_rows(self, left_rows: float, right_rows: float,
+                  equi_predicates: list[ast.Expression]) -> float:
+        rows = left_rows * right_rows
+        for predicate in equi_predicates:
+            rows *= self.selectivity(predicate)
+        return max(rows, 0.1)
+
+    def local_rows(self, box: Box,
+                   local_predicates: list[ast.Expression]) -> float:
+        rows = self.box_rows(box)
+        for predicate in local_predicates:
+            rows *= self.selectivity(predicate)
+        return max(rows, 0.1)
+
+    def invalidate(self) -> None:
+        self._box_cache.clear()
+
+
+def quantifier_count(predicate: ast.Expression) -> int:
+    return len(quantifiers_in(predicate))

@@ -1,0 +1,681 @@
+"""Plan optimization: QGM -> physical plan (QEP).
+
+Implements the plan-optimization and plan-refinement stages of Fig. 2:
+access path selection (table scan vs. index scan vs. index-nested-loop
+through "parent/child links"), greedy cost-ordered join enumeration,
+semi/anti-join realization of E/A quantifiers, and spooling of shared
+boxes so common subexpressions are evaluated once (Sect. 5.1's
+multi-query optimization).
+
+``PlannerOptions`` exposes the ablation levers the benchmarks sweep:
+``use_indexes`` and ``share_common_subexpressions``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import PlanningError
+from repro.executor.expressions import (RID_COLUMN, CompiledExpression,
+                                        ExpressionCompiler, Layout)
+from repro.optimizer.cost import CostModel
+from repro.optimizer.plan import (Aggregate, Dedup, ExecutionContext, Filter,
+                                  HashJoin, IndexNestedLoopJoin, IndexScan,
+                                  LeftOuterJoin, Limit, NestedLoopJoin,
+                                  PlanNode, Project, SemiJoin, SetOperation,
+                                  SingleRow, Sort, Spool, TableScan)
+from repro.qgm.model import (BaseBox, Box, GroupByBox, OuterJoinBox,
+                             OutputStream, QGMGraph, QRef, Quantifier, RidRef,
+                             SelectBox, SetOpBox, XNFBox,
+                             walk_qgm_expression)
+from repro.sql import ast
+from repro.storage.catalog import Catalog
+from repro.storage.stats import StatisticsManager
+
+
+@dataclass
+class PlannerOptions:
+    """Knobs for the optimizer; the benchmarks ablate these."""
+
+    use_indexes: bool = True
+    share_common_subexpressions: bool = True
+
+
+@dataclass
+class ExecutablePlan:
+    """The finished QEP: one plan per TOP output stream."""
+
+    outputs: list[tuple[OutputStream, PlanNode]]
+    scalar_plans: dict[int, PlanNode] = field(default_factory=dict)
+
+    def new_context(self) -> ExecutionContext:
+        ctx = ExecutionContext()
+        ctx.scalar_plans.update(self.scalar_plans)
+        return ctx
+
+    def single_output(self) -> tuple[OutputStream, PlanNode]:
+        if len(self.outputs) != 1:
+            raise PlanningError(
+                f"expected a single output stream, found {len(self.outputs)}"
+            )
+        return self.outputs[0]
+
+    def execute(self, ctx: Optional[ExecutionContext] = None) -> list[tuple]:
+        """Run the single output stream to completion."""
+        if ctx is None:
+            ctx = self.new_context()
+        _stream, node = self.single_output()
+        return list(node.execute(ctx))
+
+    def explain(self) -> str:
+        parts = []
+        for stream, node in self.outputs:
+            parts.append(f"output {stream.name}:")
+            parts.append(node.explain(1))
+        return "\n".join(parts)
+
+
+@dataclass
+class _Source:
+    """One joinable input of a select box during join enumeration."""
+
+    quantifier: Quantifier
+    node: PlanNode
+    layout: Layout
+    rows: float
+    #: True when the node is a bare TableScan (eligible for replacement
+    #: by an index-nested-loop probe).
+    bare_scan: bool = False
+    with_rid: bool = False
+
+
+def _referenced_quantifiers(expression: ast.Expression) -> set[Quantifier]:
+    found: set[Quantifier] = set()
+    for node in walk_qgm_expression(expression):
+        if isinstance(node, QRef) or isinstance(node, RidRef):
+            found.add(node.quantifier)
+    return found
+
+
+class Planner:
+    """Compiles a (rewritten, NF) QGM graph into an executable plan."""
+
+    def __init__(self, catalog: Catalog, stats: StatisticsManager,
+                 options: Optional[PlannerOptions] = None):
+        self.catalog = catalog
+        self.options = options or PlannerOptions()
+        self.cost = CostModel(stats)
+        self._memo: dict[int, PlanNode] = {}
+        self._shared: set[int] = set()
+        self.scalar_plans: dict[int, PlanNode] = {}
+
+    # ------------------------------------------------------------------
+    def plan(self, graph: QGMGraph) -> ExecutablePlan:
+        self.cost.invalidate()
+        self._memo.clear()
+        self.scalar_plans.clear()
+        counts = graph.reference_counts()
+        self._shared = {box_id for box_id, count in counts.items()
+                        if count > 1}
+        outputs: list[tuple[OutputStream, PlanNode]] = []
+        for stream in graph.top.outputs:
+            outputs.append((stream, self.plan_box(stream.box)))
+        return ExecutablePlan(outputs, dict(self.scalar_plans))
+
+    def plan_box(self, box: Box) -> PlanNode:
+        memoized = self._memo.get(box.box_id)
+        if memoized is not None:
+            return memoized
+        node = self._plan_fresh(box)
+        node.estimated_rows = self.cost.box_rows(box)
+        if (box.box_id in self._shared
+                and self.options.share_common_subexpressions
+                and not isinstance(box, BaseBox)):
+            node = Spool(node, label=box.label)
+            node.estimated_rows = self.cost.box_rows(box)
+            self._memo[box.box_id] = node
+        return node
+
+    def _plan_fresh(self, box: Box) -> PlanNode:
+        if isinstance(box, BaseBox):
+            return TableScan(box.table)
+        if isinstance(box, SelectBox):
+            return self._plan_select(box)
+        if isinstance(box, GroupByBox):
+            return self._plan_groupby(box)
+        if isinstance(box, SetOpBox):
+            return self._plan_setop(box)
+        if isinstance(box, OuterJoinBox):
+            return self._plan_outer_join(box)
+        if isinstance(box, XNFBox):
+            raise PlanningError(
+                "XNF operator reached the planner; run XNF semantic "
+                "rewrite first"
+            )
+        raise PlanningError(f"cannot plan box kind {box.kind!r}")
+
+    # ------------------------------------------------------------------
+    # SELECT boxes
+    # ------------------------------------------------------------------
+    def _plan_select(self, box: SelectBox) -> PlanNode:
+        foreach = [q for q in box.body_quantifiers if q.qtype == "F"]
+        existential = [q for q in box.body_quantifiers if q.qtype == "E"]
+        anti = [q for q in box.body_quantifiers if q.qtype == "A"]
+        scalar = [q for q in box.body_quantifiers if q.qtype == "S"]
+        for quantifier in scalar:
+            self.scalar_plans[quantifier.qid] = self.plan_box(quantifier.box)
+        scalar_set = set(scalar)
+
+        rid_needed = self._rid_quantifiers(box)
+
+        # Classify predicates by the non-scalar quantifiers they touch.
+        local: dict[int, list[ast.Expression]] = {}
+        constant: list[ast.Expression] = []
+        multi: list[ast.Expression] = []
+        for predicate in box.predicates:
+            refs = _referenced_quantifiers(predicate) - scalar_set
+            if not refs:
+                constant.append(predicate)
+            elif len(refs) == 1:
+                quantifier = next(iter(refs))
+                local.setdefault(quantifier.qid, []).append(predicate)
+            else:
+                multi.append(predicate)
+
+        # ForEach side: build and join sources.
+        if foreach:
+            sources = [
+                self._build_source(q, local.get(q.qid, []),
+                                   with_rid=q in rid_needed)
+                for q in foreach
+            ]
+            foreach_set = set(foreach)
+            join_preds = [p for p in multi
+                          if (_referenced_quantifiers(p) - scalar_set)
+                          <= foreach_set]
+            node, layout = self._join_sources(sources, join_preds)
+        else:
+            node, layout = SingleRow(), {}
+
+        if constant:
+            compiler = ExpressionCompiler(layout)
+            for predicate in constant:
+                node = Filter(node, compiler.compile(predicate),
+                              str(predicate))
+
+        # Existential components (jointly existential quantifiers).
+        remaining_preds = [
+            p for p in multi
+            if not ((_referenced_quantifiers(p) - scalar_set)
+                    <= set(foreach))
+        ]
+        used: set[int] = set()
+        for component in self._existential_components(existential,
+                                                      remaining_preds,
+                                                      scalar_set):
+            node, layout = self._apply_quantified(
+                node, layout, component, remaining_preds, local, used,
+                scalar_set, anti_join=False, rid_needed=rid_needed,
+            )
+        for quantifier in anti:
+            node, layout = self._apply_quantified(
+                node, layout, [quantifier], remaining_preds, local, used,
+                scalar_set, anti_join=True, rid_needed=rid_needed,
+            )
+        leftovers = [p for i, p in enumerate(remaining_preds)
+                     if i not in used]
+        if leftovers:
+            raise PlanningError(
+                f"unplaceable predicates in box {box.label!r}: "
+                f"{[str(p) for p in leftovers]}"
+            )
+
+        # ORDER BY runs before projection (its keys may use any column).
+        if box.order_by:
+            compiler = ExpressionCompiler(layout)
+            node = Sort(node,
+                        [compiler.compile(e) for e, _d in box.order_by],
+                        [d for _e, d in box.order_by])
+
+        compiler = ExpressionCompiler(layout)
+        fns = [compiler.compile(c.expression) for c in box.head]
+        node = Project(node, fns, [c.name for c in box.head])
+        if box.distinct:
+            node = Dedup(node)
+        if box.limit is not None or box.offset is not None:
+            node = Limit(node, box.limit, box.offset)
+        return node
+
+    def _rid_quantifiers(self, box: SelectBox) -> set[Quantifier]:
+        found: set[Quantifier] = set()
+        expressions: list[ast.Expression] = []
+        expressions.extend(c.expression for c in box.head
+                           if c.expression is not None)
+        expressions.extend(box.predicates)
+        expressions.extend(e for e, _d in box.order_by)
+        for expression in expressions:
+            for node in walk_qgm_expression(expression):
+                if isinstance(node, RidRef):
+                    found.add(node.quantifier)
+        return found
+
+    # ------------------------------------------------------------------
+    def _build_source(self, quantifier: Quantifier,
+                      local_preds: list[ast.Expression],
+                      with_rid: bool) -> _Source:
+        box = quantifier.box
+        if isinstance(box, BaseBox):
+            return self._build_base_source(quantifier, box, local_preds,
+                                           with_rid)
+        if with_rid:
+            raise PlanningError(
+                f"RID reference on non-base quantifier {quantifier.name!r}"
+            )
+        node = self.plan_box(box)
+        layout = {(quantifier.qid, c.name.upper()): i
+                  for i, c in enumerate(box.head)}
+        rows = self.cost.local_rows(box, local_preds)
+        if local_preds:
+            compiler = ExpressionCompiler(layout)
+            for predicate in local_preds:
+                node = Filter(node, compiler.compile(predicate),
+                              str(predicate))
+        node.estimated_rows = rows
+        return _Source(quantifier, node, layout, rows)
+
+    def _build_base_source(self, quantifier: Quantifier, box: BaseBox,
+                           local_preds: list[ast.Expression],
+                           with_rid: bool) -> _Source:
+        table = box.table
+        columns = list(table.column_names)
+        layout = {(quantifier.qid, c.upper()): i
+                  for i, c in enumerate(columns)}
+        if with_rid:
+            layout[(quantifier.qid, RID_COLUMN)] = len(columns)
+        rows = self.cost.local_rows(box, local_preds)
+
+        # Try an index scan for constant equality predicates.
+        remaining = list(local_preds)
+        node: PlanNode
+        chosen_index = None
+        if self.options.use_indexes:
+            const_eq: dict[str, ast.Expression] = {}
+            for predicate in local_preds:
+                column, value = self._constant_equality(predicate,
+                                                        quantifier)
+                if column is not None and column not in const_eq:
+                    const_eq[column] = value
+            for index in table.indexes:
+                names = [c.upper() for c in index.column_names]
+                if all(name in const_eq for name in names):
+                    chosen_index = (index, names)
+                    break
+            if chosen_index is not None:
+                index, names = chosen_index
+                empty_compiler = ExpressionCompiler({})
+                key_fns = [empty_compiler.compile(const_eq[name])
+                           for name in names]
+                node = IndexScan(table, index, key_fns, with_rid=with_rid)
+                remaining = [
+                    p for p in local_preds
+                    if self._constant_equality(p, quantifier)[0]
+                    not in names
+                ]
+        if chosen_index is None:
+            node = TableScan(table, with_rid=with_rid)
+        node.estimated_rows = rows
+        bare = chosen_index is None and not remaining
+        if remaining:
+            compiler = ExpressionCompiler(layout)
+            for predicate in remaining:
+                node = Filter(node, compiler.compile(predicate),
+                              str(predicate))
+            node.estimated_rows = rows
+        return _Source(quantifier, node, layout, rows, bare_scan=bare,
+                       with_rid=with_rid)
+
+    @staticmethod
+    def _constant_equality(predicate: ast.Expression,
+                           quantifier: Quantifier):
+        """Match ``q.col = constant-expression`` (either side)."""
+        if not isinstance(predicate, ast.BinaryOp) or predicate.op != "=":
+            return None, None
+        for this, other in ((predicate.left, predicate.right),
+                            (predicate.right, predicate.left)):
+            if isinstance(this, QRef) and this.quantifier is quantifier \
+                    and not _referenced_quantifiers(other):
+                return this.column.upper(), other
+        return None, None
+
+    # ------------------------------------------------------------------
+    def _join_sources(self, sources: list[_Source],
+                      predicates: list[ast.Expression]
+                      ) -> tuple[PlanNode, Layout]:
+        """Greedy cost-ordered join of the given sources."""
+        pending = list(predicates)
+        remaining = list(sources)
+        remaining.sort(key=lambda s: s.rows)
+        current = remaining.pop(0)
+        node = current.node
+        layout = dict(current.layout)
+        bound = {current.quantifier}
+        rows = current.rows
+        node, layout, pending = self._apply_ready(node, layout, bound,
+                                                  pending)
+
+        while remaining:
+            best = None
+            for candidate in remaining:
+                equi = self._equi_predicates(pending, bound,
+                                             candidate.quantifier)
+                estimate = self.cost.join_rows(rows, candidate.rows,
+                                               [p for p, _s in equi])
+                connected = bool(equi)
+                key = (not connected, estimate, candidate.rows)
+                if best is None or key < best[0]:
+                    best = (key, candidate, equi)
+            _key, candidate, equi = best
+            remaining.remove(candidate)
+            node, layout = self._join_pair(node, layout, rows, candidate,
+                                           equi, pending)
+            bound.add(candidate.quantifier)
+            rows = self.cost.join_rows(rows, candidate.rows,
+                                       [p for p, _s in equi])
+            node.estimated_rows = rows
+            node, layout, pending = self._apply_ready(node, layout, bound,
+                                                      pending)
+        return node, layout
+
+    def _apply_ready(self, node: PlanNode, layout: Layout,
+                     bound: set[Quantifier],
+                     pending: list[ast.Expression]):
+        """Filter with predicates whose quantifiers are all bound."""
+        ready = [p for p in pending
+                 if self._non_scalar_refs(p) <= bound]
+        if ready:
+            compiler = ExpressionCompiler(layout)
+            for predicate in ready:
+                node = Filter(node, compiler.compile(predicate),
+                              str(predicate))
+            pending = [p for p in pending if p not in ready]
+        return node, layout, pending
+
+    @staticmethod
+    def _non_scalar_refs(predicate: ast.Expression) -> set[Quantifier]:
+        return {q for q in _referenced_quantifiers(predicate)
+                if q.qtype != Quantifier.S}
+
+    def _equi_predicates(self, pending: list[ast.Expression],
+                         bound: set[Quantifier], candidate: Quantifier
+                         ) -> list[tuple[ast.BinaryOp, tuple]]:
+        """Equality predicates usable as hash keys for joining
+        ``candidate`` to the bound set.  Returns (predicate,
+        (bound_side_expr, candidate_side_expr)) pairs."""
+        result = []
+        for predicate in pending:
+            if not isinstance(predicate, ast.BinaryOp) \
+                    or predicate.op != "=":
+                continue
+            refs = self._non_scalar_refs(predicate)
+            if candidate not in refs or not refs <= bound | {candidate}:
+                continue
+            for this, other in ((predicate.left, predicate.right),
+                                (predicate.right, predicate.left)):
+                this_refs = self._non_scalar_refs(this) if isinstance(
+                    this, ast.Expression) else set()
+                other_refs = self._non_scalar_refs(other)
+                if this_refs <= bound and other_refs == {candidate}:
+                    result.append((predicate, (this, other)))
+                    break
+        return result
+
+    def _join_pair(self, node: PlanNode, layout: Layout, rows: float,
+                   candidate: _Source,
+                   equi: list[tuple[ast.BinaryOp, tuple]],
+                   pending: list[ast.Expression]) -> tuple[PlanNode, Layout]:
+        width = len(node.columns)
+        combined = dict(layout)
+        for key, position in candidate.layout.items():
+            combined[key] = position + width
+
+        if equi:
+            for predicate, _sides in equi:
+                pending.remove(predicate)
+            outer_compiler = ExpressionCompiler(layout)
+            inner_compiler = ExpressionCompiler(candidate.layout)
+            left_keys = [outer_compiler.compile(sides[0])
+                         for _p, sides in equi]
+            right_keys = [inner_compiler.compile(sides[1])
+                          for _p, sides in equi]
+            # Index-nested-loop through a parent/child link when the
+            # candidate is a bare scan with a matching index.
+            if self.options.use_indexes and candidate.bare_scan \
+                    and isinstance(candidate.node, TableScan):
+                probe = self._index_probe(node, candidate, equi, layout,
+                                          combined)
+                if probe is not None:
+                    return probe, combined
+            return HashJoin(node, candidate.node, left_keys, right_keys), \
+                combined
+        return NestedLoopJoin(node, candidate.node), combined
+
+    def _index_probe(self, outer: PlanNode, candidate: _Source,
+                     equi: list[tuple[ast.BinaryOp, tuple]],
+                     outer_layout: Layout,
+                     combined_layout: Layout) -> Optional[PlanNode]:
+        table = candidate.node.table  # type: ignore[attr-defined]
+        by_column: dict[str, ast.Expression] = {}
+        others: list[ast.BinaryOp] = []
+        for predicate, (_outer_expr, inner_expr) in equi:
+            if isinstance(inner_expr, QRef):
+                by_column.setdefault(inner_expr.column.upper(),
+                                     _outer_expr)
+            else:
+                others.append(predicate)
+        outer_compiler = ExpressionCompiler(outer_layout)
+        for index in table.indexes:
+            names = [c.upper() for c in index.column_names]
+            if not all(name in by_column for name in names):
+                continue
+            key_fns = [outer_compiler.compile(by_column[name])
+                       for name in names]
+            residual_preds: list[ast.Expression] = list(others)
+            residual_preds.extend(
+                predicate for predicate, (_o, inner_expr) in equi
+                if isinstance(inner_expr, QRef)
+                and inner_expr.column.upper() not in names
+            )
+            residual = None
+            if residual_preds:
+                residual = ExpressionCompiler(combined_layout).compile(
+                    ast.conjoin(residual_preds))
+            return IndexNestedLoopJoin(
+                outer, table, index, key_fns,
+                with_rid=candidate.with_rid, residual=residual,
+            )
+        return None
+
+    # ------------------------------------------------------------------
+    # E/A quantifiers
+    # ------------------------------------------------------------------
+    def _existential_components(self, existential: list[Quantifier],
+                                predicates: list[ast.Expression],
+                                scalar_set: set[Quantifier]
+                                ) -> list[list[Quantifier]]:
+        """Connected components of E quantifiers (joint existentials)."""
+        if not existential:
+            return []
+        parent: dict[int, int] = {q.qid: q.qid for q in existential}
+
+        def find(qid: int) -> int:
+            while parent[qid] != qid:
+                parent[qid] = parent[parent[qid]]
+                qid = parent[qid]
+            return qid
+
+        def union(a: int, b: int) -> None:
+            parent[find(a)] = find(b)
+
+        ids = {q.qid for q in existential}
+        for predicate in predicates:
+            touched = [q.qid for q in _referenced_quantifiers(predicate)
+                       if q.qid in ids]
+            for first, second in zip(touched, touched[1:]):
+                union(first, second)
+        groups: dict[int, list[Quantifier]] = {}
+        for quantifier in existential:
+            groups.setdefault(find(quantifier.qid), []).append(quantifier)
+        return list(groups.values())
+
+    def _apply_quantified(self, node: PlanNode, layout: Layout,
+                          members: list[Quantifier],
+                          predicates: list[ast.Expression],
+                          local: dict[int, list[ast.Expression]],
+                          used: set[int], scalar_set: set[Quantifier],
+                          anti_join: bool,
+                          rid_needed: set[Quantifier]
+                          ) -> tuple[PlanNode, Layout]:
+        member_set = set(members)
+        sources = [
+            self._build_source(q, local.get(q.qid, []),
+                               with_rid=q in rid_needed)
+            for q in members
+        ]
+        intra: list[ast.Expression] = []
+        cross: list[tuple[int, ast.Expression]] = []
+        for position, predicate in enumerate(predicates):
+            refs = self._non_scalar_refs(predicate)
+            if not refs & member_set:
+                continue
+            if refs <= member_set:
+                intra.append(predicate)
+                used.add(position)
+            else:
+                cross.append((position, predicate))
+                used.add(position)
+        inner_node, inner_layout = self._join_sources(sources, intra) \
+            if len(sources) > 1 or intra else (sources[0].node,
+                                               sources[0].layout)
+
+        # Split cross predicates into hashable equi keys and residual.
+        outer_compiler = ExpressionCompiler(layout)
+        inner_compiler = ExpressionCompiler(inner_layout)
+        outer_keys: list[CompiledExpression] = []
+        inner_keys: list[CompiledExpression] = []
+        residual: list[ast.Expression] = []
+        for _position, predicate in cross:
+            sides = self._split_cross_equality(predicate, member_set)
+            if sides is not None:
+                outer_keys.append(outer_compiler.compile(sides[0]))
+                inner_keys.append(inner_compiler.compile(sides[1]))
+            else:
+                residual.append(predicate)
+        residual_fn = None
+        if residual:
+            width = len(node.columns)
+            combined = dict(layout)
+            for key, position in inner_layout.items():
+                combined[key] = position + width
+            combined_compiler = ExpressionCompiler(combined)
+            conjoined = ast.conjoin(residual)
+            residual_fn = combined_compiler.compile(conjoined)
+
+        null_poison = any(q.null_poison for q in members)
+        node = SemiJoin(node, inner_node, outer_keys, inner_keys,
+                        residual_fn, anti=anti_join,
+                        null_poison=null_poison)
+        return node, layout
+
+    def _split_cross_equality(self, predicate: ast.Expression,
+                              member_set: set[Quantifier]):
+        if not isinstance(predicate, ast.BinaryOp) or predicate.op != "=":
+            return None
+        for this, other in ((predicate.left, predicate.right),
+                            (predicate.right, predicate.left)):
+            this_refs = self._non_scalar_refs(this)
+            other_refs = self._non_scalar_refs(other)
+            if this_refs and not this_refs & member_set \
+                    and other_refs <= member_set and other_refs:
+                return this, other
+        return None
+
+    # ------------------------------------------------------------------
+    # Other box kinds
+    # ------------------------------------------------------------------
+    def _plan_groupby(self, box: GroupByBox) -> PlanNode:
+        if box.input is None:
+            raise PlanningError("group-by box has no input")
+        child = self.plan_box(box.input.box)
+        layout = {(box.input.qid, c.name.upper()): i
+                  for i, c in enumerate(box.input.box.head)}
+        compiler = ExpressionCompiler(layout)
+        key_fns = [compiler.compile(k) for k in box.group_keys]
+        specs = []
+        key_count = 0
+        for column in box.head:
+            if column.name in box.aggregates:
+                spec = box.aggregates[column.name]
+                argument = (compiler.compile(spec.argument)
+                            if spec.argument is not None else None)
+                specs.append((spec.function, argument, spec.distinct))
+            else:
+                key_count += 1
+                if specs:
+                    raise PlanningError(
+                        "group keys must precede aggregates in the head"
+                    )
+        if key_count != len(box.group_keys):
+            raise PlanningError("group-by head/key mismatch")
+        return Aggregate(child, key_fns, specs,
+                         [c.name for c in box.head])
+
+    def _plan_setop(self, box: SetOpBox) -> PlanNode:
+        if len(box.inputs) != 2:
+            raise PlanningError("set operations take exactly two inputs")
+        left = self.plan_box(box.inputs[0].box)
+        right = self.plan_box(box.inputs[1].box)
+        return SetOperation(box.operator, box.all_rows, left, right)
+
+    def _plan_outer_join(self, box: OuterJoinBox) -> PlanNode:
+        left = self.plan_box(box.left.box)
+        right = self.plan_box(box.right.box)
+        left_layout = {(box.left.qid, c.name.upper()): i
+                       for i, c in enumerate(box.left.box.head)}
+        right_layout = {(box.right.qid, c.name.upper()): i
+                        for i, c in enumerate(box.right.box.head)}
+        combined = dict(left_layout)
+        width = len(left.columns)
+        for key, position in right_layout.items():
+            combined[key] = position + width
+
+        left_keys: list[CompiledExpression] = []
+        right_keys: list[CompiledExpression] = []
+        residual: list[ast.Expression] = []
+        left_compiler = ExpressionCompiler(left_layout)
+        right_compiler = ExpressionCompiler(right_layout)
+        for conjunct in ast.conjuncts(box.condition):
+            sides = self._outer_equality(conjunct, box)
+            if sides is not None:
+                left_keys.append(left_compiler.compile(sides[0]))
+                right_keys.append(right_compiler.compile(sides[1]))
+            else:
+                residual.append(conjunct)
+        residual_fn = None
+        if residual:
+            residual_fn = ExpressionCompiler(combined).compile(
+                ast.conjoin(residual))
+        node = LeftOuterJoin(left, right, left_keys, right_keys, residual_fn)
+        compiler = ExpressionCompiler(combined)
+        fns = [compiler.compile(c.expression) for c in box.head]
+        return Project(node, fns, [c.name for c in box.head])
+
+    def _outer_equality(self, conjunct: ast.Expression, box: OuterJoinBox):
+        if not isinstance(conjunct, ast.BinaryOp) or conjunct.op != "=":
+            return None
+        for this, other in ((conjunct.left, conjunct.right),
+                            (conjunct.right, conjunct.left)):
+            if self._non_scalar_refs(this) == {box.left} \
+                    and self._non_scalar_refs(other) == {box.right}:
+                return this, other
+        return None

@@ -1,0 +1,745 @@
+"""Physical query execution plan (QEP) operators.
+
+Sect. 3.1: "each QES routine interprets one QEP operator, which takes one
+or more streams of tuples as input and produces one or more streams as
+output.  The adopted execution strategy, called table queue evaluation,
+is a demand driven, pipelined method".
+
+Operators here are Python iterators over value tuples.  The
+:class:`Spool` operator is the "table queue" that lets several consumers
+share one evaluation of a common subexpression — the physical realization
+of the paper's multi-query optimization (Sect. 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.executor.expressions import CompiledExpression
+from repro.storage.index import Index
+from repro.storage.table import Table
+
+Row = tuple
+
+
+class ExecutionContext:
+    """Per-execution state: spool materializations, scalar subquery
+    results, and instrumentation counters used by the benchmarks."""
+
+    def __init__(self) -> None:
+        self.spool_cache: dict[int, list[Row]] = {}
+        self.scalar_plans: dict[int, "PlanNode"] = {}
+        self._scalar_values: dict[int, Any] = {}
+        self.counters: dict[str, int] = {
+            "rows_scanned": 0,
+            "index_lookups": 0,
+            "spool_materializations": 0,
+            "spool_reads": 0,
+            "rows_joined": 0,
+        }
+
+    def bump(self, counter: str, amount: int = 1) -> None:
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def scalar_value(self, qid: int) -> Any:
+        if qid in self._scalar_values:
+            return self._scalar_values[qid]
+        plan = self.scalar_plans.get(qid)
+        if plan is None:
+            raise ExecutionError(f"no scalar subquery registered for {qid}")
+        rows = list(plan.execute(self))
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        value = rows[0][0] if rows else None
+        self._scalar_values[qid] = value
+        return value
+
+    def reset_volatile(self) -> None:
+        """Clear per-run caches so a plan can be executed again."""
+        self.spool_cache.clear()
+        self._scalar_values.clear()
+
+
+class PlanNode:
+    """Base class: produces a stream of tuples named by ``columns``."""
+
+    def __init__(self, columns: Sequence[str]):
+        self.columns = list(columns)
+        self.estimated_rows: float = 0.0
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        raise NotImplementedError
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def explain(self, depth: int = 0) -> str:
+        lines = ["  " * depth
+                 + f"{self.describe()} [~{int(self.estimated_rows)} rows]"]
+        for child in self.children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+
+class SingleRow(PlanNode):
+    """One empty row: the input of a SELECT without FROM."""
+
+    def __init__(self) -> None:
+        super().__init__([])
+        self.estimated_rows = 1
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        yield ()
+
+
+class TableScan(PlanNode):
+    """Full scan of a heap table; optionally appends the RID column."""
+
+    def __init__(self, table: Table, with_rid: bool = False):
+        columns = list(table.column_names)
+        if with_rid:
+            columns.append("$RID$")
+        super().__init__(columns)
+        self.table = table
+        self.with_rid = with_rid
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if self.with_rid:
+            for rid, row in self.table.scan():
+                ctx.bump("rows_scanned")
+                yield row + (rid,)
+        else:
+            for row in self.table.rows():
+                ctx.bump("rows_scanned")
+                yield row
+
+    def describe(self) -> str:
+        return f"TableScan({self.table.name})"
+
+
+class IndexScan(PlanNode):
+    """Equality access through an index; key values computed at open."""
+
+    def __init__(self, table: Table, index: Index,
+                 key_fns: list[CompiledExpression], with_rid: bool = False):
+        columns = list(table.column_names)
+        if with_rid:
+            columns.append("$RID$")
+        super().__init__(columns)
+        self.table = table
+        self.index = index
+        self.key_fns = key_fns
+        self.with_rid = with_rid
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        key = tuple(fn((), ctx) for fn in self.key_fns)
+        ctx.bump("index_lookups")
+        for rid in self.index.lookup(key):
+            row = self.table.fetch(rid)
+            ctx.bump("rows_scanned")
+            yield row + (rid,) if self.with_rid else row
+
+    def describe(self) -> str:
+        return (f"IndexScan({self.table.name} via {self.index.name} "
+                f"on {','.join(self.index.column_names)})")
+
+
+class Filter(PlanNode):
+    def __init__(self, child: PlanNode, predicate: CompiledExpression,
+                 description: str = ""):
+        super().__init__(child.columns)
+        self.child = child
+        self.predicate = predicate
+        self.description = description
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        predicate = self.predicate
+        for row in self.child.execute(ctx):
+            if predicate(row, ctx) is True:
+                yield row
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        suffix = f": {self.description}" if self.description else ""
+        return f"Filter{suffix}"
+
+
+class Project(PlanNode):
+    def __init__(self, child: PlanNode, fns: list[CompiledExpression],
+                 columns: Sequence[str]):
+        super().__init__(columns)
+        self.child = child
+        self.fns = fns
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        fns = self.fns
+        for row in self.child.execute(ctx):
+            yield tuple(fn(row, ctx) for fn in fns)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Project({', '.join(self.columns)})"
+
+
+class HashJoin(PlanNode):
+    """Equi inner join: builds on the right input, probes with the left."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: list[CompiledExpression],
+                 right_keys: list[CompiledExpression],
+                 residual: Optional[CompiledExpression] = None):
+        super().__init__(list(left.columns) + list(right.columns))
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        buckets: dict[tuple, list[Row]] = {}
+        for row in self.right.execute(ctx):
+            key = tuple(fn(row, ctx) for fn in self.right_keys)
+            if None in key:
+                continue
+            buckets.setdefault(key, []).append(row)
+        residual = self.residual
+        for left_row in self.left.execute(ctx):
+            key = tuple(fn(left_row, ctx) for fn in self.left_keys)
+            if None in key:
+                continue
+            for right_row in buckets.get(key, ()):
+                joined = left_row + right_row
+                if residual is None or residual(joined, ctx) is True:
+                    ctx.bump("rows_joined")
+                    yield joined
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return "HashJoin"
+
+
+class IndexNestedLoopJoin(PlanNode):
+    """For each outer row, probe a base-table index (the paper's
+    'parent/child links' navigation, Sect. 5.1)."""
+
+    def __init__(self, left: PlanNode, table: Table, index: Index,
+                 key_fns: list[CompiledExpression], with_rid: bool = False,
+                 residual: Optional[CompiledExpression] = None):
+        inner_columns = list(table.column_names)
+        if with_rid:
+            inner_columns.append("$RID$")
+        super().__init__(list(left.columns) + inner_columns)
+        self.left = left
+        self.table = table
+        self.index = index
+        self.key_fns = key_fns
+        self.with_rid = with_rid
+        self.residual = residual
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        residual = self.residual
+        for left_row in self.left.execute(ctx):
+            key = tuple(fn(left_row, ctx) for fn in self.key_fns)
+            ctx.bump("index_lookups")
+            for rid in self.index.lookup(key):
+                inner = self.table.fetch(rid)
+                if self.with_rid:
+                    inner = inner + (rid,)
+                joined = left_row + inner
+                if residual is None or residual(joined, ctx) is True:
+                    ctx.bump("rows_joined")
+                    yield joined
+
+    def children(self) -> list[PlanNode]:
+        return [self.left]
+
+    def describe(self) -> str:
+        return (f"IndexNLJoin({self.table.name} via {self.index.name})")
+
+
+class NestedLoopJoin(PlanNode):
+    """General inner join; the right input is materialized once."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 condition: Optional[CompiledExpression] = None):
+        super().__init__(list(left.columns) + list(right.columns))
+        self.left = left
+        self.right = right
+        self.condition = condition
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        right_rows = list(self.right.execute(ctx))
+        condition = self.condition
+        for left_row in self.left.execute(ctx):
+            for right_row in right_rows:
+                joined = left_row + right_row
+                if condition is None or condition(joined, ctx) is True:
+                    ctx.bump("rows_joined")
+                    yield joined
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return "NestedLoopJoin" if self.condition else "CrossJoin"
+
+
+class LeftOuterJoin(PlanNode):
+    """LEFT OUTER JOIN; hash-based when keys given, else nested loops."""
+
+    def __init__(self, left: PlanNode, right: PlanNode,
+                 left_keys: list[CompiledExpression],
+                 right_keys: list[CompiledExpression],
+                 residual: Optional[CompiledExpression] = None):
+        super().__init__(list(left.columns) + list(right.columns))
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self._pad = (None,) * len(right.columns)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        residual = self.residual
+        if self.left_keys:
+            buckets: dict[tuple, list[Row]] = {}
+            for row in self.right.execute(ctx):
+                key = tuple(fn(row, ctx) for fn in self.right_keys)
+                if None in key:
+                    continue
+                buckets.setdefault(key, []).append(row)
+            for left_row in self.left.execute(ctx):
+                key = tuple(fn(left_row, ctx) for fn in self.left_keys)
+                matched = False
+                for right_row in buckets.get(key, ()) if None not in key \
+                        else ():
+                    joined = left_row + right_row
+                    if residual is None or residual(joined, ctx) is True:
+                        matched = True
+                        yield joined
+                if not matched:
+                    yield left_row + self._pad
+            return
+        right_rows = list(self.right.execute(ctx))
+        for left_row in self.left.execute(ctx):
+            matched = False
+            for right_row in right_rows:
+                joined = left_row + right_row
+                if residual is None or residual(joined, ctx) is True:
+                    matched = True
+                    yield joined
+            if not matched:
+                yield left_row + self._pad
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return "LeftOuterJoin"
+
+
+class SemiJoin(PlanNode):
+    """Semi/anti join implementing E and A quantifiers.
+
+    Emits outer rows that have (semi) / lack (anti) a matching inner
+    row.  ``null_poison`` gives NOT IN semantics: an UNKNOWN comparison
+    rejects the outer row.
+    """
+
+    def __init__(self, outer: PlanNode, inner: PlanNode,
+                 outer_keys: list[CompiledExpression],
+                 inner_keys: list[CompiledExpression],
+                 residual: Optional[CompiledExpression] = None,
+                 anti: bool = False, null_poison: bool = False):
+        super().__init__(outer.columns)
+        self.outer = outer
+        self.inner = inner
+        self.outer_keys = outer_keys
+        self.inner_keys = inner_keys
+        self.residual = residual
+        self.anti = anti
+        self.null_poison = null_poison
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        inner_rows = list(self.inner.execute(ctx))
+        if self.outer_keys and self.residual is None:
+            yield from self._hash_path(ctx, inner_rows)
+        else:
+            yield from self._scan_path(ctx, inner_rows)
+
+    def _hash_path(self, ctx: ExecutionContext,
+                   inner_rows: list[Row]) -> Iterator[Row]:
+        keys: set[tuple] = set()
+        inner_has_null = False
+        for row in inner_rows:
+            key = tuple(fn(row, ctx) for fn in self.inner_keys)
+            if None in key:
+                inner_has_null = True
+            else:
+                keys.add(key)
+        for outer_row in self.outer.execute(ctx):
+            key = tuple(fn(outer_row, ctx) for fn in self.outer_keys)
+            if self.anti:
+                if not inner_rows:
+                    yield outer_row
+                    continue
+                if self.null_poison and (None in key or inner_has_null):
+                    continue
+                if None in key:
+                    yield outer_row  # NOT EXISTS: NULL key never matches
+                    continue
+                if key not in keys:
+                    yield outer_row
+            else:
+                if None in key:
+                    continue
+                if key in keys:
+                    yield outer_row
+
+    def _scan_path(self, ctx: ExecutionContext,
+                   inner_rows: list[Row]) -> Iterator[Row]:
+        residual = self.residual
+        for outer_row in self.outer.execute(ctx):
+            matched = False
+            unknown = False
+            for inner_row in inner_rows:
+                joined = outer_row + inner_row
+                verdict = True
+                if self.outer_keys:
+                    for okey, ikey in zip(self.outer_keys, self.inner_keys):
+                        left = okey(outer_row, ctx)
+                        right = ikey(inner_row, ctx)
+                        if left is None or right is None:
+                            verdict = None
+                            break
+                        if left != right:
+                            verdict = False
+                            break
+                if verdict is True and residual is not None:
+                    verdict = residual(joined, ctx)
+                if verdict is True:
+                    matched = True
+                    break
+                if verdict is None:
+                    unknown = True
+            if self.anti:
+                if matched:
+                    continue
+                if self.null_poison and unknown:
+                    continue
+                yield outer_row
+            elif matched:
+                yield outer_row
+
+    def children(self) -> list[PlanNode]:
+        return [self.outer, self.inner]
+
+    def describe(self) -> str:
+        kind = "AntiJoin" if self.anti else "SemiJoin"
+        method = "hash" if self.outer_keys and self.residual is None else "nl"
+        return f"{kind}[{method}]"
+
+
+class Dedup(PlanNode):
+    def __init__(self, child: PlanNode):
+        super().__init__(child.columns)
+        self.child = child
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        seen: set[Row] = set()
+        for row in self.child.execute(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class _SortKey:
+    """NULLs-last (ascending) total order for heterogeneous values."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_SortKey") -> bool:
+        if self.value is None:
+            return False
+        if other.value is None:
+            return True
+        return self.value < other.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _SortKey) and self.value == other.value
+
+
+class Sort(PlanNode):
+    def __init__(self, child: PlanNode,
+                 key_fns: list[CompiledExpression],
+                 descending: list[bool]):
+        super().__init__(child.columns)
+        self.child = child
+        self.key_fns = key_fns
+        self.descending = descending
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        rows = list(self.child.execute(ctx))
+        # Stable sorts applied from the least-significant key backwards.
+        for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
+            rows.sort(key=lambda row: _SortKey(fn(row, ctx)), reverse=desc)
+        yield from rows
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+class Limit(PlanNode):
+    def __init__(self, child: PlanNode, limit: Optional[int],
+                 offset: Optional[int]):
+        super().__init__(child.columns)
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        produced = 0
+        skipped = 0
+        for row in self.child.execute(ctx):
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            if self.limit is not None and produced >= self.limit:
+                return
+            produced += 1
+            yield row
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Limit({self.limit}, offset={self.offset})"
+
+
+class UnionAll(PlanNode):
+    def __init__(self, inputs: list[PlanNode]):
+        super().__init__(inputs[0].columns)
+        self.inputs = inputs
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        for child in self.inputs:
+            yield from child.execute(ctx)
+
+    def children(self) -> list[PlanNode]:
+        return list(self.inputs)
+
+
+class SetOperation(PlanNode):
+    """UNION / INTERSECT / EXCEPT with optional ALL (bag) semantics."""
+
+    def __init__(self, operator: str, all_rows: bool, left: PlanNode,
+                 right: PlanNode):
+        super().__init__(left.columns)
+        self.operator = operator
+        self.all_rows = all_rows
+        self.left = left
+        self.right = right
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        if self.operator == "UNION":
+            if self.all_rows:
+                yield from self.left.execute(ctx)
+                yield from self.right.execute(ctx)
+                return
+            seen: set[Row] = set()
+            for child in (self.left, self.right):
+                for row in child.execute(ctx):
+                    if row not in seen:
+                        seen.add(row)
+                        yield row
+            return
+        right_counts: dict[Row, int] = {}
+        for row in self.right.execute(ctx):
+            right_counts[row] = right_counts.get(row, 0) + 1
+        if self.operator == "INTERSECT":
+            emitted: dict[Row, int] = {}
+            for row in self.left.execute(ctx):
+                available = right_counts.get(row, 0)
+                count = emitted.get(row, 0)
+                if self.all_rows:
+                    if count < available:
+                        emitted[row] = count + 1
+                        yield row
+                elif available and count == 0:
+                    emitted[row] = 1
+                    yield row
+            return
+        if self.operator == "EXCEPT":
+            emitted: dict[Row, int] = {}
+            for row in self.left.execute(ctx):
+                emitted[row] = emitted.get(row, 0) + 1
+                if self.all_rows:
+                    # EXCEPT ALL: occurrences beyond those matched on the
+                    # right survive.
+                    if emitted[row] > right_counts.get(row, 0):
+                        yield row
+                else:
+                    if row not in right_counts and emitted[row] == 1:
+                        yield row
+            return
+        raise ExecutionError(f"unknown set operator {self.operator!r}")
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+    def describe(self) -> str:
+        return f"{self.operator}{' ALL' if self.all_rows else ''}"
+
+
+class Aggregate(PlanNode):
+    """Hash aggregation.  ``specs`` are (function, argument-fn, distinct)
+    triples; a None argument means COUNT(*)."""
+
+    def __init__(self, child: PlanNode,
+                 key_fns: list[CompiledExpression],
+                 specs: list[tuple[str, Optional[CompiledExpression], bool]],
+                 columns: Sequence[str]):
+        super().__init__(columns)
+        self.child = child
+        self.key_fns = key_fns
+        self.specs = specs
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        for row in self.child.execute(ctx):
+            key = tuple(fn(row, ctx) for fn in self.key_fns)
+            state = groups.get(key)
+            if state is None:
+                state = [self._initial_state(spec) for spec in self.specs]
+                groups[key] = state
+                order.append(key)
+            for accumulator, (function, argument, distinct) in zip(
+                    state, self.specs):
+                value = argument(row, ctx) if argument is not None else 1
+                self._accumulate(accumulator, function, value,
+                                 argument is None, distinct)
+        if not groups and not self.key_fns:
+            # Global aggregate over an empty input: one default row.
+            state = [self._initial_state(spec) for spec in self.specs]
+            yield tuple(self._finalize(acc, spec[0])
+                        for acc, spec in zip(state, self.specs))
+            return
+        for key in order:
+            state = groups[key]
+            aggregates = tuple(
+                self._finalize(acc, spec[0])
+                for acc, spec in zip(state, self.specs)
+            )
+            yield key + aggregates
+
+    @staticmethod
+    def _initial_state(spec) -> dict:
+        _function, _argument, distinct = spec
+        return {"count": 0, "sum": None, "min": None, "max": None,
+                "distinct": set() if distinct else None}
+
+    @staticmethod
+    def _accumulate(state: dict, function: str, value, is_star: bool,
+                    distinct: bool) -> None:
+        if is_star:
+            state["count"] += 1
+            return
+        if value is None:
+            return
+        if distinct:
+            if value in state["distinct"]:
+                return
+            state["distinct"].add(value)
+        state["count"] += 1
+        state["sum"] = value if state["sum"] is None else state["sum"] + value
+        if state["min"] is None or value < state["min"]:
+            state["min"] = value
+        if state["max"] is None or value > state["max"]:
+            state["max"] = value
+
+    @staticmethod
+    def _finalize(state: dict, function: str):
+        if function == "COUNT":
+            return state["count"]
+        if function == "SUM":
+            return state["sum"]
+        if function == "AVG":
+            if state["count"] == 0:
+                return None
+            return state["sum"] / state["count"]
+        if function == "MIN":
+            return state["min"]
+        if function == "MAX":
+            return state["max"]
+        raise ExecutionError(f"unknown aggregate {function!r}")
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        functions = ", ".join(spec[0] for spec in self.specs)
+        return f"Aggregate[{functions}]"
+
+
+class Spool(PlanNode):
+    """Materialize once per execution, replay for every consumer.
+
+    This is the table-queue realization of common-subexpression sharing:
+    the XNF multi-output plans reference component derivations through
+    spools so each is computed exactly once (Sect. 4.2, Fig. 5b).
+    """
+
+    _counter = 0
+
+    def __init__(self, child: PlanNode, label: str = ""):
+        super().__init__(child.columns)
+        self.child = child
+        Spool._counter += 1
+        self.spool_id = Spool._counter
+        self.label = label
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        cached = ctx.spool_cache.get(self.spool_id)
+        if cached is None:
+            cached = list(self.child.execute(ctx))
+            ctx.spool_cache[self.spool_id] = cached
+            ctx.bump("spool_materializations")
+        else:
+            ctx.bump("spool_reads")
+        return iter(cached)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        suffix = f" '{self.label}'" if self.label else ""
+        return f"Spool#{self.spool_id}{suffix}"
+
+
+class Materialized(PlanNode):
+    """A constant relation (used by tests and the cache write-back)."""
+
+    def __init__(self, columns: Sequence[str], rows: list[Row]):
+        super().__init__(columns)
+        self.rows = rows
+        self.estimated_rows = len(rows)
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        return iter(self.rows)

@@ -1,0 +1,23 @@
+"""Query Graph Model: the internal query representation (Sect. 3.2)."""
+
+from repro.qgm.builder import QGMBuilder, Scope
+from repro.qgm.dump import dump_graph
+from repro.qgm.model import (AggregateSpec, BaseBox, Box, GroupByBox,
+                             HeadColumn, OuterJoinBox, OutputStream, QGMGraph,
+                             QRef, Quantifier, RidRef, SelectBox, SetOpBox,
+                             TopBox, XNFBox, XNFComponent, XNFRelationship,
+                             quantifiers_in, replace_qrefs,
+                             walk_qgm_expression)
+from repro.qgm.ops import (OperationCount, box_signature, count_operations,
+                           distinct_operations, replicated_operations)
+
+__all__ = [
+    "QGMBuilder", "Scope", "dump_graph",
+    "AggregateSpec", "BaseBox", "Box", "GroupByBox", "HeadColumn",
+    "OuterJoinBox", "OutputStream", "QGMGraph", "QRef", "Quantifier",
+    "RidRef", "SelectBox", "SetOpBox", "TopBox", "XNFBox", "XNFComponent",
+    "XNFRelationship", "quantifiers_in", "replace_qrefs",
+    "walk_qgm_expression",
+    "OperationCount", "box_signature", "count_operations",
+    "distinct_operations", "replicated_operations",
+]

@@ -1,0 +1,109 @@
+"""Human-readable QGM graph dumps.
+
+Reproduces (in text form) the graphical notation of Figs. 3-5: each box
+printed with its kind, label, head columns, quantifiers, and predicates.
+Used by ``Database.explain`` and heavily in tests to assert graph shapes.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.model import (BaseBox, Box, GroupByBox, OuterJoinBox,
+                             QGMGraph, SelectBox, SetOpBox, TopBox, XNFBox)
+
+
+def dump_graph(graph: QGMGraph) -> str:
+    """Render the whole graph, TOP first, children in discovery order."""
+    lines: list[str] = []
+    seen: set[int] = set()
+
+    def visit(box: Box, depth: int) -> None:
+        indent = "  " * depth
+        if box.box_id in seen:
+            lines.append(f"{indent}[ref -> {describe(box)}]")
+            return
+        seen.add(box.box_id)
+        lines.append(f"{indent}{describe(box)}")
+        for detail in box_details(box):
+            lines.append(f"{indent}  | {detail}")
+        if isinstance(box, XNFBox):
+            for component in box.components.values():
+                lines.append(f"{indent}  component {component.name}"
+                             f"{' (root)' if component.is_root else ''}"
+                             f"{' R' if component.reachability_required else ''}:")
+                visit(component.box, depth + 2)
+            return
+        for child in box.child_boxes():
+            visit(child, depth + 1)
+
+    visit(graph.top, 0)
+    return "\n".join(lines)
+
+
+def describe(box: Box) -> str:
+    name = type(box).__name__
+    return f"{name}#{box.box_id} '{box.label}'"
+
+
+def box_details(box: Box) -> list[str]:
+    details: list[str] = []
+    if box.head:
+        columns = ", ".join(
+            c.name if c.expression is None else f"{c.name}={c.expression}"
+            for c in box.head
+        )
+        details.append(f"head: {columns}")
+    if isinstance(box, BaseBox):
+        details.append(f"table: {box.table.name} ({len(box.table)} rows)")
+    elif isinstance(box, SelectBox):
+        for quantifier in box.body_quantifiers:
+            details.append(
+                f"quantifier {quantifier.qtype} {quantifier.name} "
+                f"over {quantifier.box.label}"
+            )
+        for predicate in box.predicates:
+            details.append(f"predicate: {predicate}")
+        if box.distinct:
+            details.append("distinct: enforce")
+        if box.order_by:
+            keys = ", ".join(
+                f"{expr}{' DESC' if desc else ''}"
+                for expr, desc in box.order_by
+            )
+            details.append(f"order by: {keys}")
+        if box.limit is not None:
+            details.append(f"limit: {box.limit}")
+        if box.offset is not None:
+            details.append(f"offset: {box.offset}")
+    elif isinstance(box, GroupByBox):
+        keys = ", ".join(str(k) for k in box.group_keys)
+        details.append(f"group keys: [{keys}]")
+        for name, spec in box.aggregates.items():
+            argument = "*" if spec.argument is None else str(spec.argument)
+            distinct = "DISTINCT " if spec.distinct else ""
+            details.append(f"aggregate {name} = "
+                           f"{spec.function}({distinct}{argument})")
+    elif isinstance(box, SetOpBox):
+        details.append(f"operator: {box.operator}"
+                       f"{' ALL' if box.all_rows else ''}")
+    elif isinstance(box, OuterJoinBox):
+        details.append(f"condition: {box.condition}")
+    elif isinstance(box, XNFBox):
+        for relationship in box.relationships.values():
+            details.append(
+                f"relationship {relationship.name} "
+                f"({relationship.parent} -{relationship.role}-> "
+                f"{', '.join(relationship.children)}): "
+                f"{relationship.predicate}"
+            )
+        if box.take_all:
+            details.append("take: *")
+        else:
+            names = ", ".join(i.name for i in box.take_items)
+            details.append(f"take: {names}")
+    elif isinstance(box, TopBox):
+        for output in box.outputs:
+            details.append(
+                f"output {output.name} [{output.stream_kind}"
+                f"#{output.component_number}] <- {output.box.label}"
+            )
+    return details

@@ -1,0 +1,161 @@
+"""Operation counting over QGM graphs — the instrument behind Table 1.
+
+The paper compares "the amount of processing needed in the XNF approach
+to the amount of work given by single component derivation" by counting
+NF QGM operations ("23 separate NF QGM operations (mostly join)" vs.
+"6 join operations and 1 selection").
+
+Conventions (documented in DESIGN.md §4): in a final rewritten NF QGM,
+
+* every select box contributes ``max(0, q - 1)`` **joins**, where ``q``
+  is its number of F/E/A quantifiers (n quantifiers need n-1 joins);
+* a box contributes one **selection** when it applies local predicates
+  (predicates over at most one quantifier) or is a base-table restriction.
+
+Shared boxes (common subexpressions) are counted once per graph; when
+counting across several independent graphs, :func:`operation_signatures`
+provides structural signatures so replicated work can be identified the
+way the paper's "Replicated Query Components" column does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.qgm.model import (BaseBox, Box, GroupByBox, OuterJoinBox,
+                             QGMGraph, Quantifier, SelectBox, SetOpBox,
+                             quantifiers_in)
+
+
+@dataclass
+class OperationCount:
+    """Selections and joins of one graph (or one component's derivation)."""
+
+    selections: int = 0
+    joins: int = 0
+    #: signature -> number of occurrences (shared boxes count once)
+    signatures: list[str] = field(default_factory=list)
+
+    @property
+    def total(self) -> int:
+        return self.selections + self.joins
+
+    def merge(self, other: "OperationCount") -> "OperationCount":
+        return OperationCount(
+            selections=self.selections + other.selections,
+            joins=self.joins + other.joins,
+            signatures=self.signatures + other.signatures,
+        )
+
+
+def _base_tables_below(box: Box, seen: set[int] | None = None) -> list[str]:
+    """Sorted base table names reachable below a box (for signatures)."""
+    if seen is None:
+        seen = set()
+    if box.box_id in seen:
+        return []
+    seen.add(box.box_id)
+    if isinstance(box, BaseBox):
+        return [box.table.name]
+    names: list[str] = []
+    for child in box.child_boxes():
+        names.extend(_base_tables_below(child, seen))
+    return names
+
+
+def _predicate_signature(box: SelectBox) -> str:
+    """Order-insensitive rendering of the box's predicates.
+
+    QRef leaves print as quantifier-name.column; since the workload
+    queries name quantifiers after the tables/views they range over, two
+    structurally identical derivations produce identical signatures.
+    """
+    rendered = sorted(str(p) for p in box.predicates)
+    return " & ".join(rendered)
+
+
+def box_signature(box: Box) -> str:
+    """A structural signature identifying "the same operation" across
+    independently compiled graphs."""
+    tables = ",".join(sorted(_base_tables_below(box)))
+    if isinstance(box, SelectBox):
+        kinds = "".join(sorted(q.qtype for q in box.body_quantifiers))
+        return f"select[{kinds}]({tables}){{{_predicate_signature(box)}}}"
+    if isinstance(box, GroupByBox):
+        keys = ",".join(str(k) for k in box.group_keys)
+        return f"groupby({tables})[{keys}]"
+    if isinstance(box, SetOpBox):
+        return f"{box.operator.lower()}({tables})"
+    if isinstance(box, OuterJoinBox):
+        return f"outerjoin({tables}){{{box.condition}}}"
+    return f"{box.kind}({tables})"
+
+
+def count_box(box: Box) -> tuple[int, int]:
+    """(selections, joins) contributed by a single box."""
+    if isinstance(box, SelectBox):
+        joining = [q for q in box.body_quantifiers
+                   if q.qtype in (Quantifier.F, Quantifier.E, Quantifier.A)]
+        joins = max(0, len(joining) - 1)
+        has_local = any(
+            len(quantifiers_in(p)) <= 1 for p in box.predicates
+        )
+        return (1 if has_local else 0), joins
+    if isinstance(box, OuterJoinBox):
+        return 0, 1
+    return 0, 0
+
+
+def count_operations(graph_or_box: QGMGraph | Box) -> OperationCount:
+    """Count operations over all boxes reachable from a graph or box."""
+    if isinstance(graph_or_box, QGMGraph):
+        boxes = graph_or_box.all_boxes()
+    else:
+        boxes = _boxes_below(graph_or_box)
+    result = OperationCount()
+    for box in boxes:
+        selections, joins = count_box(box)
+        result.selections += selections
+        result.joins += joins
+        if selections or joins:
+            result.signatures.append(box_signature(box))
+    return result
+
+
+def _boxes_below(box: Box) -> list[Box]:
+    seen: dict[int, Box] = {}
+
+    def visit(current: Box) -> None:
+        if current.box_id in seen:
+            return
+        seen[current.box_id] = current
+        for child in current.child_boxes():
+            visit(child)
+
+    visit(box)
+    return list(seen.values())
+
+
+def replicated_operations(counts: list[OperationCount]) -> list[int]:
+    """Per-graph count of operations already produced by an earlier graph.
+
+    Mirrors the paper's "Replicated Query Components" column: processing
+    the single-component queries in order, an operation whose signature
+    was already computed for a previous component is redundant work that
+    a common-subexpression framework would share.
+    """
+    seen: set[str] = set()
+    replicated: list[int] = []
+    for count in counts:
+        duplicated = sum(1 for s in count.signatures if s in seen)
+        replicated.append(duplicated)
+        seen.update(count.signatures)
+    return replicated
+
+
+def distinct_operations(counts: list[OperationCount]) -> int:
+    """Number of distinct operation signatures across all graphs."""
+    signatures: set[str] = set()
+    for count in counts:
+        signatures.update(count.signatures)
+    return len(signatures)

@@ -1,0 +1,16 @@
+"""Rule-based query rewrite: shared engine, NF rules, XNF rules."""
+
+from repro.rewrite.engine import RewriteContext, Rule, RuleEngine
+from repro.rewrite.nf_rules import (DEFAULT_NF_RULES, ExistentialToJoin,
+                                    PredicatePushdown, SelectMerge,
+                                    SetOpPushdown,
+                                    TrivialPredicateElimination,
+                                    columns_unique_in, equated_columns,
+                                    prune_unused_columns)
+
+__all__ = [
+    "RewriteContext", "Rule", "RuleEngine",
+    "DEFAULT_NF_RULES", "ExistentialToJoin", "PredicatePushdown",
+    "SelectMerge", "SetOpPushdown", "TrivialPredicateElimination",
+    "columns_unique_in", "equated_columns", "prune_unused_columns",
+]

@@ -1,0 +1,80 @@
+"""The rule engine shared by NF rewrite and XNF semantic rewrite.
+
+Sect. 4.4: "Both apply the same transformation techniques, i.e.,
+rule-based rewriting, and both use the same rule representation mechanism
+as well as the same rule engine."  Rules are condition/action pairs over
+QGM boxes; the engine drives them to a fixpoint with a budget so a buggy
+rule cannot loop forever.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import RewriteError
+from repro.qgm.model import Box, QGMGraph
+from repro.storage.catalog import Catalog
+
+
+@dataclass
+class RewriteContext:
+    """State visible to rules: the graph, the catalog, and bookkeeping."""
+
+    graph: QGMGraph
+    catalog: Catalog
+    #: rule name -> number of successful applications (for EXPLAIN/tests)
+    applications: dict[str, int] = field(default_factory=dict)
+
+    def reference_counts(self) -> dict[int, int]:
+        return self.graph.reference_counts()
+
+    def record(self, rule_name: str) -> None:
+        self.applications[rule_name] = self.applications.get(rule_name, 0) + 1
+
+
+class Rule:
+    """One rewrite rule: a condition and an action over a single box.
+
+    ``apply`` returns True when it changed the graph; the engine then
+    restarts the scan (graph shape may have changed arbitrarily).
+    """
+
+    name = "rule"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        raise NotImplementedError
+
+    def apply(self, box: Box, context: RewriteContext) -> bool:
+        raise NotImplementedError
+
+
+class RuleEngine:
+    """Fixpoint driver: apply rules to boxes until nothing fires."""
+
+    def __init__(self, rules: list[Rule], budget: int = 10_000):
+        self.rules = list(rules)
+        self.budget = budget
+
+    def run(self, graph: QGMGraph, catalog: Catalog) -> RewriteContext:
+        context = RewriteContext(graph=graph, catalog=catalog)
+        remaining = self.budget
+        changed = True
+        while changed:
+            changed = False
+            for rule in self.rules:
+                for box in graph.all_boxes():
+                    if not rule.matches(box, context):
+                        continue
+                    if rule.apply(box, context):
+                        context.record(rule.name)
+                        changed = True
+                        remaining -= 1
+                        if remaining <= 0:
+                            raise RewriteError(
+                                f"rewrite budget exhausted; last rule: "
+                                f"{rule.name}"
+                            )
+                        break  # graph changed: rescan boxes
+                if changed:
+                    break  # restart from the first rule
+        return context

@@ -1,0 +1,426 @@
+"""NF rewrite rules: the Starburst query rewrite stage (Sect. 3.2, [39]).
+
+The two headline rules from the paper's Fig. 3 walkthrough:
+
+* :class:`ExistentialToJoin` — the "E to F Quantifier Conversion" rule:
+  an existential quantifier becomes a ForEach quantifier (a join) when
+  the conversion cannot introduce duplicates (the matched side is unique
+  on the equated columns) or when the box already enforces DISTINCT.
+* :class:`SelectMerge` — merges a select box into its consumer
+  ("combining the two SELECT boxes into one"), provided the lower box is
+  not shared: shared boxes are exactly the common subexpressions the XNF
+  rewrite wants evaluated once, so merging them would undo multi-query
+  optimization.
+
+Plus supporting cleanup: predicate pushdown (below DISTINCT and through
+UNION branches) and global pruning of unused head columns.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.model import (BaseBox, Box, GroupByBox, QGMGraph, QRef,
+                             Quantifier, RidRef, SelectBox, SetOpBox, TopBox,
+                             XNFBox, quantifiers_in, replace_qrefs,
+                             walk_qgm_expression)
+from repro.rewrite.engine import Rule, RewriteContext
+from repro.sql import ast
+
+
+# ----------------------------------------------------------------------
+# Uniqueness inference (used by E-to-F)
+# ----------------------------------------------------------------------
+def columns_unique_in(box: Box, columns: set[str]) -> bool:
+    """Can two distinct rows of ``box`` agree on all of ``columns``?
+
+    Conservative: returns True only when provably unique — via primary
+    keys, unique indexes, DISTINCT heads, group-by keys, or simple
+    select chains over those.
+    """
+    upper = {c.upper() for c in columns}
+    if isinstance(box, BaseBox):
+        table = box.table
+        pk = {c.upper() for c in table.primary_key}
+        if pk and pk <= upper:
+            return True
+        for index in table.indexes:
+            if index.unique and \
+                    {c.upper() for c in index.column_names} <= upper:
+                return True
+        return False
+    if isinstance(box, SelectBox):
+        if box.distinct and upper >= {c.name.upper() for c in box.head}:
+            return True
+        foreach = box.foreach_quantifiers()
+        if len(foreach) != 1:
+            return False
+        quantifier = foreach[0]
+        mapped: set[str] = set()
+        for column in box.head:
+            if column.name.upper() not in upper:
+                continue
+            if isinstance(column.expression, QRef) \
+                    and column.expression.quantifier is quantifier:
+                mapped.add(column.expression.column.upper())
+            elif isinstance(column.expression, RidRef) \
+                    and column.expression.quantifier is quantifier:
+                return True  # a RID column is unique by construction
+        return bool(mapped) and columns_unique_in(quantifier.box, mapped)
+    if isinstance(box, GroupByBox):
+        key_names = {
+            column.name.upper()
+            for column, _key in zip(box.head, box.group_keys)
+        }
+        return bool(key_names) and key_names <= upper
+    if isinstance(box, SetOpBox):
+        if not box.all_rows:
+            return upper >= {c.name.upper() for c in box.head}
+        return False
+    return False
+
+
+def equated_columns(box: SelectBox, quantifier: Quantifier,
+                    foreach_other_side: bool = False) -> set[str]:
+    """Head columns of ``quantifier``'s box equated (by a conjunct of
+    ``box``) to expressions not involving ``quantifier``.
+
+    With ``foreach_other_side`` the other side must reference only
+    ForEach quantifiers (or constants).  The E-to-F rule needs this:
+    uniqueness against an expression that is itself existentially
+    quantified says nothing about the output multiplicity, so such
+    equalities must not license the conversion.
+    """
+    equated: set[str] = set()
+    for predicate in box.predicates:
+        if not isinstance(predicate, ast.BinaryOp) or predicate.op != "=":
+            continue
+        for this, other in ((predicate.left, predicate.right),
+                            (predicate.right, predicate.left)):
+            if not (isinstance(this, QRef)
+                    and this.quantifier is quantifier):
+                continue
+            others = quantifiers_in(other)
+            if quantifier in others:
+                continue
+            if foreach_other_side and any(
+                    q.qtype != Quantifier.F for q in others):
+                continue
+            equated.add(this.column.upper())
+    return equated
+
+
+# ----------------------------------------------------------------------
+# Rules
+# ----------------------------------------------------------------------
+class ExistentialToJoin(Rule):
+    """Convert an E quantifier into an F quantifier (Fig. 3b).
+
+    Sound when (a) the equated columns are unique in the quantified box —
+    each outer row finds at most one match, so no duplicates appear — or
+    (b) the box already enforces DISTINCT on its head, which absorbs any
+    duplicates the conversion introduces.
+    """
+
+    name = "E2F"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            self._candidate(box) is not None
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        quantifier = self._candidate(box)
+        if quantifier is None:
+            return False
+        quantifier.qtype = Quantifier.F
+        return True
+
+    @staticmethod
+    def _candidate(box: SelectBox):
+        for quantifier in box.existential_quantifiers():
+            if box.distinct:
+                return quantifier
+            equated = equated_columns(box, quantifier,
+                                      foreach_other_side=True)
+            if equated and columns_unique_in(quantifier.box, equated):
+                return quantifier
+        return None
+
+
+class SelectMerge(Rule):
+    """Merge an unshared simple select box into its consumer (Fig. 3c).
+
+    An F quantifier over a lower SelectBox is replaced by the lower box's
+    body; head references are substituted by the lower head expressions.
+    E quantifiers over a lower select merge too: the lower box's ForEach
+    quantifiers become existential in the upper box (the existential
+    scope distributes over the conjunctive body).
+    """
+
+    name = "SelectMerge"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            self._candidate(box, context) is not None
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        quantifier = self._candidate(box, context)
+        if quantifier is None:
+            return False
+        lower: SelectBox = quantifier.box
+        substitution = {
+            column.name.upper(): column.expression for column in lower.head
+        }
+
+        def mapping(leaf):
+            if isinstance(leaf, QRef) and leaf.quantifier is quantifier:
+                return substitution[leaf.column.upper()]
+            return leaf
+
+        for column in box.head:
+            if column.expression is not None:
+                column.expression = replace_qrefs(column.expression, mapping)
+        box.predicates = [replace_qrefs(p, mapping) for p in box.predicates]
+        box.order_by = [(replace_qrefs(e, mapping), d)
+                        for e, d in box.order_by]
+        box.remove_quantifier(quantifier)
+        for moved in lower.body_quantifiers:
+            if quantifier.qtype == Quantifier.E \
+                    and moved.qtype == Quantifier.F:
+                moved.qtype = Quantifier.E
+            box.add_quantifier(moved)
+        box.predicates.extend(lower.predicates)
+        return True
+
+    @staticmethod
+    def _candidate(box: SelectBox, context: RewriteContext):
+        counts = context.reference_counts()
+        for quantifier in box.body_quantifiers:
+            lower = quantifier.box
+            if not isinstance(lower, SelectBox):
+                continue
+            if counts.get(lower.box_id, 0) != 1:
+                continue  # shared: keep as a common subexpression
+            if lower.distinct or lower.order_by or lower.limit is not None \
+                    or lower.offset is not None:
+                continue
+            if any(column.expression is None for column in lower.head):
+                continue
+            if quantifier.qtype == Quantifier.F:
+                return quantifier
+            if quantifier.qtype == Quantifier.E and all(
+                    q.qtype in (Quantifier.F, Quantifier.E)
+                    for q in lower.body_quantifiers):
+                return quantifier
+        return None
+
+
+class PredicatePushdown(Rule):
+    """Push a single-quantifier predicate below a DISTINCT select box.
+
+    SelectMerge flattens plain unshared selects, so this rule only needs
+    to handle the boxes SelectMerge must skip: DISTINCT (and ORDER BY)
+    boxes without LIMIT/OFFSET, where filtering commutes.
+    """
+
+    name = "Pushdown"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            self._candidate(box, context) is not None
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        found = self._candidate(box, context)
+        if found is None:
+            return False
+        predicate, quantifier = found
+        lower: SelectBox = quantifier.box
+
+        def mapping(leaf):
+            if isinstance(leaf, QRef) and leaf.quantifier is quantifier:
+                return lower.head_column(leaf.column).expression
+            return leaf
+
+        box.predicates.remove(predicate)
+        lower.predicates.append(replace_qrefs(predicate, mapping))
+        return True
+
+    @staticmethod
+    def _candidate(box: SelectBox, context: RewriteContext):
+        counts = context.reference_counts()
+        for predicate in box.predicates:
+            referenced = quantifiers_in(predicate)
+            if len(referenced) != 1:
+                continue
+            quantifier = next(iter(referenced))
+            if quantifier not in box.body_quantifiers:
+                continue
+            if quantifier.qtype not in (Quantifier.F, Quantifier.E):
+                continue
+            lower = quantifier.box
+            if not isinstance(lower, SelectBox):
+                continue
+            if counts.get(lower.box_id, 0) != 1:
+                continue
+            if not (lower.distinct or lower.order_by):
+                continue  # SelectMerge's territory
+            if lower.limit is not None or lower.offset is not None:
+                continue
+            if any(column.expression is None for column in lower.head):
+                continue
+            return predicate, quantifier
+        return None
+
+
+class SetOpPushdown(Rule):
+    """Push a single-quantifier predicate into all UNION branches."""
+
+    name = "SetOpPushdown"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            self._candidate(box) is not None
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        found = self._candidate(box)
+        if found is None:
+            return False
+        predicate, quantifier = found
+        setop: SetOpBox = quantifier.box
+        positions = {c.name.upper(): i for i, c in enumerate(setop.head)}
+        box.predicates.remove(predicate)
+        for input_q in setop.inputs:
+            branch: SelectBox = input_q.box
+
+            def mapping(leaf, _branch=branch):
+                if isinstance(leaf, QRef) and leaf.quantifier is quantifier:
+                    return _branch.head[positions[leaf.column.upper()]] \
+                        .expression
+                return leaf
+
+            branch.predicates.append(replace_qrefs(predicate, mapping))
+        return True
+
+    @staticmethod
+    def _candidate(box: SelectBox):
+        for predicate in box.predicates:
+            referenced = quantifiers_in(predicate)
+            if len(referenced) != 1:
+                continue
+            quantifier = next(iter(referenced))
+            if quantifier not in box.body_quantifiers:
+                continue
+            setop = quantifier.box
+            if not isinstance(setop, SetOpBox) or setop.operator != "UNION":
+                continue
+            if not all(
+                isinstance(i.box, SelectBox)
+                and all(c.expression is not None for c in i.box.head)
+                for i in setop.inputs
+            ):
+                continue
+            if any(isinstance(node, RidRef)
+                   for node in walk_qgm_expression(predicate)):
+                continue
+            return predicate, quantifier
+        return None
+
+
+class TrivialPredicateElimination(Rule):
+    """Drop Literal(TRUE) conjuncts left by subquery detachment."""
+
+    name = "DropTrue"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            ast.Literal(True) in box.predicates
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        before = len(box.predicates)
+        box.predicates = [p for p in box.predicates
+                          if p != ast.Literal(True)]
+        return len(box.predicates) != before
+
+
+DEFAULT_NF_RULES: list[Rule] = [
+    TrivialPredicateElimination(),
+    ExistentialToJoin(),
+    SelectMerge(),
+    PredicatePushdown(),
+    SetOpPushdown(),
+]
+
+
+# ----------------------------------------------------------------------
+# Global head pruning (a pass, not a local rule)
+# ----------------------------------------------------------------------
+def prune_unused_columns(graph: QGMGraph) -> int:
+    """Remove head columns no consumer references.  Returns #removed.
+
+    Heads of TOP outputs, DISTINCT boxes, set-operation participants
+    (positional correspondence), group-by boxes and XNF components stay
+    untouched.
+    """
+    used: dict[int, set[str]] = {}
+    keep_all: set[int] = set()
+
+    def mark_expression(expression: ast.Expression) -> None:
+        for node in walk_qgm_expression(expression):
+            if isinstance(node, QRef):
+                used.setdefault(node.quantifier.box.box_id,
+                                set()).add(node.column.upper())
+            elif isinstance(node, RidRef):
+                keep_all.add(node.quantifier.box.box_id)
+
+    for box in graph.all_boxes():
+        if isinstance(box, TopBox):
+            for output in box.outputs:
+                keep_all.add(output.box.box_id)
+        elif isinstance(box, XNFBox):
+            for component in box.components.values():
+                keep_all.add(component.box.box_id)
+            for relationship in box.relationships.values():
+                if relationship.predicate is not None:
+                    mark_expression(relationship.predicate)
+        elif isinstance(box, SetOpBox):
+            keep_all.add(box.box_id)
+            for input_q in box.inputs:
+                keep_all.add(input_q.box.box_id)
+        elif isinstance(box, SelectBox):
+            if box.distinct:
+                keep_all.add(box.box_id)
+            for column in box.head:
+                if column.expression is not None:
+                    mark_expression(column.expression)
+            for predicate in box.predicates:
+                mark_expression(predicate)
+            for expression, _desc in box.order_by:
+                mark_expression(expression)
+        elif isinstance(box, GroupByBox):
+            for column in box.head:
+                if column.expression is not None:
+                    mark_expression(column.expression)
+            for key in box.group_keys:
+                mark_expression(key)
+            for spec in box.aggregates.values():
+                if spec.argument is not None:
+                    mark_expression(spec.argument)
+        else:
+            for column in box.head:
+                if column.expression is not None:
+                    mark_expression(column.expression)
+            condition = getattr(box, "condition", None)
+            if condition is not None:
+                mark_expression(condition)
+
+    removed = 0
+    for box in graph.all_boxes():
+        if not isinstance(box, SelectBox):
+            continue
+        if box.box_id in keep_all:
+            continue
+        wanted = used.get(box.box_id, set())
+        kept = [c for c in box.head if c.name.upper() in wanted]
+        if not kept and box.head:
+            kept = box.head[:1]  # a derived table needs at least one column
+        removed += len(box.head) - len(kept)
+        box.head = kept
+    return removed

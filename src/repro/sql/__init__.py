@@ -1,0 +1,10 @@
+"""SQL + XNF language frontend: lexer, AST, parser."""
+
+from repro.sql.lexer import Lexer, Token, TokenType, tokenize
+from repro.sql.parser import (Parser, parse_expression, parse_script,
+                              parse_statement)
+
+__all__ = [
+    "Lexer", "Token", "TokenType", "tokenize",
+    "Parser", "parse_expression", "parse_script", "parse_statement",
+]

@@ -1,0 +1,210 @@
+"""Tokenizer for the SQL subset plus XNF extensions.
+
+The first of CORONA's five stages: "an incoming SQL query is first broken
+into tokens" (Sect. 3.1).  XNF adds only keywords (OUT, TAKE, RELATE,
+VIA, USING), not new lexical forms, which is part of why the language
+extension was cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum, auto
+
+from repro.errors import LexerError
+
+
+class TokenType(Enum):
+    KEYWORD = auto()
+    IDENTIFIER = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OPERATOR = auto()
+    PUNCTUATION = auto()
+    EOF = auto()
+
+
+#: Reserved words.  Split into SQL core and XNF additions for documentation
+#: value; the lexer treats both sets identically.
+SQL_KEYWORDS = frozenset({
+    "SELECT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER", "ASC",
+    "DESC", "DISTINCT", "ALL", "AS", "AND", "OR", "NOT", "NULL", "IS",
+    "IN", "EXISTS", "BETWEEN", "LIKE", "UNION", "INTERSECT", "EXCEPT",
+    "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "ON", "CROSS",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
+    "CREATE", "TABLE", "VIEW", "INDEX", "UNIQUE", "DROP", "PRIMARY",
+    "KEY", "FOREIGN", "REFERENCES", "CONSTRAINT",
+    "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END", "WITH",
+    "LIMIT", "OFFSET", "COUNT", "SUM", "AVG", "MIN", "MAX",
+})
+
+XNF_KEYWORDS = frozenset({"OUT", "OF", "TAKE", "RELATE", "VIA", "USING"})
+
+KEYWORDS = SQL_KEYWORDS | XNF_KEYWORDS
+
+#: Multi-character operators must be tried before their prefixes.
+OPERATORS = ("<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/")
+
+PUNCTUATION = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value in words
+
+    def __repr__(self) -> str:
+        return f"Token({self.type.name}, {self.value!r})"
+
+
+class Lexer:
+    """Single-pass scanner producing a list of tokens ending with EOF."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def tokenize(self) -> list[Token]:
+        tokens: list[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self.position >= len(self.text):
+                tokens.append(self._token(TokenType.EOF, ""))
+                return tokens
+            tokens.append(self._next_token())
+
+    # ------------------------------------------------------------------
+    def _skip_whitespace_and_comments(self) -> None:
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char in " \t\r\n":
+                self._advance()
+            elif self.text.startswith("--", self.position):
+                while (self.position < len(self.text)
+                       and self.text[self.position] != "\n"):
+                    self._advance()
+            elif self.text.startswith("/*", self.position):
+                end = self.text.find("*/", self.position + 2)
+                if end == -1:
+                    raise LexerError("unterminated block comment",
+                                     self.position, self.line, self.column)
+                while self.position < end + 2:
+                    self._advance()
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        char = self.text[self.position]
+        if char.isalpha() or char == "_":
+            return self._identifier()
+        if char.isdigit():
+            return self._number()
+        if char == "'":
+            return self._string()
+        if char == '"':
+            return self._quoted_identifier()
+        for op in OPERATORS:
+            if self.text.startswith(op, self.position):
+                token = self._token(TokenType.OPERATOR, op)
+                for _ in op:
+                    self._advance()
+                return token
+        if char in PUNCTUATION:
+            token = self._token(TokenType.PUNCTUATION, char)
+            self._advance()
+            return token
+        raise LexerError(f"unexpected character {char!r}",
+                         self.position, self.line, self.column)
+
+    def _identifier(self) -> Token:
+        start = self.position
+        start_line, start_col = self.line, self.column
+        while (self.position < len(self.text)
+               and (self.text[self.position].isalnum()
+                    or self.text[self.position] == "_")):
+            self._advance()
+        word = self.text[start:self.position]
+        upper = word.upper()
+        if upper in KEYWORDS:
+            return Token(TokenType.KEYWORD, upper, start, start_line, start_col)
+        return Token(TokenType.IDENTIFIER, word, start, start_line, start_col)
+
+    def _quoted_identifier(self) -> Token:
+        start = self.position
+        start_line, start_col = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == '"':
+                self._advance()
+                return Token(TokenType.IDENTIFIER, "".join(chars),
+                             start, start_line, start_col)
+            chars.append(char)
+            self._advance()
+        raise LexerError("unterminated quoted identifier",
+                         start, start_line, start_col)
+
+    def _number(self) -> Token:
+        start = self.position
+        start_line, start_col = self.line, self.column
+        seen_dot = False
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char.isdigit():
+                self._advance()
+            elif char == "." and not seen_dot:
+                following = self.text[self.position + 1:self.position + 2]
+                if not following.isdigit():
+                    break  # "1." followed by non-digit: dot is punctuation
+                seen_dot = True
+                self._advance()
+            else:
+                break
+        return Token(TokenType.NUMBER, self.text[start:self.position],
+                     start, start_line, start_col)
+
+    def _string(self) -> Token:
+        start = self.position
+        start_line, start_col = self.line, self.column
+        self._advance()  # opening quote
+        chars: list[str] = []
+        while self.position < len(self.text):
+            char = self.text[self.position]
+            if char == "'":
+                if self.text[self.position + 1:self.position + 2] == "'":
+                    chars.append("'")
+                    self._advance()
+                    self._advance()
+                    continue
+                self._advance()
+                return Token(TokenType.STRING, "".join(chars),
+                             start, start_line, start_col)
+            chars.append(char)
+            self._advance()
+        raise LexerError("unterminated string literal",
+                         start, start_line, start_col)
+
+    def _advance(self) -> None:
+        if self.text[self.position] == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        self.position += 1
+
+    def _token(self, type_: TokenType, value: str) -> Token:
+        return Token(type_, value, self.position, self.line, self.column)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Convenience wrapper: tokenize ``text`` in one call."""
+    return Lexer(text).tokenize()

@@ -1,0 +1,304 @@
+"""The system catalog.
+
+The catalog owns all schema objects: base tables, indexes, foreign keys,
+and view definitions (both plain SQL views and XNF composite-object
+views, which are stored as their parsed definition and expanded at
+compile time like Starburst did).  It also enforces referential
+constraints, since only the catalog can see both sides of a foreign key.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.errors import CatalogError, UpdateError
+from repro.storage.index import HashIndex, Index, OrderedIndex
+from repro.storage.table import Row, Table
+from repro.storage.types import Column
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A declared FK: child table/columns reference parent table/columns.
+
+    These are the "parent/child links present in the database" the paper's
+    Sect. 5.1 asks the optimizer to exploit; the optimizer uses them to
+    know a child row joins at most one parent row (no dedup needed after
+    E-to-F conversion) and to prefer index access on the child side.
+    """
+
+    name: str
+    child_table: str
+    child_columns: tuple[str, ...]
+    parent_table: str
+    parent_columns: tuple[str, ...]
+
+
+@dataclass
+class ViewDefinition:
+    """A stored view: its name, parsed definition AST, and source text."""
+
+    name: str
+    definition: Any  # repro.sql.ast.SelectStatement or XNFQuery
+    text: str
+    is_xnf: bool = False
+    column_names: tuple[str, ...] = field(default_factory=tuple)
+
+
+class Catalog:
+    """All schema objects of one database, keyed case-insensitively."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Table] = {}
+        self._indexes: dict[str, Index] = {}
+        self._views: dict[str, ViewDefinition] = {}
+        self._foreign_keys: dict[str, ForeignKey] = {}
+
+    # ------------------------------------------------------------------
+    # Name handling
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(name: str) -> str:
+        return name.upper()
+
+    def _check_fresh(self, name: str) -> None:
+        key = self._key(name)
+        if key in self._tables or key in self._views:
+            raise CatalogError(f"object {name!r} already exists")
+
+    # ------------------------------------------------------------------
+    # Tables
+    # ------------------------------------------------------------------
+    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+        self._check_fresh(name)
+        table = Table(self._key(name), columns)
+        self._tables[self._key(name)] = table
+        return table
+
+    def drop_table(self, name: str) -> None:
+        key = self._key(name)
+        if key not in self._tables:
+            raise CatalogError(f"no table named {name!r}")
+        referencing = [
+            fk.name for fk in self._foreign_keys.values()
+            if self._key(fk.parent_table) == key
+            and self._key(fk.child_table) != key
+        ]
+        if referencing:
+            raise CatalogError(
+                f"cannot drop {name!r}: referenced by foreign keys {referencing}"
+            )
+        del self._tables[key]
+        self._indexes = {
+            iname: idx for iname, idx in self._indexes.items()
+            if self._key(idx.table_name) != key
+        }
+        self._foreign_keys = {
+            fname: fk for fname, fk in self._foreign_keys.items()
+            if self._key(fk.child_table) != key
+        }
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[self._key(name)]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return self._key(name) in self._tables
+
+    def tables(self) -> list[Table]:
+        return list(self._tables.values())
+
+    # ------------------------------------------------------------------
+    # Indexes
+    # ------------------------------------------------------------------
+    def create_index(self, name: str, table_name: str,
+                     column_names: Sequence[str], unique: bool = False,
+                     ordered: bool = False) -> Index:
+        key = self._key(name)
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        table = self.table(table_name)
+        cls = OrderedIndex if ordered else HashIndex
+        index = cls(key, table, [c for c in column_names], unique=unique)
+        table.attach_index(index)
+        self._indexes[key] = index
+        return index
+
+    def drop_index(self, name: str) -> None:
+        key = self._key(name)
+        index = self._indexes.pop(key, None)
+        if index is None:
+            raise CatalogError(f"no index named {name!r}")
+        self.table(index.table_name).detach_index(index)
+
+    def index(self, name: str) -> Index:
+        try:
+            return self._indexes[self._key(name)]
+        except KeyError:
+            raise CatalogError(f"no index named {name!r}") from None
+
+    def indexes_on(self, table_name: str,
+                   column_names: Sequence[str] | None = None) -> list[Index]:
+        """Indexes on a table, optionally only those keyed exactly on
+        ``column_names`` (order-insensitive)."""
+        key = self._key(table_name)
+        found = [
+            idx for idx in self._indexes.values()
+            if self._key(idx.table_name) == key
+        ]
+        if column_names is not None:
+            wanted = {c.upper() for c in column_names}
+            found = [
+                idx for idx in found
+                if {c.upper() for c in idx.column_names} == wanted
+            ]
+        return found
+
+    # ------------------------------------------------------------------
+    # Foreign keys
+    # ------------------------------------------------------------------
+    def add_foreign_key(self, name: str, child_table: str,
+                        child_columns: Sequence[str], parent_table: str,
+                        parent_columns: Sequence[str]) -> ForeignKey:
+        key = self._key(name)
+        if key in self._foreign_keys:
+            raise CatalogError(f"foreign key {name!r} already exists")
+        child = self.table(child_table)
+        parent = self.table(parent_table)
+        for col in child_columns:
+            child.column_position(col)
+        for col in parent_columns:
+            parent.column_position(col)
+        if len(child_columns) != len(parent_columns):
+            raise CatalogError(
+                f"foreign key {name!r}: column count mismatch"
+            )
+        fk = ForeignKey(key, child.name, tuple(c.upper() for c in child_columns),
+                        parent.name, tuple(c.upper() for c in parent_columns))
+        self._foreign_keys[key] = fk
+        return fk
+
+    def foreign_keys(self) -> list[ForeignKey]:
+        return list(self._foreign_keys.values())
+
+    def foreign_keys_of(self, child_table: str) -> list[ForeignKey]:
+        key = self._key(child_table)
+        return [fk for fk in self._foreign_keys.values()
+                if self._key(fk.child_table) == key]
+
+    def find_foreign_key(self, child_table: str, child_columns: Sequence[str],
+                         parent_table: str,
+                         parent_columns: Sequence[str]) -> ForeignKey | None:
+        """The FK matching exactly this child/parent column pairing, if any."""
+        child_cols = tuple(c.upper() for c in child_columns)
+        parent_cols = tuple(c.upper() for c in parent_columns)
+        for fk in self.foreign_keys_of(child_table):
+            if (self._key(fk.parent_table) == self._key(parent_table)
+                    and fk.child_columns == child_cols
+                    and fk.parent_columns == parent_cols):
+                return fk
+        return None
+
+    def check_foreign_keys(self, table_name: str, row: Row) -> None:
+        """Verify a row of ``table_name`` satisfies its outgoing FKs.
+
+        NULL foreign key values are exempt (SQL MATCH SIMPLE semantics).
+        """
+        table = self.table(table_name)
+        for fk in self.foreign_keys_of(table_name):
+            values = tuple(
+                row[table.column_position(c)] for c in fk.child_columns
+            )
+            if None in values:
+                continue
+            parent = self.table(fk.parent_table)
+            if not self._parent_key_exists(parent, fk.parent_columns, values):
+                raise UpdateError(
+                    f"foreign key {fk.name!r} violated: "
+                    f"{fk.child_table}({', '.join(fk.child_columns)}) = "
+                    f"{values!r} has no parent in {fk.parent_table}"
+                )
+
+    def check_no_referencing_children(self, table_name: str,
+                                      row: Row) -> None:
+        """RESTRICT semantics: deleting (or re-keying) a parent row must
+        not strand children referencing it."""
+        parent = self.table(table_name)
+        for fk in self.foreign_keys():
+            if self._key(fk.parent_table) != parent.name:
+                continue
+            parent_values = tuple(
+                row[parent.column_position(c)] for c in fk.parent_columns
+            )
+            if None in parent_values:
+                continue
+            child = self.table(fk.child_table)
+            positions = [child.column_position(c) for c in fk.child_columns]
+            for child_row in child.rows():
+                if tuple(child_row[p] for p in positions) == parent_values:
+                    raise UpdateError(
+                        f"foreign key {fk.name!r} violated: row in "
+                        f"{fk.child_table} still references "
+                        f"{fk.parent_table}{parent_values!r}"
+                    )
+
+    def _parent_key_exists(self, parent: Table, columns: tuple[str, ...],
+                           values: tuple) -> bool:
+        if set(columns) == set(parent.primary_key) and parent.primary_key:
+            ordered = tuple(
+                values[columns.index(c)] for c in parent.primary_key
+            )
+            return parent.lookup_pk(ordered) is not None
+        for index in self.indexes_on(parent.name, columns):
+            ordered = tuple(
+                values[columns.index(c.upper())] for c in index.column_names
+            )
+            return bool(index.lookup(ordered))
+        positions = [parent.column_position(c) for c in columns]
+        return any(
+            tuple(row[p] for p in positions) == values for row in parent.rows()
+        )
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def create_view(self, view: ViewDefinition) -> ViewDefinition:
+        self._check_fresh(view.name)
+        stored = ViewDefinition(
+            name=self._key(view.name),
+            definition=view.definition,
+            text=view.text,
+            is_xnf=view.is_xnf,
+            column_names=view.column_names,
+        )
+        self._views[stored.name] = stored
+        return stored
+
+    def drop_view(self, name: str) -> None:
+        if self._key(name) not in self._views:
+            raise CatalogError(f"no view named {name!r}")
+        del self._views[self._key(name)]
+
+    def view(self, name: str) -> ViewDefinition:
+        try:
+            return self._views[self._key(name)]
+        except KeyError:
+            raise CatalogError(f"no view named {name!r}") from None
+
+    def has_view(self, name: str) -> bool:
+        return self._key(name) in self._views
+
+    def views(self) -> list[ViewDefinition]:
+        return list(self._views.values())
+
+    def resolve(self, name: str) -> Table | ViewDefinition:
+        """A table or view by name — the lookup the FROM clause performs."""
+        key = self._key(name)
+        if key in self._tables:
+            return self._tables[key]
+        if key in self._views:
+            return self._views[key]
+        raise CatalogError(f"no table or view named {name!r}")

@@ -1,0 +1,225 @@
+"""CO clustering and buffer-I/O simulation (Sect. 5.1, Sect. 6).
+
+"Therefore, the plan optimizer should take into account any parent/child
+links present in the database ... and clustering of data on disk for I/O
+and pathlength reduction. ... Together with adequate CO clustering
+strategies, in addition to supporting index structures, these steps lead
+to a relatively fast extraction of COs."  Sect. 6 lists "CO cluster
+facilities" as the follow-on work.
+
+Our tables are in-memory, so clustering is modelled as a *page layout*:
+an assignment of (table, rid) to page numbers.  Two layouts:
+
+* :func:`sequential_layout` — each table stored contiguously in
+  insertion order (the default relational layout);
+* :func:`co_clustered_layout` — rows placed in composite-object order: a
+  depth-first walk from each root row through the catalog's foreign-key
+  links, so a parent and its children share pages.
+
+:class:`LRUBuffer` replays an access trace against a layout and counts
+page faults; :func:`hierarchical_access_trace` produces the CO-shaped
+access pattern (the navigational parent-to-children walk) whose I/O the
+paper wants clustering to reduce.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.errors import StorageError
+from repro.storage.catalog import Catalog, ForeignKey
+
+#: Default rows per simulated page (tuned small so small test databases
+#: still span many pages).
+DEFAULT_ROWS_PER_PAGE = 8
+
+
+@dataclass
+class PageLayout:
+    """An assignment of rows to pages."""
+
+    name: str
+    rows_per_page: int
+    #: (table name, rid) -> page number
+    placement: dict[tuple[str, int], int] = field(default_factory=dict)
+    page_count: int = 0
+
+    def page_of(self, table: str, rid: int) -> int:
+        try:
+            return self.placement[(table.upper(), rid)]
+        except KeyError:
+            raise StorageError(
+                f"layout {self.name!r} has no placement for "
+                f"{table}:{rid}"
+            ) from None
+
+    def _place_all(self, entries: Iterable[tuple[str, int]]) -> None:
+        slot = 0
+        page = 0
+        for table, rid in entries:
+            if slot == self.rows_per_page:
+                slot = 0
+                page += 1
+            self.placement[(table.upper(), rid)] = page
+            slot += 1
+        self.page_count = page + (1 if slot else 0)
+
+
+def sequential_layout(catalog: Catalog, tables: list[str],
+                      rows_per_page: int = DEFAULT_ROWS_PER_PAGE
+                      ) -> PageLayout:
+    """Tables stored one after another, rows in insertion order."""
+    layout = PageLayout(name="sequential", rows_per_page=rows_per_page)
+    entries: list[tuple[str, int]] = []
+    for name in tables:
+        table = catalog.table(name)
+        entries.extend((table.name, rid) for rid, _row in table.scan())
+    layout._place_all(entries)
+    return layout
+
+
+def _children_links(catalog: Catalog,
+                    parent_table: str) -> list[ForeignKey]:
+    parent_key = parent_table.upper()
+    return [fk for fk in catalog.foreign_keys()
+            if fk.parent_table.upper() == parent_key]
+
+
+def co_clustered_layout(catalog: Catalog, root_table: str,
+                        rows_per_page: int = DEFAULT_ROWS_PER_PAGE,
+                        max_depth: int = 6,
+                        extra_tables: tuple[str, ...] = ()) -> PageLayout:
+    """Rows in composite-object order: depth-first from each root row
+    through foreign-key links, children right behind their parent.
+
+    Rows never reached from a root (orphans, other roots' subtrees are
+    visited from *their* roots) are appended afterwards in insertion
+    order, so the layout always covers every row of the touched tables;
+    ``extra_tables`` forces additional tables (e.g. lookup tables only
+    *referenced by* the hierarchy) into the tail of the layout.
+    """
+    layout = PageLayout(name="co-clustered", rows_per_page=rows_per_page)
+    entries: list[tuple[str, int]] = []
+    placed: set[tuple[str, int]] = set()
+    touched_tables: list[str] = []
+
+    def note_table(name: str) -> None:
+        if name.upper() not in (t.upper() for t in touched_tables):
+            touched_tables.append(name.upper())
+
+    def visit(table_name: str, rid: int, depth: int) -> None:
+        key = (table_name.upper(), rid)
+        if key in placed:
+            return
+        placed.add(key)
+        entries.append(key)
+        note_table(table_name)
+        if depth >= max_depth:
+            return
+        table = catalog.table(table_name)
+        row = table.fetch(rid)
+        for fk in _children_links(catalog, table_name):
+            child = catalog.table(fk.child_table)
+            parent_positions = [table.column_position(c)
+                                for c in fk.parent_columns]
+            key_values = tuple(row[p] for p in parent_positions)
+            child_positions = [child.column_position(c)
+                               for c in fk.child_columns]
+            for child_rid, child_row in child.scan():
+                if tuple(child_row[p] for p in child_positions) \
+                        == key_values:
+                    visit(fk.child_table, child_rid, depth + 1)
+
+    root = catalog.table(root_table)
+    note_table(root.name)
+    for name in extra_tables:
+        note_table(catalog.table(name).name)
+    for rid, _row in root.scan():
+        visit(root.name, rid, 0)
+    # Stragglers: every row of every touched table gets a home.
+    for name in touched_tables:
+        table = catalog.table(name)
+        for rid, _row in table.scan():
+            key = (table.name, rid)
+            if key not in placed:
+                placed.add(key)
+                entries.append(key)
+    layout._place_all(entries)
+    return layout
+
+
+class LRUBuffer:
+    """A fixed-size LRU page buffer counting hits and faults."""
+
+    def __init__(self, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise StorageError("buffer needs at least one page")
+        self.capacity = capacity_pages
+        self._pages: OrderedDict[int, bool] = OrderedDict()
+        self.faults = 0
+        self.hits = 0
+
+    def access(self, page: int) -> bool:
+        """Touch a page; returns True on a fault."""
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return False
+        self.faults += 1
+        self._pages[page] = True
+        if len(self._pages) > self.capacity:
+            self._pages.popitem(last=False)
+        return True
+
+    def reset(self) -> None:
+        self._pages.clear()
+        self.faults = 0
+        self.hits = 0
+
+
+def hierarchical_access_trace(catalog: Catalog, root_table: str,
+                              max_depth: int = 6
+                              ) -> Iterator[tuple[str, int]]:
+    """The CO access pattern: every root row, then (recursively) the
+    child rows its foreign-key links reach — the order navigation and
+    extraction touch base data."""
+    root = catalog.table(root_table)
+
+    def visit(table_name: str, rid: int, depth: int,
+              seen: set) -> Iterator[tuple[str, int]]:
+        key = (table_name.upper(), rid)
+        if key in seen:
+            return
+        seen.add(key)
+        yield key
+        if depth >= max_depth:
+            return
+        table = catalog.table(table_name)
+        row = table.fetch(rid)
+        for fk in _children_links(catalog, table_name):
+            child = catalog.table(fk.child_table)
+            parent_positions = [table.column_position(c)
+                                for c in fk.parent_columns]
+            key_values = tuple(row[p] for p in parent_positions)
+            child_positions = [child.column_position(c)
+                               for c in fk.child_columns]
+            for child_rid, child_row in child.scan():
+                if tuple(child_row[p] for p in child_positions) \
+                        == key_values:
+                    yield from visit(fk.child_table, child_rid,
+                                     depth + 1, seen)
+
+    for rid, _row in root.scan():
+        yield from visit(root.name, rid, 0, set())
+
+
+def measure_faults(layout: PageLayout,
+                   trace: Iterable[tuple[str, int]],
+                   buffer_pages: int) -> LRUBuffer:
+    """Replay an access trace against a layout; returns the buffer."""
+    buffer = LRUBuffer(buffer_pages)
+    for table, rid in trace:
+        buffer.access(layout.page_of(table, rid))
+    return buffer

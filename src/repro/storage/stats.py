@@ -1,0 +1,110 @@
+"""Table and column statistics for the cost-based optimizer.
+
+Starburst's plan optimization chooses strategies "based on estimated
+execution costs" (Sect. 3.1).  We keep the classic System R statistics:
+table cardinality, per-column distinct-value counts, and min/max for
+numeric columns.  Statistics are computed on demand (``ANALYZE``-style)
+and cached until the table's row count changes materially.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.storage.catalog import Catalog
+from repro.storage.table import Table
+
+
+@dataclass
+class ColumnStats:
+    """Distribution summary of one column."""
+
+    distinct: int = 1
+    null_fraction: float = 0.0
+    minimum: object = None
+    maximum: object = None
+
+    def selectivity_equals(self, cardinality: int) -> float:
+        """Estimated selectivity of ``col = constant`` (uniformity assumption)."""
+        if cardinality == 0 or self.distinct == 0:
+            return 0.0
+        return (1.0 - self.null_fraction) / self.distinct
+
+
+@dataclass
+class TableStats:
+    """Statistics snapshot for one table."""
+
+    cardinality: int = 0
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats:
+        return self.columns.get(name.upper(), ColumnStats())
+
+
+def analyze_table(table: Table) -> TableStats:
+    """Compute fresh statistics by a full scan of the table."""
+    cardinality = len(table)
+    stats = TableStats(cardinality=cardinality)
+    if cardinality == 0:
+        for column in table.columns:
+            stats.columns[column.name.upper()] = ColumnStats(distinct=0)
+        return stats
+    for position, column in enumerate(table.columns):
+        seen: set = set()
+        nulls = 0
+        minimum = maximum = None
+        for row in table.rows():
+            value = row[position]
+            if value is None:
+                nulls += 1
+                continue
+            seen.add(value)
+            try:
+                if minimum is None or value < minimum:
+                    minimum = value
+                if maximum is None or value > maximum:
+                    maximum = value
+            except TypeError:
+                minimum = maximum = None
+        stats.columns[column.name.upper()] = ColumnStats(
+            distinct=max(len(seen), 1),
+            null_fraction=nulls / cardinality,
+            minimum=minimum,
+            maximum=maximum,
+        )
+    return stats
+
+
+class StatisticsManager:
+    """Caches per-table statistics, invalidating on row-count drift.
+
+    A snapshot is considered stale when the live row count differs from
+    the snapshot's by more than 20% (and at least 16 rows), mimicking how
+    real systems tolerate moderate drift between ANALYZE runs.
+    """
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._snapshots: dict[str, TableStats] = {}
+
+    def stats_for(self, table_name: str) -> TableStats:
+        table = self._catalog.table(table_name)
+        key = table.name
+        snapshot = self._snapshots.get(key)
+        if snapshot is None or self._is_stale(snapshot, table):
+            snapshot = analyze_table(table)
+            self._snapshots[key] = snapshot
+        return snapshot
+
+    def invalidate(self, table_name: str | None = None) -> None:
+        if table_name is None:
+            self._snapshots.clear()
+        else:
+            self._snapshots.pop(table_name.upper(), None)
+
+    @staticmethod
+    def _is_stale(snapshot: TableStats, table: Table) -> bool:
+        current = len(table)
+        drift = abs(current - snapshot.cardinality)
+        return drift >= 16 and drift > 0.2 * max(snapshot.cardinality, 1)

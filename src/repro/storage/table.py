@@ -1,0 +1,222 @@
+"""Heap tables: the CORE-equivalent row store.
+
+A :class:`Table` is a slotted in-memory heap.  Rows live in slots addressed
+by RIDs (row identifiers); deletes leave tombstones so RIDs stay stable and
+indexes can reference rows without relocation, mirroring how a disk-based
+slotted page keeps RIDs valid.  Mutations report themselves to registered
+indexes and to the active transaction's undo log (via callbacks installed
+by :mod:`repro.storage.transactions`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from repro.errors import StorageError, TypeCheckError
+from repro.storage.types import Column, validate_row
+
+#: A row is an immutable tuple of SQL values.
+Row = tuple
+
+#: RID: stable identifier of a row within its table.
+Rid = int
+
+
+class Table:
+    """An in-memory heap table with stable RIDs and index maintenance.
+
+    The table enforces column types, NOT NULL, and primary key uniqueness.
+    Foreign keys are declared in the catalog and enforced there (the
+    catalog sees all tables; a single table cannot check cross-table
+    constraints).
+    """
+
+    def __init__(self, name: str, columns: Sequence[Column]):
+        if not columns:
+            raise StorageError(f"table {name!r} must have at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise StorageError(f"table {name!r} has duplicate column names")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        # SQL identifiers are case-insensitive: index by folded name.
+        self._column_index = {c.name.upper(): i
+                              for i, c in enumerate(columns)}
+        if len(self._column_index) != len(columns):
+            raise StorageError(f"table {name!r} has duplicate column names")
+        self._slots: list[Row | None] = []
+        self._live = 0
+        self._indexes: list[Any] = []  # repro.storage.index.Index instances
+        self._pk_positions = tuple(
+            i for i, c in enumerate(columns) if c.primary_key
+        )
+        self._pk_values: dict[tuple, Rid] = {}
+        #: Undo hook; set by the transaction manager while a txn is open.
+        self.on_mutation: Callable[[str, Rid, Row | None, Row | None], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Schema helpers
+    # ------------------------------------------------------------------
+    def column_position(self, name: str) -> int:
+        """Position of column ``name`` (case-insensitive)."""
+        try:
+            return self._column_index[name.upper()]
+        except KeyError:
+            raise StorageError(
+                f"table {self.name!r} has no column {name!r}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name.upper() in self._column_index
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    @property
+    def primary_key(self) -> tuple[str, ...]:
+        return tuple(self.columns[i].name for i in self._pk_positions)
+
+    # ------------------------------------------------------------------
+    # Row access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._live
+
+    def scan(self) -> Iterator[tuple[Rid, Row]]:
+        """Yield (rid, row) for every live row, in slot order."""
+        for rid, row in enumerate(self._slots):
+            if row is not None:
+                yield rid, row
+
+    def rows(self) -> Iterator[Row]:
+        """Yield live rows without their RIDs."""
+        for _rid, row in self.scan():
+            yield row
+
+    def fetch(self, rid: Rid) -> Row:
+        """Return the row stored at ``rid``; raise if deleted or invalid."""
+        row = self._slots[rid] if 0 <= rid < len(self._slots) else None
+        if row is None:
+            raise StorageError(f"table {self.name!r}: rid {rid} is not live")
+        return row
+
+    def is_live(self, rid: Rid) -> bool:
+        return 0 <= rid < len(self._slots) and self._slots[rid] is not None
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, values: Iterable[Any]) -> Rid:
+        """Validate and append a row; returns its RID."""
+        row = validate_row(self.columns, values)
+        self._check_pk_available(row)
+        rid = len(self._slots)
+        self._slots.append(row)
+        self._live += 1
+        self._register_pk(row, rid)
+        for index in self._indexes:
+            index.on_insert(rid, row)
+        if self.on_mutation is not None:
+            self.on_mutation("insert", rid, None, row)
+        return rid
+
+    def insert_at(self, rid: Rid, row: Row) -> None:
+        """Re-insert a row at a specific (previously deleted) RID.
+
+        Only the transaction undo machinery uses this; it restores the
+        exact pre-delete state, so the row is assumed already validated.
+        """
+        if rid >= len(self._slots):
+            self._slots.extend([None] * (rid - len(self._slots) + 1))
+        if self._slots[rid] is not None:
+            raise StorageError(f"table {self.name!r}: rid {rid} already live")
+        self._slots[rid] = row
+        self._live += 1
+        self._register_pk(row, rid)
+        for index in self._indexes:
+            index.on_insert(rid, row)
+
+    def update(self, rid: Rid, values: Iterable[Any]) -> Row:
+        """Replace the row at ``rid``; returns the new row."""
+        old = self.fetch(rid)
+        new = validate_row(self.columns, values)
+        old_key = self._pk_key(old)
+        new_key = self._pk_key(new)
+        if new_key != old_key:
+            self._check_pk_available(new)
+        self._slots[rid] = new
+        if self._pk_positions:
+            if old_key != new_key:
+                del self._pk_values[old_key]
+                self._pk_values[new_key] = rid
+        for index in self._indexes:
+            index.on_update(rid, old, new)
+        if self.on_mutation is not None:
+            self.on_mutation("update", rid, old, new)
+        return new
+
+    def delete(self, rid: Rid) -> Row:
+        """Delete the row at ``rid``; returns the removed row."""
+        old = self.fetch(rid)
+        self._slots[rid] = None
+        self._live -= 1
+        if self._pk_positions:
+            del self._pk_values[self._pk_key(old)]
+        for index in self._indexes:
+            index.on_delete(rid, old)
+        if self.on_mutation is not None:
+            self.on_mutation("delete", rid, old, None)
+        return old
+
+    def truncate(self) -> None:
+        """Remove all rows (no undo logging; used by workload loaders)."""
+        self._slots.clear()
+        self._live = 0
+        self._pk_values.clear()
+        for index in self._indexes:
+            index.rebuild(self)
+
+    # ------------------------------------------------------------------
+    # Index attachment
+    # ------------------------------------------------------------------
+    def attach_index(self, index: Any) -> None:
+        """Attach an index; it is immediately built over existing rows."""
+        index.rebuild(self)
+        self._indexes.append(index)
+
+    def detach_index(self, index: Any) -> None:
+        self._indexes.remove(index)
+
+    @property
+    def indexes(self) -> tuple:
+        return tuple(self._indexes)
+
+    # ------------------------------------------------------------------
+    # Primary key maintenance
+    # ------------------------------------------------------------------
+    def _pk_key(self, row: Row) -> tuple:
+        return tuple(row[i] for i in self._pk_positions)
+
+    def _check_pk_available(self, row: Row) -> None:
+        if not self._pk_positions:
+            return
+        key = self._pk_key(row)
+        if key in self._pk_values:
+            cols = ", ".join(self.primary_key)
+            raise TypeCheckError(
+                f"duplicate primary key ({cols}) = {key!r} in table {self.name!r}"
+            )
+
+    def _register_pk(self, row: Row, rid: Rid) -> None:
+        if self._pk_positions:
+            self._pk_values[self._pk_key(row)] = rid
+
+    def lookup_pk(self, key: tuple) -> Rid | None:
+        """Find the RID of the row with the given primary key, if any."""
+        if not self._pk_positions:
+            raise StorageError(f"table {self.name!r} has no primary key")
+        return self._pk_values.get(tuple(key))
+
+    def __repr__(self) -> str:
+        return f"<Table {self.name} cols={self.column_names} rows={self._live}>"

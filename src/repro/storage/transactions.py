@@ -1,0 +1,182 @@
+"""Undo-log transactions over heap tables.
+
+The paper leaves transaction/recovery components "totally unchanged"
+(Sect. 6); we provide the minimal machinery the XNF layer needs — atomic
+multi-statement updates with rollback and savepoints, so cache write-back
+(Sect. 5) can apply a batch of updates all-or-nothing.
+
+Single-writer model: one open transaction per :class:`TransactionManager`.
+Every table mutation while a transaction is open appends an undo record;
+rollback replays the records in reverse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TransactionError
+from repro.storage.catalog import Catalog
+from repro.storage.table import Rid, Row, Table
+
+
+@dataclass(frozen=True)
+class UndoRecord:
+    """One logged mutation: enough to invert it exactly."""
+
+    table_name: str
+    action: str  # 'insert' | 'update' | 'delete'
+    rid: Rid
+    before: Row | None
+    after: Row | None
+
+
+class Transaction:
+    """An open transaction: a growing undo log plus named savepoints."""
+
+    def __init__(self, txn_id: int):
+        self.txn_id = txn_id
+        self.log: list[UndoRecord] = []
+        self._savepoints: dict[str, int] = {}
+        self.active = True
+
+    def record(self, record: UndoRecord) -> None:
+        self.log.append(record)
+
+    def set_savepoint(self, name: str) -> None:
+        self._savepoints[name] = len(self.log)
+
+    def savepoint_position(self, name: str) -> int:
+        try:
+            return self._savepoints[name]
+        except KeyError:
+            raise TransactionError(f"no savepoint named {name!r}") from None
+
+    def drop_savepoints_after(self, position: int) -> None:
+        self._savepoints = {
+            name: pos for name, pos in self._savepoints.items()
+            if pos <= position
+        }
+
+
+class TransactionManager:
+    """Begin/commit/rollback over all tables of one catalog.
+
+    While a transaction is open the manager installs itself as the
+    ``on_mutation`` hook of every table so mutations are logged no matter
+    which code path performs them (DML executor, cache write-back, direct
+    API use).
+    """
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+        self._current: Transaction | None = None
+        self._next_id = 1
+        self.committed_count = 0
+        self.rolled_back_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def in_transaction(self) -> bool:
+        return self._current is not None
+
+    @property
+    def current(self) -> Transaction:
+        if self._current is None:
+            raise TransactionError("no transaction in progress")
+        return self._current
+
+    def begin(self) -> Transaction:
+        if self._current is not None:
+            raise TransactionError("a transaction is already in progress")
+        txn = Transaction(self._next_id)
+        self._next_id += 1
+        self._current = txn
+        self._install_hooks()
+        return txn
+
+    def commit(self) -> None:
+        txn = self.current
+        txn.active = False
+        self._current = None
+        self._remove_hooks()
+        self.committed_count += 1
+
+    def rollback(self) -> None:
+        txn = self.current
+        self._remove_hooks()  # undo replay must not be re-logged
+        try:
+            self._undo(txn.log, down_to=0)
+        finally:
+            txn.active = False
+            self._current = None
+            self.rolled_back_count += 1
+
+    # ------------------------------------------------------------------
+    def savepoint(self, name: str) -> None:
+        self.current.set_savepoint(name)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        txn = self.current
+        position = txn.savepoint_position(name)
+        self._remove_hooks()
+        try:
+            self._undo(txn.log, down_to=position)
+            del txn.log[position:]
+            txn.drop_savepoints_after(position)
+        finally:
+            self._install_hooks()
+
+    # ------------------------------------------------------------------
+    def run_atomic(self, thunk) -> Any:
+        """Run ``thunk()`` inside a (possibly nested-by-savepoint) txn.
+
+        If a transaction is already open, uses a savepoint so an inner
+        failure rolls back only the inner work.
+        """
+        if self.in_transaction:
+            name = f"__atomic_{len(self.current.log)}"
+            self.savepoint(name)
+            try:
+                return thunk()
+            except Exception:
+                self.rollback_to_savepoint(name)
+                raise
+        self.begin()
+        try:
+            result = thunk()
+        except Exception:
+            self.rollback()
+            raise
+        self.commit()
+        return result
+
+    # ------------------------------------------------------------------
+    def _install_hooks(self) -> None:
+        for table in self._catalog.tables():
+            table.on_mutation = self._make_hook(table)
+
+    def _remove_hooks(self) -> None:
+        for table in self._catalog.tables():
+            table.on_mutation = None
+
+    def _make_hook(self, table: Table):
+        def hook(action: str, rid: Rid, before: Row | None,
+                 after: Row | None) -> None:
+            if self._current is not None:
+                self._current.record(
+                    UndoRecord(table.name, action, rid, before, after)
+                )
+        return hook
+
+    def _undo(self, log: list[UndoRecord], down_to: int) -> None:
+        for record in reversed(log[down_to:]):
+            table = self._catalog.table(record.table_name)
+            if record.action == "insert":
+                table.delete(record.rid)
+            elif record.action == "delete":
+                table.insert_at(record.rid, record.before)
+            elif record.action == "update":
+                table.update(record.rid, record.before)
+            else:  # pragma: no cover - defensive
+                raise TransactionError(f"unknown undo action {record.action!r}")

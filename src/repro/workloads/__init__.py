@@ -1,0 +1,20 @@
+"""Seeded workload generators for tests, examples and benchmarks."""
+
+from repro.workloads.bom import (BOMScale, bom_view_query,
+                                 build_bom_catalog, create_bom_schema,
+                                 populate_bom)
+from repro.workloads.oo1 import (OO1Scale, build_oo1_catalog,
+                                 create_oo1_schema, oo1_view_query,
+                                 populate_oo1)
+from repro.workloads.orgdb import (DEPS_ARC_QUERY, OrgScale,
+                                   build_org_catalog, create_org_schema,
+                                   populate_org)
+
+__all__ = [
+    "BOMScale", "bom_view_query", "build_bom_catalog",
+    "create_bom_schema", "populate_bom",
+    "OO1Scale", "build_oo1_catalog", "create_oo1_schema",
+    "oo1_view_query", "populate_oo1",
+    "DEPS_ARC_QUERY", "OrgScale", "build_org_catalog",
+    "create_org_schema", "populate_org",
+]

@@ -1,0 +1,120 @@
+"""Bill-of-materials workload: the classic recursive-CO scenario.
+
+A parts-explosion hierarchy: assemblies contain sub-assemblies down to
+atomic parts, stored relationally as a PART table and a CONTAINS
+mapping table (parent part, child part, quantity).  The recursive XNF
+view anchors at selected assemblies and closes over CONTAINS — the
+"derivation rule iterating until a fixed point" of Sect. 2.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.catalog import Catalog
+from repro.storage.types import Column, INTEGER, VARCHAR
+
+
+@dataclass
+class BOMScale:
+    """A forest of assemblies with bounded depth and fanout."""
+
+    roots: int = 3
+    depth: int = 4
+    fanout: int = 3
+    #: Probability that a child is shared with another assembly
+    #: (creating a DAG — object sharing in the CO).
+    share_probability: float = 0.15
+    seed: int = 11
+
+
+def create_bom_schema(catalog: Catalog, with_indexes: bool = True) -> None:
+    catalog.create_table("PART", [
+        Column("PNO", INTEGER, primary_key=True),
+        Column("PNAME", VARCHAR),
+        Column("KIND", VARCHAR),  # 'assembly' | 'atomic'
+        Column("COST", INTEGER),
+    ])
+    catalog.create_table("CONTAINS", [
+        Column("PARENT", INTEGER, nullable=False),
+        Column("CHILD", INTEGER, nullable=False),
+        Column("QTY", INTEGER, nullable=False),
+    ])
+    catalog.add_foreign_key("FK_CONT_PARENT", "CONTAINS", ["PARENT"],
+                            "PART", ["PNO"])
+    catalog.add_foreign_key("FK_CONT_CHILD", "CONTAINS", ["CHILD"],
+                            "PART", ["PNO"])
+    if with_indexes:
+        catalog.create_index("IX_CONT_PARENT", "CONTAINS", ["PARENT"])
+
+
+def populate_bom(catalog: Catalog, scale: BOMScale | None = None) -> dict:
+    scale = scale or BOMScale()
+    rng = random.Random(scale.seed)
+    part = catalog.table("PART")
+    contains = catalog.table("CONTAINS")
+    next_id = 1
+    all_parts: list[int] = []
+    edges = 0
+
+    def make_part(kind: str) -> int:
+        nonlocal next_id
+        pno = next_id
+        next_id += 1
+        part.insert((pno, f"part-{pno}", kind, rng.randint(1, 500)))
+        all_parts.append(pno)
+        return pno
+
+    linked: set[tuple[int, int]] = set()
+
+    def expand(parent: int, depth: int) -> None:
+        nonlocal edges
+        for _ in range(scale.fanout):
+            if all_parts and rng.random() < scale.share_probability:
+                child = rng.choice(all_parts)
+                if child == parent or (parent, child) in linked:
+                    continue
+            else:
+                kind = "atomic" if depth <= 1 else "assembly"
+                child = make_part(kind)
+                if depth > 1:
+                    expand(child, depth - 1)
+            linked.add((parent, child))
+            contains.insert((parent, child, rng.randint(1, 9)))
+            edges += 1
+
+    root_ids = []
+    for _ in range(scale.roots):
+        root = make_part("assembly")
+        root_ids.append(root)
+        expand(root, scale.depth)
+    return {"parts": next_id - 1, "edges": edges, "roots": root_ids}
+
+
+def bom_view_query(root_ids: list[int]) -> str:
+    """The recursive parts-explosion view anchored at ``root_ids``."""
+    anchors = ", ".join(str(r) for r in root_ids)
+    return f"""
+    OUT OF xassembly AS (SELECT * FROM PART WHERE pno IN ({anchors})),
+           xpart AS PART,
+           toplevel AS (RELATE xassembly VIA TOP_CONTAINS, xpart
+                        USING CONTAINS c
+                        WITH c.qty AS qty
+                        WHERE xassembly.pno = c.parent AND
+                              c.child = xpart.pno),
+           subparts AS (RELATE xpart VIA CONTAINS_PART, xpart
+                        USING CONTAINS c
+                        WITH c.qty AS qty
+                        WHERE CONTAINS_PART.pno = c.parent AND
+                              c.child = xpart.pno)
+    TAKE *
+    """
+
+
+def build_bom_catalog(scale: BOMScale | None = None,
+                      with_indexes: bool = True) -> tuple[Catalog, dict]:
+    catalog = Catalog()
+    create_bom_schema(catalog, with_indexes=with_indexes)
+    summary = populate_bom(catalog, scale)
+    return catalog, summary

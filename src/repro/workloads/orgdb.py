@@ -1,0 +1,164 @@
+"""The organizational database of the paper's running example (Fig. 1).
+
+Base tables: DEPT, EMP, PROJ, SKILLS, plus the many-to-many mapping
+tables EMPSKILLS and PROJSKILLS.  The generator is seeded and
+parameterized so benchmarks can sweep scale while keeping the schema
+(and the deps_ARC view) identical to the paper's.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.storage.catalog import Catalog
+from repro.storage.types import Column, INTEGER, VARCHAR
+
+LOCATIONS = ("ARC", "SF", "SJ", "NY", "HD", "LA")
+
+#: The paper's Fig. 1 view, verbatim XNF syntax.
+DEPS_ARC_QUERY = """
+OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+       xemp AS EMP,
+       xproj AS PROJ,
+       xskills AS SKILLS,
+       employment AS (RELATE xdept VIA EMPLOYS, xemp
+                      WHERE xdept.dno = xemp.edno),
+       ownership AS (RELATE xdept VIA HAS, xproj
+                     WHERE xdept.dno = xproj.pdno),
+       empproperty AS (RELATE xemp VIA POSSESSES, xskills
+                       USING EMPSKILLS es
+                       WHERE xemp.eno = es.eseno AND
+                             es.essno = xskills.sno),
+       projproperty AS (RELATE xproj VIA NEEDS, xskills
+                        USING PROJSKILLS ps
+                        WHERE xproj.pno = ps.pspno AND
+                              ps.pssno = xskills.sno)
+TAKE *
+"""
+
+
+@dataclass
+class OrgScale:
+    """Size knobs for the generated database."""
+
+    departments: int = 10
+    employees_per_dept: int = 5
+    projects_per_dept: int = 3
+    skills: int = 20
+    skills_per_employee: int = 2
+    skills_per_project: int = 2
+    #: Fraction of departments located at 'ARC' (the view's restriction).
+    arc_fraction: float = 0.3
+    seed: int = 42
+
+
+def create_org_schema(catalog: Catalog, with_indexes: bool = True) -> None:
+    """Create the six base tables (and, optionally, join indexes)."""
+    catalog.create_table("DEPT", [
+        Column("DNO", INTEGER, primary_key=True),
+        Column("DNAME", VARCHAR),
+        Column("LOC", VARCHAR),
+    ])
+    catalog.create_table("EMP", [
+        Column("ENO", INTEGER, primary_key=True),
+        Column("ENAME", VARCHAR),
+        Column("EDNO", INTEGER),
+        Column("SAL", INTEGER),
+    ])
+    catalog.create_table("PROJ", [
+        Column("PNO", INTEGER, primary_key=True),
+        Column("PNAME", VARCHAR),
+        Column("PDNO", INTEGER),
+        Column("BUDGET", INTEGER),
+    ])
+    catalog.create_table("SKILLS", [
+        Column("SNO", INTEGER, primary_key=True),
+        Column("SNAME", VARCHAR),
+        Column("LEVEL", INTEGER),
+    ])
+    catalog.create_table("EMPSKILLS", [
+        Column("ESENO", INTEGER, nullable=False),
+        Column("ESSNO", INTEGER, nullable=False),
+    ])
+    catalog.create_table("PROJSKILLS", [
+        Column("PSPNO", INTEGER, nullable=False),
+        Column("PSSNO", INTEGER, nullable=False),
+    ])
+    catalog.add_foreign_key("FK_EMP_DEPT", "EMP", ["EDNO"], "DEPT", ["DNO"])
+    catalog.add_foreign_key("FK_PROJ_DEPT", "PROJ", ["PDNO"], "DEPT",
+                            ["DNO"])
+    catalog.add_foreign_key("FK_ES_EMP", "EMPSKILLS", ["ESENO"], "EMP",
+                            ["ENO"])
+    catalog.add_foreign_key("FK_ES_SKILL", "EMPSKILLS", ["ESSNO"], "SKILLS",
+                            ["SNO"])
+    catalog.add_foreign_key("FK_PS_PROJ", "PROJSKILLS", ["PSPNO"], "PROJ",
+                            ["PNO"])
+    catalog.add_foreign_key("FK_PS_SKILL", "PROJSKILLS", ["PSSNO"],
+                            "SKILLS", ["SNO"])
+    if with_indexes:
+        catalog.create_index("IX_EMP_EDNO", "EMP", ["EDNO"])
+        catalog.create_index("IX_PROJ_PDNO", "PROJ", ["PDNO"])
+        catalog.create_index("IX_ES_ENO", "EMPSKILLS", ["ESENO"])
+        catalog.create_index("IX_PS_PNO", "PROJSKILLS", ["PSPNO"])
+
+
+def populate_org(catalog: Catalog, scale: OrgScale | None = None) -> dict:
+    """Fill the schema; returns summary counts for assertions."""
+    scale = scale or OrgScale()
+    rng = random.Random(scale.seed)
+    dept = catalog.table("DEPT")
+    emp = catalog.table("EMP")
+    proj = catalog.table("PROJ")
+    skills = catalog.table("SKILLS")
+    empskills = catalog.table("EMPSKILLS")
+    projskills = catalog.table("PROJSKILLS")
+
+    skill_ids = list(range(1, scale.skills + 1))
+    for sno in skill_ids:
+        skills.insert((sno, f"skill-{sno}", rng.randint(1, 5)))
+
+    arc_count = max(1, round(scale.departments * scale.arc_fraction))
+    employee_id = 1
+    project_id = 1
+    emp_skill_pairs = 0
+    proj_skill_pairs = 0
+    for dno in range(1, scale.departments + 1):
+        location = "ARC" if dno <= arc_count else \
+            LOCATIONS[1 + rng.randrange(len(LOCATIONS) - 1)]
+        dept.insert((dno, f"dept-{dno}", location))
+        for _ in range(scale.employees_per_dept):
+            emp.insert((employee_id, f"emp-{employee_id}", dno,
+                        rng.randint(40, 200) * 1000))
+            count = min(scale.skills_per_employee, len(skill_ids))
+            for sno in rng.sample(skill_ids, count):
+                empskills.insert((employee_id, sno))
+                emp_skill_pairs += 1
+            employee_id += 1
+        for _ in range(scale.projects_per_dept):
+            proj.insert((project_id, f"proj-{project_id}", dno,
+                         rng.randint(10, 500) * 1000))
+            count = min(scale.skills_per_project, len(skill_ids))
+            for sno in rng.sample(skill_ids, count):
+                projskills.insert((project_id, sno))
+                proj_skill_pairs += 1
+            project_id += 1
+
+    return {
+        "departments": scale.departments,
+        "arc_departments": arc_count,
+        "employees": employee_id - 1,
+        "projects": project_id - 1,
+        "skills": scale.skills,
+        "empskills": emp_skill_pairs,
+        "projskills": proj_skill_pairs,
+    }
+
+
+def build_org_catalog(scale: OrgScale | None = None,
+                      with_indexes: bool = True) -> tuple[Catalog, dict]:
+    """Schema + data in one call (what most tests/benchmarks want)."""
+    catalog = Catalog()
+    create_org_schema(catalog, with_indexes=with_indexes)
+    summary = populate_org(catalog, scale)
+    return catalog, summary

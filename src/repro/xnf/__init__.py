@@ -1,0 +1,18 @@
+"""XNF: composite-object views (the paper's primary contribution)."""
+
+from repro.xnf.naive import NaiveXNFEvaluator
+from repro.xnf.result import (ComponentStream, ConnectionStream, COResult,
+                              TaggedTuple, XNFExecutable)
+from repro.xnf.schema_graph import SchemaEdge, SchemaGraph
+from repro.xnf.translate import (OID, POID, ComponentPlanInfo,
+                                 RelationshipPlanInfo, TranslatedXNF,
+                                 XNFOptions, XNFTranslator)
+
+__all__ = [
+    "NaiveXNFEvaluator",
+    "ComponentStream", "ConnectionStream", "COResult", "TaggedTuple",
+    "XNFExecutable",
+    "SchemaEdge", "SchemaGraph",
+    "OID", "POID", "ComponentPlanInfo", "RelationshipPlanInfo",
+    "TranslatedXNF", "XNFOptions", "XNFTranslator",
+]

@@ -1,0 +1,204 @@
+"""CO schema graphs: the structural view of an XNF query (Fig. 1).
+
+Nodes are component tables, edges are relationships (parent -> children,
+possibly n-ary).  The graph answers the structural questions the
+translator and cache need: which components are roots, is the CO
+recursive (a cycle in the schema graph, Sect. 2), what is a valid
+derivation order, and what does a path expression denote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import XNFError
+from repro.qgm.model import XNFBox
+
+
+@dataclass(frozen=True)
+class SchemaEdge:
+    """One relationship edge: parent component -> child components."""
+
+    name: str
+    role: str
+    parent: str
+    children: tuple[str, ...]
+
+
+@dataclass
+class SchemaGraph:
+    """The component/relationship structure of one CO view."""
+
+    components: list[str] = field(default_factory=list)
+    edges: list[SchemaEdge] = field(default_factory=list)
+    roots: list[str] = field(default_factory=list)
+
+    @classmethod
+    def from_xnf_box(cls, box: XNFBox) -> "SchemaGraph":
+        graph = cls()
+        graph.components = list(box.components)
+        graph.edges = [
+            SchemaEdge(r.name, r.role, r.parent, r.children)
+            for r in box.relationships.values()
+        ]
+        graph.roots = box.root_components()
+        graph.validate()
+        return graph
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        known = set(self.components)
+        for edge in self.edges:
+            if edge.parent not in known:
+                raise XNFError(f"edge {edge.name!r}: unknown parent "
+                               f"{edge.parent!r}")
+            for child in edge.children:
+                if child not in known:
+                    raise XNFError(f"edge {edge.name!r}: unknown child "
+                                   f"{child!r}")
+        for root in self.roots:
+            if root not in known:
+                raise XNFError(f"unknown root component {root!r}")
+
+    def incoming(self, component: str) -> list[SchemaEdge]:
+        return [e for e in self.edges if component in e.children]
+
+    def outgoing(self, component: str) -> list[SchemaEdge]:
+        return [e for e in self.edges if e.parent == component]
+
+    def edge(self, name: str) -> SchemaEdge:
+        for candidate in self.edges:
+            if candidate.name == name.upper():
+                return candidate
+        raise XNFError(f"no relationship named {name!r}")
+
+    # ------------------------------------------------------------------
+    def is_recursive(self) -> bool:
+        """A cycle in the schema graph makes the CO recursive (Sect. 2)."""
+        return self.topological_order() is None
+
+    def topological_order(self) -> list[str] | None:
+        """Components ordered parents-before-children; None if cyclic."""
+        indegree: dict[str, int] = {c: 0 for c in self.components}
+        for edge in self.edges:
+            for child in edge.children:
+                if child != edge.parent:
+                    indegree[child] += 1
+        # Kahn's algorithm, keeping the user's definition order stable.
+        order: list[str] = []
+        ready = [c for c in self.components if indegree[c] == 0]
+        while ready:
+            component = ready.pop(0)
+            order.append(component)
+            for edge in self.outgoing(component):
+                for child in edge.children:
+                    if child == edge.parent:
+                        continue
+                    indegree[child] -= 1
+                    if indegree[child] == 0 and child not in order \
+                            and child not in ready:
+                        ready.append(child)
+        if len(order) != len(self.components):
+            return None
+        if any(edge.parent in edge.children for edge in self.edges):
+            return None  # self-loop: recursive
+        return order
+
+    def reachable_components(self) -> set[str]:
+        """Components reachable from the roots along edges."""
+        reached = set(self.roots)
+        frontier = list(self.roots)
+        while frontier:
+            component = frontier.pop()
+            for edge in self.outgoing(component):
+                for child in edge.children:
+                    if child not in reached:
+                        reached.add(child)
+                        frontier.append(child)
+        return reached
+
+    def unreachable_components(self) -> set[str]:
+        return set(self.components) - self.reachable_components()
+
+    # ------------------------------------------------------------------
+    # Path expressions (Sect. 2: "A path expression consists of a
+    # sequence of component tables (and relationships)").
+    # ------------------------------------------------------------------
+    def resolve_path(self, path: str) -> list[SchemaEdge]:
+        """Resolve 'comp.comp2.comp3' or 'comp.rel.comp2' into edges.
+
+        Consecutive components may omit the relationship name when it is
+        unambiguous; the explicit form names the relationship between
+        them.  Returns the edge sequence from the path's head to target.
+        """
+        parts = [p.upper() for p in path.replace("->", ".").split(".")
+                 if p.strip()]
+        if not parts:
+            raise XNFError("empty path expression")
+        if parts[0] not in self.components:
+            raise XNFError(f"path must start at a component, "
+                           f"got {parts[0]!r}")
+        edges: list[SchemaEdge] = []
+        current = parts[0]
+        index = 1
+        while index < len(parts):
+            token = parts[index]
+            edge = self._edge_by_name_from(current, token)
+            if edge is not None:
+                # Explicit relationship name; next token is the child.
+                index += 1
+                if index >= len(parts):
+                    if len(edge.children) != 1:
+                        raise XNFError(
+                            f"relationship {edge.name!r} is n-ary; name "
+                            f"the target component explicitly"
+                        )
+                    current = edge.children[0]
+                else:
+                    target = parts[index]
+                    if target not in edge.children:
+                        raise XNFError(
+                            f"{target!r} is not a child of relationship "
+                            f"{edge.name!r}"
+                        )
+                    current = target
+                    index += 1
+                edges.append(edge)
+                continue
+            # Implicit: token is a child component; find a unique edge.
+            candidates = [e for e in self.outgoing(current)
+                          if token in e.children]
+            if not candidates:
+                raise XNFError(
+                    f"no relationship from {current!r} to {token!r}"
+                )
+            if len(candidates) > 1:
+                names = [e.name for e in candidates]
+                raise XNFError(
+                    f"ambiguous step {current!r} -> {token!r}: "
+                    f"relationships {names}; name one explicitly"
+                )
+            edges.append(candidates[0])
+            current = token
+            index += 1
+        return edges
+
+    def _edge_by_name_from(self, parent: str,
+                           name: str) -> SchemaEdge | None:
+        for edge in self.outgoing(parent):
+            if edge.name == name or edge.role == name:
+                return edge
+        return None
+
+    def path_target(self, path: str) -> str:
+        """The component a path expression denotes."""
+        parts = [p.upper() for p in path.replace("->", ".").split(".")
+                 if p.strip()]
+        edges = self.resolve_path(path)
+        if not edges:
+            return parts[0]
+        last = edges[-1]
+        final_token = parts[-1]
+        if final_token in last.children:
+            return final_token
+        return last.children[0]

@@ -1,0 +1,82 @@
+"""Shared fixtures: small seeded databases used across the suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.database import Database
+from repro.storage.catalog import Catalog
+from repro.storage.types import Column, INTEGER, VARCHAR
+from repro.workloads.bom import BOMScale, create_bom_schema, populate_bom
+from repro.workloads.oo1 import OO1Scale, create_oo1_schema, populate_oo1
+from repro.workloads.orgdb import (DEPS_ARC_QUERY, OrgScale,
+                                   create_org_schema, populate_org)
+
+
+SMALL_ORG = OrgScale(departments=6, employees_per_dept=3,
+                     projects_per_dept=2, skills=8, skills_per_employee=2,
+                     skills_per_project=2, arc_fraction=0.34, seed=7)
+
+
+@pytest.fixture
+def org_db() -> Database:
+    """The paper's Fig. 1 schema with a small seeded population."""
+    db = Database()
+    create_org_schema(db.catalog)
+    populate_org(db.catalog, SMALL_ORG)
+    db.execute(f"CREATE VIEW deps_arc AS {DEPS_ARC_QUERY}")
+    return db
+
+
+@pytest.fixture
+def empty_org_db() -> Database:
+    db = Database()
+    create_org_schema(db.catalog)
+    return db
+
+
+@pytest.fixture
+def oo1_db() -> Database:
+    db = Database()
+    create_oo1_schema(db.catalog)
+    populate_oo1(db.catalog, OO1Scale(parts=120, seed=3))
+    return db
+
+
+@pytest.fixture
+def bom_db() -> tuple[Database, dict]:
+    db = Database()
+    create_bom_schema(db.catalog)
+    info = populate_bom(db.catalog, BOMScale(roots=2, depth=3, fanout=2,
+                                             seed=5))
+    return db, info
+
+
+@pytest.fixture
+def simple_db() -> Database:
+    """Two tiny hand-filled tables for exact-result assertions."""
+    db = Database()
+    db.execute("CREATE TABLE DEPT (DNO INT PRIMARY KEY, DNAME VARCHAR, "
+               "LOC VARCHAR)")
+    db.execute("CREATE TABLE EMP (ENO INT PRIMARY KEY, ENAME VARCHAR, "
+               "EDNO INT, SAL INT)")
+    db.execute("INSERT INTO DEPT VALUES (1,'Tools','ARC'),(2,'Apps','SF'),"
+               "(3,'DB','ARC')")
+    db.execute("INSERT INTO EMP VALUES (10,'ann',1,100),(11,'bob',2,120),"
+               "(12,'carl',1,90),(13,'dee',3,200),(14,'eve',NULL,150)")
+    return db
+
+
+@pytest.fixture
+def bare_catalog() -> Catalog:
+    return Catalog()
+
+
+@pytest.fixture
+def people_table(bare_catalog: Catalog):
+    table = bare_catalog.create_table("PEOPLE", [
+        Column("ID", INTEGER, primary_key=True),
+        Column("NAME", VARCHAR),
+        Column("AGE", INTEGER),
+    ])
+    return table

@@ -1,0 +1,108 @@
+"""CO export tests: nested documents and DOT graphs (Fig. 1 panels)."""
+
+import json
+
+import pytest
+
+from repro.cache.export import (instance_graph_dot, schema_graph_dot,
+                                to_documents)
+from repro.cache.workspace import Workspace
+
+
+@pytest.fixture
+def workspace(org_db) -> Workspace:
+    return Workspace(org_db.xnf("deps_arc"))
+
+
+class TestDocuments:
+    def test_one_document_per_root(self, workspace):
+        documents = to_documents(workspace)
+        assert len(documents) == len(workspace.extent("xdept"))
+        assert all(d["$component"] == "XDEPT" for d in documents)
+
+    def test_nesting_follows_roles(self, workspace):
+        documents = to_documents(workspace)
+        first = documents[0]
+        assert "employs" in first and "has" in first
+        employee = first["employs"][0]
+        assert employee["$component"] == "XEMP"
+        assert "possesses" in employee or employee.get("possesses") is None
+
+    def test_documents_are_json_serializable(self, workspace):
+        documents = to_documents(workspace)
+        round_tripped = json.loads(json.dumps(documents))
+        assert round_tripped[0]["DNAME"] == documents[0]["DNAME"]
+
+    def test_shared_objects_become_refs(self, workspace):
+        documents = to_documents(workspace)
+        text = json.dumps(documents)
+        # The seeded org data shares skills between employees/projects
+        # of the same department, so at least one $ref must appear.
+        assert "$ref" in text
+
+    def test_refs_point_at_emitted_ids(self, workspace):
+        documents = to_documents(workspace)
+
+        def collect(node, ids, refs):
+            if isinstance(node, dict):
+                if "$id" in node:
+                    ids.add(node["$id"])
+                if "$ref" in node:
+                    refs.add(node["$ref"])
+                for value in node.values():
+                    collect(value, ids, refs)
+            elif isinstance(node, list):
+                for item in node:
+                    collect(item, ids, refs)
+
+        for document in documents:  # refs are per-document
+            ids: set = set()
+            refs: set = set()
+            collect(document, ids, refs)
+            assert refs <= ids
+
+    def test_explicit_roots(self, workspace):
+        dept = workspace.extent("xdept")[0]
+        documents = to_documents(workspace, roots=[dept])
+        assert len(documents) == 1
+        assert documents[0]["DNO"] == dept.dno
+
+    def test_max_depth_truncates(self, workspace):
+        documents = to_documents(workspace, max_depth=0)
+        assert all("employs" not in d for d in documents)
+
+
+class TestDotRendering:
+    def test_schema_graph_shape(self, workspace):
+        dot = schema_graph_dot(workspace.schema)
+        assert dot.startswith("digraph schema")
+        assert '"XDEPT" -> "XEMP" [label="employs"]' in dot
+        assert '"XEMP" -> "XSKILLS" [label="possesses"]' in dot
+        assert "peripheries=2" in dot  # roots doubled, as in Fig. 1
+
+    def test_instance_graph_counts(self, workspace):
+        dot = instance_graph_dot(workspace)
+        node_lines = [l for l in dot.splitlines()
+                      if "[label=" in l and "->" not in l]
+        edge_lines = [l for l in dot.splitlines() if "->" in l]
+        assert len(node_lines) == workspace.object_count()
+        total_edges = sum(
+            len(workspace.children_of(obj))
+            for name in workspace.component_names()
+            for obj in workspace.extent(name)
+        )
+        assert len(edge_lines) == total_edges
+
+    def test_instance_labels_configurable(self, workspace):
+        dot = instance_graph_dot(workspace,
+                                 label_columns={"xdept": "DNAME"})
+        assert 'label="dept-1"' in dot
+
+    def test_recursive_view_renders(self, bom_db):
+        db, info = bom_db
+        from repro.workloads.bom import bom_view_query
+        cache = db.open_cache(bom_view_query(info["roots"]))
+        dot = instance_graph_dot(cache.workspace)
+        assert "digraph instances" in dot
+        documents = to_documents(cache.workspace)
+        assert documents  # cycles terminate via $ref markers

@@ -1,0 +1,113 @@
+"""XNFCache tests: evaluate, persistence, reload, write-back wiring."""
+
+import pytest
+
+from repro.errors import CacheError
+from repro.cache.manager import XNFCache
+
+
+class TestEvaluate:
+    def test_open_cache_counts_objects(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        co = org_db.xnf("deps_arc")
+        expected = sum(len(s) for s in co.components.values())
+        assert cache.object_count() == expected
+
+    def test_cursor_factories(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        assert len(cache.independent_cursor("xdept")) > 0
+        dept = cache.extent("xdept")[0]
+        assert len(cache.dependent_cursor("employment", dept)) == \
+            len(dept.children("employment"))
+        assert len(cache.path_cursor("xdept.xemp")) > 0
+
+    def test_updatability_metadata_loaded(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        assert cache.component_updatability["XEMP"].updatable
+        assert cache.relationship_updatability["EMPLOYMENT"].kind == \
+            "foreign_key"
+
+
+class TestPersistence:
+    def test_round_trip_preserves_objects(self, org_db, tmp_path):
+        cache = org_db.open_cache("deps_arc")
+        path = str(tmp_path / "cache.bin")
+        cache.save(path)
+        loaded = XNFCache.load(path)
+        assert loaded.object_count() == cache.object_count()
+        for name in ("xdept", "xemp", "xskills"):
+            original = sorted(tuple(o.values)
+                              for o in cache.extent(name))
+            restored = sorted(tuple(o.values)
+                              for o in loaded.extent(name))
+            assert original == restored
+
+    def test_round_trip_preserves_connections(self, org_db, tmp_path):
+        cache = org_db.open_cache("deps_arc")
+        path = str(tmp_path / "cache.bin")
+        cache.save(path)
+        loaded = XNFCache.load(path)
+        for dept_orig, dept_new in zip(cache.extent("xdept"),
+                                       loaded.extent("xdept")):
+            assert len(dept_orig.children("employment")) == \
+                len(dept_new.children("employment"))
+
+    def test_pending_log_survives_reload(self, org_db, tmp_path):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("xemp")[0]
+        emp.set("SAL", 42)
+        path = str(tmp_path / "cache.bin")
+        cache.save(path)
+        loaded = XNFCache.load(path)
+        assert loaded.dirty
+        assert loaded.pending_changes()[0].operation == "update"
+
+    def test_reloaded_cache_writes_back_with_metadata(self, org_db,
+                                                      tmp_path):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("xemp")[0]
+        emp.set("SAL", 777)
+        path = str(tmp_path / "cache.bin")
+        cache.save(path)
+        translated = org_db.xnf_executable("deps_arc").translated
+        loaded = XNFCache.load(path, catalog=org_db.catalog,
+                               transactions=org_db.transactions,
+                               translated=translated)
+        loaded.write_back()
+        assert org_db.query(
+            f"SELECT sal FROM EMP WHERE eno = {emp.eno}").rows == [(777,)]
+
+    def test_bad_format_rejected(self, org_db, tmp_path):
+        import pickle
+        path = str(tmp_path / "bad.bin")
+        with open(path, "wb") as handle:
+            pickle.dump({"format": 999}, handle)
+        with pytest.raises(CacheError, match="format"):
+            XNFCache.load(path)
+
+    def test_connect_log_survives_reload(self, org_db, tmp_path):
+        cache = org_db.open_cache("deps_arc")
+        depts = cache.extent("xdept")
+        emp = depts[0].children("employment")[0]
+        cache.disconnect("employment", depts[0], emp)
+        cache.connect("employment", depts[1], emp)
+        path = str(tmp_path / "cache.bin")
+        cache.save(path)
+        loaded = XNFCache.load(path)
+        operations = [e.operation for e in loaded.pending_changes()]
+        assert operations == ["disconnect", "connect"]
+
+
+class TestWriteBackWiring:
+    def test_write_back_without_catalog_rejected(self, org_db, tmp_path):
+        cache = org_db.open_cache("deps_arc")
+        path = str(tmp_path / "cache.bin")
+        cache.save(path)
+        loaded = XNFCache.load(path)
+        loaded.workspace.extent("xemp")[0].set("SAL", 1)
+        with pytest.raises(CacheError, match="no catalog"):
+            loaded.write_back()
+
+    def test_clean_write_back_is_zero(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        assert cache.write_back() == 0

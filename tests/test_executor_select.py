@@ -1,0 +1,342 @@
+"""End-to-end SQL SELECT behaviour against hand-checked expectations."""
+
+import pytest
+
+from repro.errors import ExecutionError, SemanticError
+
+
+def rows(db, sql):
+    return db.query(sql).rows
+
+
+class TestProjectionAndFilter:
+    def test_select_star_order(self, simple_db):
+        result = simple_db.query("SELECT * FROM DEPT ORDER BY dno")
+        assert result.columns == ["DNO", "DNAME", "LOC"]
+        assert result.rows[0] == (1, "Tools", "ARC")
+
+    def test_expressions_in_select(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT sal * 2 FROM EMP WHERE eno = 10") == [(200,)]
+
+    def test_where_filters(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT ename FROM EMP WHERE sal >= 150 "
+                    "ORDER BY ename") == [("dee",), ("eve",)]
+
+    def test_null_never_qualifies(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT ename FROM EMP WHERE edno = 1 OR edno <> 1 "
+                    "ORDER BY 1") == [("ann",), ("bob",), ("carl",),
+                                      ("dee",)]
+
+    def test_is_null_predicate(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT ename FROM EMP WHERE edno IS NULL") == \
+            [("eve",)]
+
+    def test_select_constant_without_from(self, simple_db):
+        assert rows(simple_db, "SELECT 1 + 1 AS two") == [(2,)]
+
+    def test_alias_visible_in_result(self, simple_db):
+        result = simple_db.query("SELECT sal AS salary FROM EMP "
+                                 "WHERE eno=10")
+        assert result.columns == ["salary"]
+
+
+class TestJoins:
+    def test_comma_join_with_predicate(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT d.dname, e.ename FROM DEPT d, EMP e "
+                      "WHERE d.dno = e.edno ORDER BY e.eno")
+        assert result == [("Tools", "ann"), ("Apps", "bob"),
+                          ("Tools", "carl"), ("DB", "dee")]
+
+    def test_explicit_inner_join(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT e.ename FROM EMP e JOIN DEPT d "
+                      "ON d.dno = e.edno WHERE d.loc = 'ARC' ORDER BY 1")
+        assert result == [("ann",), ("carl",), ("dee",)]
+
+    def test_cross_join_cardinality(self, simple_db):
+        assert len(rows(simple_db,
+                        "SELECT * FROM DEPT CROSS JOIN EMP")) == 15
+
+    def test_left_join_pads_nulls(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT d.dname, e.ename FROM DEPT d "
+                      "LEFT JOIN EMP e ON d.dno = e.edno AND e.sal > 150 "
+                      "ORDER BY d.dno")
+        assert ("Tools", None) in result
+        assert ("DB", "dee") in result
+
+    def test_left_join_null_join_keys(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT e.ename, d.dname FROM EMP e "
+                      "LEFT JOIN DEPT d ON e.edno = d.dno "
+                      "WHERE e.ename = 'eve'")
+        assert result == [("eve", None)]
+
+    def test_self_join_with_aliases(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT a.ename, b.ename FROM EMP a, EMP b "
+                      "WHERE a.edno = b.edno AND a.eno < b.eno")
+        assert result == [("ann", "carl")]
+
+    def test_three_way_join(self, org_db):
+        result = rows(org_db,
+                      "SELECT COUNT(*) FROM DEPT d, EMP e, EMPSKILLS es "
+                      "WHERE d.dno = e.edno AND e.eno = es.eseno "
+                      "AND d.loc = 'ARC'")
+        assert result[0][0] == 12  # 2 depts * 3 emps * 2 skills
+
+
+class TestSubqueries:
+    def test_exists_rewrites_to_join(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename FROM EMP e WHERE EXISTS "
+                      "(SELECT 1 FROM DEPT d WHERE d.dno = e.edno AND "
+                      "d.loc = 'ARC') ORDER BY 1")
+        assert result == [("ann",), ("carl",), ("dee",)]
+
+    def test_not_exists(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename FROM EMP e WHERE NOT EXISTS "
+                      "(SELECT 1 FROM DEPT d WHERE d.dno = e.edno) "
+                      "ORDER BY 1")
+        assert result == [("eve",)]
+
+    def test_in_subquery(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename FROM EMP WHERE edno IN "
+                      "(SELECT dno FROM DEPT WHERE loc = 'SF')")
+        assert result == [("bob",)]
+
+    def test_not_in_subquery(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename FROM EMP WHERE edno NOT IN "
+                      "(SELECT dno FROM DEPT WHERE loc = 'ARC') "
+                      "ORDER BY 1")
+        assert result == [("bob",)]  # eve's NULL edno is poisoned out
+
+    def test_scalar_subquery(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename FROM EMP "
+                      "WHERE sal = (SELECT MAX(sal) FROM EMP)")
+        assert result == [("dee",)]
+
+    def test_scalar_subquery_multiple_rows_fails(self, simple_db):
+        with pytest.raises(ExecutionError, match="more than one row"):
+            simple_db.query("SELECT (SELECT eno FROM EMP) FROM DEPT")
+
+    def test_scalar_subquery_empty_is_null(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT (SELECT eno FROM EMP WHERE sal > 999) "
+                      "FROM DEPT WHERE dno = 1")
+        assert result == [(None,)]
+
+    def test_correlated_scalar_rejected(self, simple_db):
+        with pytest.raises(SemanticError, match="correlated scalar"):
+            simple_db.query("SELECT (SELECT d.dname FROM DEPT d "
+                            "WHERE d.dno = e.edno) FROM EMP e")
+
+    def test_exists_under_or_rejected(self, simple_db):
+        with pytest.raises(SemanticError, match="UNION"):
+            simple_db.query(
+                "SELECT * FROM EMP e WHERE e.sal > 0 OR EXISTS "
+                "(SELECT 1 FROM DEPT d WHERE d.dno = e.edno)")
+
+    def test_nested_exists(self, org_db):
+        result = rows(org_db,
+                      "SELECT COUNT(*) FROM SKILLS s WHERE EXISTS ("
+                      "SELECT 1 FROM EMPSKILLS es WHERE es.essno = s.sno "
+                      "AND EXISTS (SELECT 1 FROM EMP e, DEPT d WHERE "
+                      "e.eno = es.eseno AND e.edno = d.dno AND "
+                      "d.loc = 'ARC'))")
+        naive = rows(org_db,
+                     "SELECT COUNT(DISTINCT es.essno) FROM EMPSKILLS es, "
+                     "EMP e, DEPT d WHERE e.eno = es.eseno AND "
+                     "e.edno = d.dno AND d.loc = 'ARC'")
+        assert result == naive
+
+
+class TestAggregation:
+    def test_global_aggregates(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT COUNT(*), SUM(sal), MIN(sal), MAX(sal) "
+                    "FROM EMP") == [(5, 660, 90, 200)]
+
+    def test_count_skips_nulls_sum_too(self, simple_db):
+        assert rows(simple_db, "SELECT COUNT(edno) FROM EMP") == [(4,)]
+
+    def test_avg(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT AVG(sal) FROM EMP WHERE edno = 1") == [(95.0,)]
+
+    def test_empty_input_aggregates(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT COUNT(*), SUM(sal) FROM EMP "
+                    "WHERE sal > 9999") == [(0, None)]
+
+    def test_group_by(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT loc, COUNT(*) FROM DEPT GROUP BY loc "
+                      "ORDER BY loc")
+        assert result == [("ARC", 2), ("SF", 1)]
+
+    def test_group_by_with_join(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT d.loc, SUM(e.sal) FROM DEPT d, EMP e "
+                      "WHERE d.dno = e.edno GROUP BY d.loc ORDER BY 1")
+        assert result == [("ARC", 390), ("SF", 120)]
+
+    def test_having(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT edno, COUNT(*) AS n FROM EMP "
+                      "GROUP BY edno HAVING COUNT(*) > 1")
+        assert result == [(1, 2)]
+
+    def test_count_distinct(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT COUNT(DISTINCT loc) FROM DEPT") == [(2,)]
+
+    def test_group_key_expression(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT sal / 100, COUNT(*) FROM EMP "
+                      "GROUP BY sal / 100 ORDER BY 1")
+        assert result == [(0.9, 1), (1, 1), (1.2, 1), (1.5, 1), (2, 1)]
+
+    def test_ungrouped_column_rejected(self, simple_db):
+        with pytest.raises(SemanticError, match="GROUP BY"):
+            simple_db.query("SELECT ename, COUNT(*) FROM EMP GROUP BY edno")
+
+    def test_aggregate_in_where_rejected(self, simple_db):
+        with pytest.raises(SemanticError):
+            simple_db.query("SELECT * FROM EMP WHERE COUNT(*) > 1")
+
+
+class TestDistinctOrderLimit:
+    def test_distinct(self, simple_db):
+        assert rows(simple_db,
+                    "SELECT DISTINCT loc FROM DEPT ORDER BY loc") == \
+            [("ARC",), ("SF",)]
+
+    def test_order_by_desc(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename FROM EMP ORDER BY sal DESC LIMIT 2")
+        assert result == [("dee",), ("eve",)]
+
+    def test_order_by_position(self, simple_db):
+        result = rows(simple_db, "SELECT ename, sal FROM EMP ORDER BY 2")
+        assert result[0] == ("carl", 90)
+
+    def test_order_by_column_not_in_select(self, simple_db):
+        result = rows(simple_db, "SELECT ename FROM EMP ORDER BY sal")
+        assert result[0] == ("carl",)
+
+    def test_order_by_multiple_keys(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT d.loc, e.ename FROM DEPT d, EMP e "
+                      "WHERE d.dno = e.edno ORDER BY d.loc DESC, e.ename")
+        assert result == [("SF", "bob"), ("ARC", "ann"),
+                          ("ARC", "carl"), ("ARC", "dee")]
+
+    def test_limit_offset(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT eno FROM EMP ORDER BY eno LIMIT 2 OFFSET 1")
+        assert result == [(11,), (12,)]
+
+    def test_nulls_sort_last_ascending(self, simple_db):
+        result = rows(simple_db, "SELECT edno FROM EMP ORDER BY edno")
+        assert result[-1] == (None,)
+
+    def test_order_by_alias(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT sal * 2 AS pay FROM EMP ORDER BY pay "
+                      "LIMIT 1")
+        assert result == [(180,)]
+
+    def test_order_by_aggregate_via_alias(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT edno, COUNT(*) AS n FROM EMP WHERE "
+                      "edno IS NOT NULL GROUP BY edno ORDER BY n DESC, "
+                      "edno LIMIT 1")
+        assert result == [(1, 2)]
+
+
+class TestSetOperations:
+    def test_union_dedups(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT loc FROM DEPT UNION SELECT loc FROM DEPT")
+        assert sorted(result) == [("ARC",), ("SF",)]
+
+    def test_union_all_keeps_duplicates(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT loc FROM DEPT UNION ALL "
+                      "SELECT loc FROM DEPT")
+        assert len(result) == 6
+
+    def test_intersect(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT dno FROM DEPT INTERSECT "
+                      "SELECT edno FROM EMP")
+        assert sorted(result) == [(1,), (2,), (3,)]
+
+    def test_except(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT eno FROM EMP EXCEPT "
+                      "SELECT eno FROM EMP WHERE sal > 100")
+        assert sorted(result) == [(10,), (12,)]
+
+    def test_except_all_counts_occurrences(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT loc FROM DEPT EXCEPT ALL "
+                      "SELECT 'ARC' FROM DEPT WHERE dno = 1")
+        assert sorted(result) == [("ARC",), ("SF",)]
+
+    def test_mismatched_columns_rejected(self, simple_db):
+        with pytest.raises(SemanticError, match="column counts"):
+            simple_db.query("SELECT dno, loc FROM DEPT UNION "
+                            "SELECT eno FROM EMP")
+
+
+class TestViews:
+    def test_simple_view(self, simple_db):
+        simple_db.execute("CREATE VIEW arc AS SELECT * FROM DEPT "
+                          "WHERE loc = 'ARC'")
+        assert len(rows(simple_db, "SELECT * FROM arc")) == 2
+
+    def test_view_with_declared_columns(self, simple_db):
+        simple_db.execute("CREATE VIEW v (a, b) AS "
+                          "SELECT dno, dname FROM DEPT")
+        assert rows(simple_db,
+                    "SELECT b FROM v WHERE a = 1") == [("Tools",)]
+
+    def test_view_over_view(self, simple_db):
+        simple_db.execute("CREATE VIEW v1 AS SELECT * FROM EMP "
+                          "WHERE sal > 100")
+        simple_db.execute("CREATE VIEW v2 AS SELECT ename FROM v1 "
+                          "WHERE edno IS NOT NULL")
+        assert sorted(rows(simple_db, "SELECT * FROM v2")) == \
+            [("bob",), ("dee",)]
+
+    def test_view_with_aggregate(self, simple_db):
+        simple_db.execute("CREATE VIEW totals AS SELECT edno, "
+                          "SUM(sal) AS total FROM EMP GROUP BY edno")
+        assert rows(simple_db,
+                    "SELECT total FROM totals WHERE edno = 1") == [(190,)]
+
+
+class TestCaseExpressions:
+    def test_case_in_projection(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename, CASE WHEN sal >= 150 THEN 'high' "
+                      "ELSE 'low' END FROM EMP ORDER BY eno")
+        assert result[0] == ("ann", "low")
+        assert result[3] == ("dee", "high")
+
+    def test_case_in_where(self, simple_db):
+        result = rows(simple_db,
+                      "SELECT ename FROM EMP WHERE "
+                      "CASE WHEN edno IS NULL THEN 0 ELSE edno END = 0")
+        assert result == [("eve",)]

@@ -1,0 +1,211 @@
+"""Unit tests for expression compilation and three-valued logic."""
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.executor.expressions import (ExpressionCompiler, like_to_regex,
+                                        sql_and, sql_not, sql_or)
+from repro.qgm.model import QRef, Quantifier, SelectBox
+from repro.sql.parser import parse_expression
+
+
+def evaluate(text, **bindings):
+    """Compile against a one-row layout where unqualified columns map to
+    positions in alphabetical order."""
+    box = SelectBox("env")
+    from repro.qgm.model import HeadColumn
+    names = sorted(bindings)
+    box.head = [HeadColumn(n.upper()) for n in names]
+    quantifier = Quantifier(box, Quantifier.F, name="env")
+    layout = {(quantifier.qid, n.upper()): i for i, n in enumerate(names)}
+    expression = parse_expression(text)
+
+    def resolve(node):
+        from repro.sql import ast
+        if isinstance(node, ast.ColumnRef):
+            return QRef(quantifier, node.column.upper())
+        if isinstance(node, ast.BinaryOp):
+            return ast.BinaryOp(node.op, resolve(node.left),
+                                resolve(node.right))
+        if isinstance(node, ast.UnaryOp):
+            return ast.UnaryOp(node.op, resolve(node.operand))
+        if isinstance(node, ast.FunctionCall):
+            return ast.FunctionCall(node.name.upper(),
+                                    tuple(resolve(a) for a in node.args),
+                                    node.distinct)
+        if isinstance(node, ast.IsNull):
+            return ast.IsNull(resolve(node.operand), node.negated)
+        if isinstance(node, ast.Between):
+            return ast.Between(resolve(node.operand), resolve(node.low),
+                               resolve(node.high), node.negated)
+        if isinstance(node, ast.Like):
+            return ast.Like(resolve(node.operand), resolve(node.pattern),
+                            node.negated)
+        if isinstance(node, ast.InList):
+            return ast.InList(resolve(node.operand),
+                              tuple(resolve(i) for i in node.items),
+                              node.negated)
+        if isinstance(node, ast.CaseWhen):
+            return ast.CaseWhen(
+                tuple((resolve(c), resolve(r)) for c, r in node.whens),
+                None if node.default is None else resolve(node.default))
+        return node
+
+    fn = ExpressionCompiler(layout).compile(resolve(expression))
+    row = tuple(bindings[n] for n in names)
+    return fn(row, None)
+
+
+class TestKleeneLogic:
+    def test_and_truth_table(self):
+        assert sql_and(True, True) is True
+        assert sql_and(True, False) is False
+        assert sql_and(False, None) is False
+        assert sql_and(True, None) is None
+        assert sql_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert sql_or(False, False) is False
+        assert sql_or(True, None) is True
+        assert sql_or(False, None) is None
+        assert sql_or(None, None) is None
+
+    def test_not(self):
+        assert sql_not(True) is False
+        assert sql_not(None) is None
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert evaluate("a < b", a=1, b=2) is True
+        assert evaluate("a >= b", a=1, b=2) is False
+
+    def test_null_propagates(self):
+        assert evaluate("a = b", a=None, b=1) is None
+        assert evaluate("a <> b", a=None, b=None) is None
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExecutionError, match="cannot compare"):
+            evaluate("a < b", a=1, b="x")
+
+    def test_string_comparison(self):
+        assert evaluate("a < b", a="apple", b="banana") is True
+
+
+class TestArithmetic:
+    def test_operations(self):
+        assert evaluate("a + b * 2", a=1, b=3) == 7
+        assert evaluate("a - b", a=1, b=3) == -2
+
+    def test_integer_division_stays_int(self):
+        assert evaluate("a / b", a=6, b=3) == 2
+        assert isinstance(evaluate("a / b", a=6, b=3), int)
+
+    def test_fractional_division(self):
+        assert evaluate("a / b", a=7, b=2) == 3.5
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError, match="division by zero"):
+            evaluate("a / b", a=1, b=0)
+
+    def test_null_propagates(self):
+        assert evaluate("a + b", a=None, b=1) is None
+
+    def test_concat(self):
+        assert evaluate("a || b", a="x", b="y") == "xy"
+
+    def test_unary_minus_null(self):
+        assert evaluate("-a", a=None) is None
+
+
+class TestPredicates:
+    def test_between(self):
+        assert evaluate("a BETWEEN 1 AND 3", a=2) is True
+        assert evaluate("a BETWEEN 1 AND 3", a=4) is False
+        assert evaluate("a BETWEEN 1 AND 3", a=None) is None
+
+    def test_not_between_unknown_stays_unknown(self):
+        assert evaluate("a NOT BETWEEN 1 AND 3", a=None) is None
+
+    def test_in_list(self):
+        assert evaluate("a IN (1, 2)", a=2) is True
+        assert evaluate("a IN (1, 2)", a=3) is False
+
+    def test_in_list_null_semantics(self):
+        assert evaluate("a IN (1, NULL)", a=2) is None
+        assert evaluate("a IN (1, NULL)", a=1) is True
+        assert evaluate("a NOT IN (1, NULL)", a=2) is None
+        assert evaluate("a IN (1)", a=None) is None
+
+    def test_is_null(self):
+        assert evaluate("a IS NULL", a=None) is True
+        assert evaluate("a IS NOT NULL", a=None) is False
+
+    def test_like(self):
+        assert evaluate("a LIKE 'ab%'", a="abc") is True
+        assert evaluate("a LIKE 'ab_'", a="abcd") is False
+        assert evaluate("a LIKE '%c'", a=None) is None
+
+    def test_like_dynamic_pattern(self):
+        assert evaluate("a LIKE b", a="xyz", b="x%") is True
+
+    def test_like_special_chars_escaped(self):
+        assert evaluate("a LIKE 'a.c'", a="abc") is False
+        assert evaluate("a LIKE 'a.c'", a="a.c") is True
+
+
+class TestCase:
+    def test_first_matching_when_wins(self):
+        text = "CASE WHEN a > 2 THEN 'big' WHEN a > 0 THEN 'small' END"
+        assert evaluate(text, a=3) == "big"
+        assert evaluate(text, a=1) == "small"
+
+    def test_no_match_no_else_is_null(self):
+        assert evaluate("CASE WHEN a > 2 THEN 1 END", a=0) is None
+
+    def test_unknown_condition_skipped(self):
+        assert evaluate("CASE WHEN a > 2 THEN 1 ELSE 0 END",
+                        a=None) == 0
+
+
+class TestScalarFunctions:
+    def test_upper_lower(self):
+        assert evaluate("UPPER(a)", a="abc") == "ABC"
+        assert evaluate("LOWER(a)", a="ABC") == "abc"
+
+    def test_length(self):
+        assert evaluate("LENGTH(a)", a="abcd") == 4
+        assert evaluate("LENGTH(a)", a=None) is None
+
+    def test_abs_mod_round(self):
+        assert evaluate("ABS(a)", a=-5) == 5
+        assert evaluate("MOD(a, 3)", a=7) == 1
+        assert evaluate("ROUND(a, 1)", a=1.26) == 1.3
+
+    def test_mod_by_zero(self):
+        with pytest.raises(ExecutionError):
+            evaluate("MOD(a, 0)", a=7)
+
+    def test_substr(self):
+        assert evaluate("SUBSTR(a, 2, 3)", a="abcdef") == "bcd"
+        assert evaluate("SUBSTR(a, 3)", a="abcdef") == "cdef"
+
+    def test_trim(self):
+        assert evaluate("TRIM(a)", a="  x ") == "x"
+
+    def test_coalesce(self):
+        assert evaluate("COALESCE(a, b, 9)", a=None, b=None) == 9
+        assert evaluate("COALESCE(a, 5)", a=3) == 3
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError, match="unknown function"):
+            evaluate("FROBNICATE(a)", a=1)
+
+
+class TestLikeRegex:
+    def test_translation(self):
+        assert like_to_regex("a%b_c").pattern == "^a.*b.c$"
+
+    def test_regex_metachars_escaped(self):
+        assert like_to_regex("a+b").match("a+b")
+        assert not like_to_regex("a+b").match("aab")

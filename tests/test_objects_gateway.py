@@ -1,0 +1,118 @@
+"""The seamless object interface and the Object/SQL gateway."""
+
+import pytest
+
+from repro.api.gateway import ObjectGateway
+from repro.errors import CacheError
+from repro.cache.objects import bind_classes
+
+
+@pytest.fixture
+def bound(org_db):
+    cache = org_db.open_cache("deps_arc")
+    return cache, bind_classes(cache)
+
+
+class TestGeneratedClasses:
+    def test_one_class_per_component(self, bound):
+        _cache, classes = bound
+        assert set(classes) == {"XDEPT", "XEMP", "XPROJ", "XSKILLS"}
+
+    def test_column_properties_read(self, bound):
+        _cache, classes = bound
+        dept = next(iter(classes["XDEPT"].extent))
+        assert dept.dno == dept.raw.get("DNO")
+
+    def test_column_properties_write_through_log(self, bound):
+        cache, classes = bound
+        emp = next(iter(classes["XEMP"].extent))
+        emp.sal = 555
+        assert cache.dirty
+        assert emp.raw.sal == 555
+
+    def test_navigation_by_role_name(self, bound):
+        _cache, classes = bound
+        dept = next(iter(classes["XDEPT"].extent))
+        children = dept.employs()
+        assert all(type(c).__name__ == "Xemp" for c in children)
+
+    def test_parent_navigation(self, bound):
+        _cache, classes = bound
+        emp = next(iter(classes["XEMP"].extent))
+        parents = emp.employs_parents()
+        assert all(type(p).__name__ == "Xdept" for p in parents)
+
+    def test_extent_find_and_len(self, bound):
+        _cache, classes = bound
+        Dept = classes["XDEPT"]
+        first = next(iter(Dept.extent))
+        assert Dept.extent.find(dno=first.dno)[0] == first
+        assert len(Dept.extent) >= 1
+
+    def test_extent_insert(self, bound):
+        cache, classes = bound
+        Emp = classes["XEMP"]
+        before = len(Emp.extent)
+        created = Emp.extent.insert(ENO=800, ENAME="gen", EDNO=1, SAL=5)
+        assert len(Emp.extent) == before + 1
+        assert created.ename == "gen"
+
+    def test_delete_through_object(self, bound):
+        cache, classes = bound
+        Emp = classes["XEMP"]
+        victim = next(iter(Emp.extent))
+        before = len(Emp.extent)
+        victim.delete()
+        assert len(Emp.extent) == before - 1
+
+    def test_equality_by_underlying_object(self, bound):
+        _cache, classes = bound
+        Dept = classes["XDEPT"]
+        a = next(iter(Dept.extent))
+        b = Dept.extent.find(dno=a.dno)[0]
+        assert a == b and hash(a) == hash(b)
+
+
+class TestGateway:
+    def test_open_and_navigate(self, org_db):
+        gateway = ObjectGateway(org_db)
+        view = gateway.open("deps_arc")
+        dept = next(iter(view.XDEPT.extent))
+        assert dept.employs()
+
+    def test_attribute_access_to_classes(self, org_db):
+        view = ObjectGateway(org_db).open("deps_arc")
+        assert view.xemp is view.XEMP
+
+    def test_commit_writes_back(self, org_db):
+        view = ObjectGateway(org_db).open("deps_arc")
+        emp = next(iter(view.XEMP.extent))
+        emp.sal = 999111
+        assert view.dirty
+        view.commit()
+        assert org_db.query(
+            f"SELECT sal FROM EMP WHERE eno = {emp.eno}").rows == \
+            [(999111,)]
+        assert not view.dirty
+
+    def test_refresh_discards_local_state(self, org_db):
+        view = ObjectGateway(org_db).open("deps_arc")
+        emp = next(iter(view.XEMP.extent))
+        emp.sal = 1
+        view.refresh()
+        fresh = next(iter(view.XEMP.extent))
+        assert fresh.sal != 1
+
+    def test_named_views(self, org_db):
+        gateway = ObjectGateway(org_db)
+        gateway.open("deps_arc", name="org")
+        assert gateway.view("org")
+        with pytest.raises(CacheError):
+            gateway.view("ghost")
+
+    def test_unknown_component_attribute(self, org_db):
+        view = ObjectGateway(org_db).open("deps_arc")
+        with pytest.raises(AttributeError):
+            view.GHOST
+        with pytest.raises(CacheError):
+            view.extent("ghost")

@@ -1,0 +1,152 @@
+"""Plan-shape tests: access paths, join methods, spools."""
+
+import pytest
+
+from repro.executor.runtime import PipelineOptions, QueryPipeline
+from repro.optimizer.optimizer import PlannerOptions
+from repro.optimizer.plan import (HashJoin, IndexNestedLoopJoin, IndexScan,
+                                  SemiJoin, Spool, TableScan)
+from repro.sql.parser import parse_statement
+
+
+def plan_nodes(plan_node):
+    yield plan_node
+    for child in plan_node.children():
+        yield from plan_nodes(child)
+
+
+def plan_for(db, sql, **planner_kwargs):
+    options = PipelineOptions(planner=PlannerOptions(**planner_kwargs))
+    pipeline = QueryPipeline(db.catalog, db.stats, options,
+                             db.pipeline.xnf_component_resolver)
+    compiled = pipeline.compile_select(parse_statement(sql))
+    return compiled.plan.single_output()[1]
+
+
+def kinds_in(db, sql, **kwargs):
+    return [type(n).__name__ for n in plan_nodes(plan_for(db, sql,
+                                                          **kwargs))]
+
+
+class TestAccessPaths:
+    def test_index_scan_for_constant_equality(self, org_db):
+        node = plan_for(org_db, "SELECT * FROM EMP WHERE edno = 3")
+        assert any(isinstance(n, IndexScan) for n in plan_nodes(node))
+
+    def test_no_index_scan_when_disabled(self, org_db):
+        node = plan_for(org_db, "SELECT * FROM EMP WHERE edno = 3",
+                        use_indexes=False)
+        assert not any(isinstance(n, IndexScan) for n in plan_nodes(node))
+
+    def test_range_predicate_uses_scan(self, org_db):
+        node = plan_for(org_db, "SELECT * FROM EMP WHERE edno > 3")
+        assert any(isinstance(n, TableScan) for n in plan_nodes(node))
+
+    def test_index_results_match_scan(self, org_db):
+        fast = org_db.query("SELECT eno FROM EMP WHERE edno = 3")
+        options = PipelineOptions(planner=PlannerOptions(
+            use_indexes=False))
+        pipeline = QueryPipeline(org_db.catalog, org_db.stats, options)
+        slow = pipeline.run_select(parse_statement(
+            "SELECT eno FROM EMP WHERE edno = 3"))
+        assert sorted(fast.rows) == sorted(slow.rows)
+
+
+class TestJoinMethods:
+    def test_equi_join_uses_hash_or_index(self, org_db):
+        names = kinds_in(org_db,
+                         "SELECT e.ename FROM DEPT d, EMP e "
+                         "WHERE d.dno = e.edno AND d.loc = 'ARC'")
+        assert "HashJoin" in names or "IndexNestedLoopJoin" in names
+
+    def test_index_nested_loop_through_fk_link(self, org_db):
+        node = plan_for(org_db,
+                        "SELECT e.ename FROM DEPT d, EMP e "
+                        "WHERE d.dno = e.edno AND d.loc = 'ARC'")
+        assert any(isinstance(n, IndexNestedLoopJoin)
+                   for n in plan_nodes(node))
+
+    def test_cross_join_nested_loop(self, org_db):
+        names = kinds_in(org_db, "SELECT 1 FROM DEPT, SKILLS")
+        assert "NestedLoopJoin" in names
+
+    def test_semi_join_for_unconverted_exists(self, org_db):
+        # Non-unique correlation keeps the semi-join at plan level.
+        node = plan_for(org_db,
+                        "SELECT s.sname FROM SKILLS s WHERE EXISTS "
+                        "(SELECT 1 FROM EMPSKILLS es "
+                        "WHERE es.essno = s.sno)")
+        assert any(isinstance(n, SemiJoin) for n in plan_nodes(node))
+
+    def test_anti_join_for_not_exists(self, org_db):
+        node = plan_for(org_db,
+                        "SELECT s.sname FROM SKILLS s WHERE NOT EXISTS "
+                        "(SELECT 1 FROM EMPSKILLS es "
+                        "WHERE es.essno = s.sno)")
+        semis = [n for n in plan_nodes(node) if isinstance(n, SemiJoin)]
+        assert semis and semis[0].anti
+
+
+class TestSpools:
+    def test_shared_view_spooled(self, org_db):
+        org_db.execute("CREATE VIEW arc AS SELECT DISTINCT dno FROM DEPT "
+                       "WHERE loc = 'ARC'")
+        node = plan_for(org_db,
+                        "SELECT a.dno FROM arc a, arc b "
+                        "WHERE a.dno = b.dno")
+        spools = [n for n in plan_nodes(node) if isinstance(n, Spool)]
+        assert len(spools) >= 2
+        assert spools[0].spool_id == spools[1].spool_id
+
+    def test_spool_materializes_once(self, org_db):
+        org_db.execute("CREATE VIEW arc AS SELECT DISTINCT dno FROM DEPT "
+                       "WHERE loc = 'ARC'")
+        options = PipelineOptions()
+        pipeline = QueryPipeline(org_db.catalog, org_db.stats, options)
+        compiled = pipeline.compile_select(parse_statement(
+            "SELECT a.dno FROM arc a, arc b WHERE a.dno = b.dno"))
+        ctx = compiled.plan.new_context()
+        pipeline.run_compiled(compiled, ctx)
+        assert ctx.counters["spool_materializations"] == 1
+        assert ctx.counters["spool_reads"] >= 1
+
+    def test_sharing_disabled_reevaluates(self, org_db):
+        org_db.execute("CREATE VIEW arc AS SELECT DISTINCT dno FROM DEPT "
+                       "WHERE loc = 'ARC'")
+        options = PipelineOptions(planner=PlannerOptions(
+            share_common_subexpressions=False))
+        pipeline = QueryPipeline(org_db.catalog, org_db.stats, options)
+        compiled = pipeline.compile_select(parse_statement(
+            "SELECT a.dno FROM arc a, arc b WHERE a.dno = b.dno"))
+        ctx = compiled.plan.new_context()
+        result = pipeline.run_compiled(compiled, ctx)
+        assert ctx.counters["spool_materializations"] == 0
+        assert len(result.rows) == 2
+
+
+class TestInstrumentation:
+    def test_rows_scanned_counted(self, org_db):
+        compiled = org_db.pipeline.compile_select(parse_statement(
+            "SELECT * FROM DEPT"))
+        ctx = compiled.plan.new_context()
+        org_db.pipeline.run_compiled(compiled, ctx)
+        assert ctx.counters["rows_scanned"] == 6
+
+    def test_explain_renders_tree(self, org_db):
+        text = org_db.explain("SELECT e.ename FROM DEPT d, EMP e "
+                              "WHERE d.dno = e.edno")
+        assert "plan" in text and "TableScan" in text
+
+
+class TestEmptyInputs:
+    def test_empty_table_joins(self, empty_org_db):
+        assert empty_org_db.query(
+            "SELECT * FROM DEPT d, EMP e WHERE d.dno = e.edno").rows == []
+
+    def test_empty_aggregate(self, empty_org_db):
+        assert empty_org_db.query(
+            "SELECT COUNT(*) FROM EMP").rows == [(0,)]
+
+    def test_empty_union(self, empty_org_db):
+        assert empty_org_db.query(
+            "SELECT dno FROM DEPT UNION SELECT eno FROM EMP").rows == []

@@ -1,0 +1,208 @@
+"""Direct unit tests of physical plan operators."""
+
+import pytest
+
+from repro.optimizer.plan import (Aggregate, Dedup, ExecutionContext,
+                                  Filter, HashJoin, LeftOuterJoin, Limit,
+                                  Materialized, SemiJoin, SetOperation,
+                                  SingleRow, Sort, Spool, UnionAll)
+
+
+def const(position):
+    return lambda row, ctx: row[position]
+
+
+def mat(columns, rows):
+    return Materialized(columns, rows)
+
+
+@pytest.fixture
+def ctx():
+    return ExecutionContext()
+
+
+class TestBasics:
+    def test_single_row(self, ctx):
+        assert list(SingleRow().execute(ctx)) == [()]
+
+    def test_materialized(self, ctx):
+        node = mat(["A"], [(1,), (2,)])
+        assert list(node.execute(ctx)) == [(1,), (2,)]
+
+    def test_filter_keeps_only_true(self, ctx):
+        node = Filter(mat(["A"], [(1,), (None,), (3,)]),
+                      lambda row, ctx: None if row[0] is None
+                      else row[0] > 1)
+        assert list(node.execute(ctx)) == [(3,)]
+
+    def test_limit_and_offset(self, ctx):
+        node = Limit(mat(["A"], [(i,) for i in range(5)]), 2, 1)
+        assert list(node.execute(ctx)) == [(1,), (2,)]
+
+    def test_dedup_preserves_first_occurrence_order(self, ctx):
+        node = Dedup(mat(["A"], [(2,), (1,), (2,), (1,)]))
+        assert list(node.execute(ctx)) == [(2,), (1,)]
+
+    def test_sort_multi_key_mixed_direction(self, ctx):
+        rows = [(1, "b"), (2, "a"), (1, "a")]
+        node = Sort(mat(["N", "S"], rows),
+                    [const(0), const(1)], [True, False])
+        assert list(node.execute(ctx)) == [(2, "a"), (1, "a"), (1, "b")]
+
+    def test_sort_nulls_last(self, ctx):
+        node = Sort(mat(["A"], [(None,), (2,), (1,)]), [const(0)],
+                    [False])
+        assert list(node.execute(ctx)) == [(1,), (2,), (None,)]
+
+
+class TestJoins:
+    LEFT = [("a", 1), ("b", 2), ("c", None)]
+    RIGHT = [(1, "x"), (1, "y"), (3, "z")]
+
+    def test_hash_join(self, ctx):
+        node = HashJoin(mat(["L", "K"], self.LEFT),
+                        mat(["K2", "R"], self.RIGHT),
+                        [const(1)], [const(0)])
+        assert sorted(node.execute(ctx)) == [
+            ("a", 1, 1, "x"), ("a", 1, 1, "y")]
+
+    def test_hash_join_null_keys_never_match(self, ctx):
+        node = HashJoin(mat(["L", "K"], [("n", None)]),
+                        mat(["K2", "R"], [(None, "x")]),
+                        [const(1)], [const(0)])
+        assert list(node.execute(ctx)) == []
+
+    def test_left_outer_join_pads(self, ctx):
+        node = LeftOuterJoin(mat(["L", "K"], self.LEFT),
+                             mat(["K2", "R"], self.RIGHT),
+                             [const(1)], [const(0)])
+        rows = sorted(node.execute(ctx), key=repr)
+        assert ("b", 2, None, None) in rows
+        assert ("c", None, None, None) in rows
+
+    def test_semi_join_hash(self, ctx):
+        node = SemiJoin(mat(["L", "K"], self.LEFT),
+                        mat(["K2"], [(1,), (99,)]),
+                        [const(1)], [const(0)])
+        assert list(node.execute(ctx)) == [("a", 1)]
+
+    def test_anti_join(self, ctx):
+        node = SemiJoin(mat(["L", "K"], self.LEFT),
+                        mat(["K2"], [(1,)]),
+                        [const(1)], [const(0)], anti=True)
+        assert list(node.execute(ctx)) == [("b", 2), ("c", None)]
+
+    def test_anti_join_null_poison(self, ctx):
+        node = SemiJoin(mat(["L", "K"], self.LEFT),
+                        mat(["K2"], [(1,), (None,)]),
+                        [const(1)], [const(0)], anti=True,
+                        null_poison=True)
+        assert list(node.execute(ctx)) == []  # NULL poisons everything
+
+    def test_anti_join_empty_inner_passes_all(self, ctx):
+        node = SemiJoin(mat(["L", "K"], self.LEFT), mat(["K2"], []),
+                        [const(1)], [const(0)], anti=True,
+                        null_poison=True)
+        assert len(list(node.execute(ctx))) == 3
+
+    def test_semi_join_with_residual_uses_scan_path(self, ctx):
+        node = SemiJoin(
+            mat(["L", "K"], self.LEFT), mat(["K2", "R"], self.RIGHT),
+            [const(1)], [const(0)],
+            residual=lambda row, ctx: row[3] == "y",
+        )
+        assert list(node.execute(ctx)) == [("a", 1)]
+
+
+class TestSetOperations:
+    A = [(1,), (1,), (2,)]
+    B = [(1,), (3,)]
+
+    def test_union_all(self, ctx):
+        node = SetOperation("UNION", True, mat(["A"], self.A),
+                            mat(["A"], self.B))
+        assert len(list(node.execute(ctx))) == 5
+
+    def test_union_distinct(self, ctx):
+        node = SetOperation("UNION", False, mat(["A"], self.A),
+                            mat(["A"], self.B))
+        assert sorted(node.execute(ctx)) == [(1,), (2,), (3,)]
+
+    def test_intersect(self, ctx):
+        node = SetOperation("INTERSECT", False, mat(["A"], self.A),
+                            mat(["A"], self.B))
+        assert list(node.execute(ctx)) == [(1,)]
+
+    def test_intersect_all(self, ctx):
+        node = SetOperation("INTERSECT", True,
+                            mat(["A"], [(1,), (1,), (2,)]),
+                            mat(["A"], [(1,), (1,), (1,)]))
+        assert list(node.execute(ctx)) == [(1,), (1,)]
+
+    def test_except_all(self, ctx):
+        node = SetOperation("EXCEPT", True,
+                            mat(["A"], [(1,), (1,), (2,)]),
+                            mat(["A"], [(1,)]))
+        assert sorted(node.execute(ctx)) == [(1,), (2,)]
+
+    def test_union_all_chain(self, ctx):
+        node = UnionAll([mat(["A"], self.A), mat(["A"], self.B),
+                         mat(["A"], [(9,)])])
+        assert len(list(node.execute(ctx))) == 6
+
+
+class TestAggregateOperator:
+    def test_grouped(self, ctx):
+        node = Aggregate(
+            mat(["G", "V"], [("a", 1), ("a", 2), ("b", None)]),
+            [const(0)],
+            [("COUNT", None, False), ("SUM", const(1), False),
+             ("MIN", const(1), False)],
+            ["G", "N", "S", "M"],
+        )
+        rows = dict((r[0], r[1:]) for r in node.execute(ctx))
+        assert rows["a"] == (2, 3, 1)
+        assert rows["b"] == (1, None, None)
+
+    def test_distinct_aggregate(self, ctx):
+        node = Aggregate(
+            mat(["V"], [(1,), (1,), (2,)]), [],
+            [("COUNT", const(0), True), ("SUM", const(0), True)],
+            ["N", "S"],
+        )
+        assert list(node.execute(ctx)) == [(2, 3)]
+
+    def test_avg(self, ctx):
+        node = Aggregate(mat(["V"], [(1,), (3,)]), [],
+                         [("AVG", const(0), False)], ["A"])
+        assert list(node.execute(ctx)) == [(2.0,)]
+
+
+class TestSpool:
+    def test_materializes_once_per_context(self, ctx):
+        calls = []
+
+        class Counting(Materialized):
+            def execute(self, inner_ctx):
+                calls.append(1)
+                return super().execute(inner_ctx)
+
+        spool = Spool(Counting(["A"], [(1,)]))
+        assert list(spool.execute(ctx)) == [(1,)]
+        assert list(spool.execute(ctx)) == [(1,)]
+        assert len(calls) == 1
+        assert ctx.counters["spool_reads"] == 1
+
+    def test_fresh_context_rematerializes(self):
+        spool = Spool(Materialized(["A"], [(1,)]))
+        first = ExecutionContext()
+        second = ExecutionContext()
+        list(spool.execute(first))
+        list(spool.execute(second))
+        assert first.counters["spool_materializations"] == 1
+        assert second.counters["spool_materializations"] == 1
+
+    def test_explain_includes_estimates(self):
+        spool = Spool(Materialized(["A"], [(1,)]), label="cse")
+        text = spool.explain()
+        assert "Spool" in text and "cse" in text

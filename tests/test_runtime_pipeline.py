@@ -1,0 +1,106 @@
+"""QueryPipeline behaviour: options, compiled reuse, result helpers."""
+
+import pytest
+
+from repro.executor.runtime import (PipelineOptions, QueryPipeline,
+                                    QueryResult)
+from repro.optimizer.optimizer import PlannerOptions
+from repro.sql.parser import parse_statement
+
+
+class TestQueryResult:
+    def test_column_accessor(self, simple_db):
+        result = simple_db.query("SELECT eno, ename FROM EMP ORDER BY eno")
+        assert result.column("ename")[0] == "ann"
+        assert result.column("ENO")[:2] == [10, 11]
+
+    def test_unknown_column(self, simple_db):
+        result = simple_db.query("SELECT eno FROM EMP")
+        with pytest.raises(ValueError):
+            result.column("ghost")
+
+    def test_as_dicts(self, simple_db):
+        result = simple_db.query("SELECT dno, loc FROM DEPT "
+                                 "WHERE dno = 1")
+        assert result.as_dicts() == [{"dno": 1, "loc": "ARC"}] or \
+            result.as_dicts() == [{"DNO": 1, "LOC": "ARC"}]
+
+    def test_len_and_iter(self, simple_db):
+        result = simple_db.query("SELECT dno FROM DEPT")
+        assert len(result) == 3
+        assert sorted(result) == [(1,), (2,), (3,)]
+
+
+class TestCompiledReuse:
+    def test_compiled_query_runs_repeatedly(self, simple_db):
+        pipeline = simple_db.pipeline
+        compiled = pipeline.compile_select(parse_statement(
+            "SELECT COUNT(*) FROM EMP"))
+        first = pipeline.run_compiled(compiled)
+        simple_db.execute("DELETE FROM EMP WHERE eno = 10")
+        second = pipeline.run_compiled(compiled)
+        assert first.rows == [(5,)]
+        assert second.rows == [(4,)]
+
+    def test_context_reuse_requires_reset(self, org_db):
+        org_db.execute("CREATE VIEW arc2 AS SELECT DISTINCT dno "
+                       "FROM DEPT WHERE loc = 'ARC'")
+        pipeline = org_db.pipeline
+        compiled = pipeline.compile_select(parse_statement(
+            "SELECT a.dno FROM arc2 a, arc2 b WHERE a.dno = b.dno"))
+        ctx = compiled.plan.new_context()
+        first = pipeline.run_compiled(compiled, ctx)
+        org_db.execute("UPDATE DEPT SET loc = 'SF' WHERE dno = 1")
+        stale = pipeline.run_compiled(compiled, ctx)  # spool cached
+        assert stale.rows == first.rows
+        ctx.reset_volatile()
+        fresh = pipeline.run_compiled(compiled, ctx)
+        assert len(fresh.rows) == len(first.rows) - 1
+
+
+class TestOptionToggles:
+    EXISTS_SQL = ("SELECT e.eno FROM EMP e WHERE EXISTS "
+                  "(SELECT 1 FROM DEPT d WHERE d.dno = e.edno AND "
+                  "d.loc = 'ARC')")
+
+    def test_rewrite_toggle_preserves_semantics(self, org_db):
+        on = QueryPipeline(org_db.catalog, org_db.stats,
+                           PipelineOptions(apply_nf_rewrite=True))
+        off = QueryPipeline(org_db.catalog, org_db.stats,
+                            PipelineOptions(apply_nf_rewrite=False))
+        statement = parse_statement(self.EXISTS_SQL)
+        assert sorted(on.run_select(statement).rows) == \
+            sorted(off.run_select(statement).rows)
+
+    def test_rewrite_toggle_changes_graph(self, org_db):
+        off = QueryPipeline(org_db.catalog, org_db.stats,
+                            PipelineOptions(apply_nf_rewrite=False))
+        compiled = off.compile_select(parse_statement(self.EXISTS_SQL))
+        assert compiled.rewrite_context is None
+        box = compiled.graph.top.single_output().box
+        assert any(q.qtype == "E" for q in box.body_quantifiers)
+
+    def test_prune_toggle(self, org_db):
+        sql = ("SELECT x.eno FROM (SELECT eno, ename, sal FROM EMP "
+               "LIMIT 3) x")
+        pruned = QueryPipeline(org_db.catalog, org_db.stats,
+                               PipelineOptions(prune_columns=True))
+        unpruned = QueryPipeline(org_db.catalog, org_db.stats,
+                                 PipelineOptions(prune_columns=False))
+        assert pruned.compile_select(
+            parse_statement(sql)).pruned_columns == 2
+        assert unpruned.compile_select(
+            parse_statement(sql)).pruned_columns == 0
+
+    def test_all_toggles_off_still_correct(self, org_db):
+        options = PipelineOptions(
+            apply_nf_rewrite=False, prune_columns=False,
+            planner=PlannerOptions(use_indexes=False,
+                                   share_common_subexpressions=False))
+        pipeline = QueryPipeline(org_db.catalog, org_db.stats, options)
+        statement = parse_statement(
+            "SELECT d.loc, COUNT(*) FROM DEPT d, EMP e "
+            "WHERE d.dno = e.edno GROUP BY d.loc")
+        baseline = org_db.pipeline.run_select(statement)
+        degraded = pipeline.run_select(statement)
+        assert sorted(baseline.rows) == sorted(degraded.rows)

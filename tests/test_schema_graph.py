@@ -1,0 +1,112 @@
+"""Unit tests for CO schema graphs: roots, cycles, paths."""
+
+import pytest
+
+from repro.errors import XNFError
+from repro.xnf.schema_graph import SchemaEdge, SchemaGraph
+
+
+def org_graph() -> SchemaGraph:
+    return SchemaGraph(
+        components=["XDEPT", "XEMP", "XPROJ", "XSKILLS"],
+        edges=[
+            SchemaEdge("EMPLOYMENT", "EMPLOYS", "XDEPT", ("XEMP",)),
+            SchemaEdge("OWNERSHIP", "HAS", "XDEPT", ("XPROJ",)),
+            SchemaEdge("EMPPROPERTY", "POSSESSES", "XEMP", ("XSKILLS",)),
+            SchemaEdge("PROJPROPERTY", "NEEDS", "XPROJ", ("XSKILLS",)),
+        ],
+        roots=["XDEPT"],
+    )
+
+
+class TestStructure:
+    def test_incoming_outgoing(self):
+        graph = org_graph()
+        assert [e.name for e in graph.incoming("XSKILLS")] == \
+            ["EMPPROPERTY", "PROJPROPERTY"]
+        assert [e.name for e in graph.outgoing("XDEPT")] == \
+            ["EMPLOYMENT", "OWNERSHIP"]
+
+    def test_edge_lookup(self):
+        assert org_graph().edge("employment").role == "EMPLOYS"
+        with pytest.raises(XNFError):
+            org_graph().edge("GHOST")
+
+    def test_validation_rejects_unknown_partner(self):
+        graph = SchemaGraph(components=["A"],
+                            edges=[SchemaEdge("R", "X", "A", ("B",))])
+        with pytest.raises(XNFError, match="unknown child"):
+            graph.validate()
+
+
+class TestTopology:
+    def test_org_graph_is_dag(self):
+        order = org_graph().topological_order()
+        assert order is not None
+        assert order.index("XDEPT") < order.index("XEMP")
+        assert order.index("XEMP") < order.index("XSKILLS")
+
+    def test_self_loop_is_recursive(self):
+        graph = SchemaGraph(
+            components=["P"],
+            edges=[SchemaEdge("R", "X", "P", ("P",))],
+            roots=["P"],
+        )
+        assert graph.is_recursive()
+
+    def test_two_cycle_is_recursive(self):
+        graph = SchemaGraph(
+            components=["A", "B"],
+            edges=[SchemaEdge("R1", "X", "A", ("B",)),
+                   SchemaEdge("R2", "Y", "B", ("A",))],
+            roots=["A"],
+        )
+        assert graph.is_recursive()
+
+    def test_diamond_is_not_recursive(self):
+        assert not org_graph().is_recursive()
+
+    def test_reachability_from_roots(self):
+        graph = SchemaGraph(
+            components=["A", "B", "C"],
+            edges=[SchemaEdge("R", "X", "A", ("B",))],
+            roots=["A"],
+        )
+        assert graph.unreachable_components() == {"C"}
+
+
+class TestPaths:
+    def test_implicit_path(self):
+        edges = org_graph().resolve_path("xdept.xemp.xskills")
+        assert [e.name for e in edges] == ["EMPLOYMENT", "EMPPROPERTY"]
+
+    def test_explicit_relationship_name(self):
+        edges = org_graph().resolve_path("xdept.employment.xemp")
+        assert [e.name for e in edges] == ["EMPLOYMENT"]
+
+    def test_role_name_also_works(self):
+        edges = org_graph().resolve_path("xdept.employs.xemp")
+        assert [e.name for e in edges] == ["EMPLOYMENT"]
+
+    def test_path_target(self):
+        assert org_graph().path_target("xdept.xemp.xskills") == "XSKILLS"
+        assert org_graph().path_target("xdept") == "XDEPT"
+
+    def test_unknown_step_rejected(self):
+        with pytest.raises(XNFError, match="no relationship"):
+            org_graph().resolve_path("xdept.xskills")
+
+    def test_must_start_at_component(self):
+        with pytest.raises(XNFError, match="start at a component"):
+            org_graph().resolve_path("employment.xemp")
+
+    def test_ambiguous_step_needs_explicit_name(self):
+        graph = SchemaGraph(
+            components=["A", "B"],
+            edges=[SchemaEdge("R1", "X", "A", ("B",)),
+                   SchemaEdge("R2", "Y", "A", ("B",))],
+            roots=["A"],
+        )
+        with pytest.raises(XNFError, match="ambiguous"):
+            graph.resolve_path("A.B")
+        assert [e.name for e in graph.resolve_path("A.R2.B")] == ["R2"]

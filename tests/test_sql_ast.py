@@ -1,0 +1,113 @@
+"""Unit tests for AST utilities: conjuncts, negation normalization."""
+
+from repro.sql import ast
+from repro.sql.parser import parse_expression
+
+
+class TestConjuncts:
+    def test_splits_top_level_ands(self):
+        parts = ast.conjuncts(parse_expression("a = 1 AND b = 2 AND c = 3"))
+        assert len(parts) == 3
+
+    def test_or_is_one_conjunct(self):
+        parts = ast.conjuncts(parse_expression("a = 1 OR b = 2"))
+        assert len(parts) == 1
+
+    def test_none_gives_empty(self):
+        assert ast.conjuncts(None) == []
+
+    def test_conjoin_inverse(self):
+        parts = [parse_expression("a = 1"), parse_expression("b = 2")]
+        joined = ast.conjoin(parts)
+        assert ast.conjuncts(joined) == parts
+
+    def test_conjoin_empty_is_none(self):
+        assert ast.conjoin([]) is None
+
+
+class TestWalk:
+    def test_walk_yields_all_nodes(self):
+        expression = parse_expression("a + b * 2")
+        nodes = list(ast.walk_expression(expression))
+        assert sum(isinstance(n, ast.ColumnRef) for n in nodes) == 2
+        assert sum(isinstance(n, ast.Literal) for n in nodes) == 1
+
+    def test_walk_does_not_enter_subqueries(self):
+        expression = parse_expression("EXISTS (SELECT a FROM t WHERE b = 1)")
+        nodes = list(ast.walk_expression(expression))
+        assert not any(isinstance(n, ast.ColumnRef) for n in nodes)
+
+    def test_column_references(self):
+        refs = ast.column_references(parse_expression("t.a = b"))
+        assert {r.column for r in refs} == {"a", "b"}
+
+    def test_contains_aggregate(self):
+        assert ast.contains_aggregate(parse_expression("COUNT(*) + 1"))
+        assert not ast.contains_aggregate(parse_expression("UPPER(x)"))
+
+
+class TestNormalizeNegations:
+    def normalize(self, text):
+        return ast.normalize_negations(parse_expression(text))
+
+    def test_not_exists(self):
+        result = self.normalize("NOT EXISTS (SELECT 1 FROM t)")
+        assert isinstance(result, ast.Exists) and result.negated
+
+    def test_double_negation(self):
+        result = self.normalize("NOT NOT a = 1")
+        assert isinstance(result, ast.BinaryOp) and result.op == "="
+
+    def test_not_in_list(self):
+        result = self.normalize("NOT a IN (1, 2)")
+        assert isinstance(result, ast.InList) and result.negated
+
+    def test_not_not_in_cancels(self):
+        result = self.normalize("NOT a NOT IN (1)")
+        assert isinstance(result, ast.InList) and not result.negated
+
+    def test_de_morgan_and(self):
+        result = self.normalize("NOT (a = 1 AND b = 2)")
+        assert result.op == "OR"
+        assert result.left.op == "<>"
+
+    def test_de_morgan_or(self):
+        result = self.normalize("NOT (a = 1 OR b = 2)")
+        assert result.op == "AND"
+
+    def test_comparison_inversion(self):
+        assert self.normalize("NOT a < b").op == ">="
+        assert self.normalize("NOT a >= b").op == "<"
+
+    def test_not_is_null(self):
+        result = self.normalize("NOT a IS NULL")
+        assert isinstance(result, ast.IsNull) and result.negated
+
+    def test_not_between(self):
+        result = self.normalize("NOT a BETWEEN 1 AND 2")
+        assert isinstance(result, ast.Between) and result.negated
+
+    def test_not_like(self):
+        result = self.normalize("NOT a LIKE 'x%'")
+        assert isinstance(result, ast.Like) and result.negated
+
+    def test_plain_expressions_unchanged(self):
+        expression = parse_expression("a = 1 AND b = 2")
+        assert ast.normalize_negations(expression) == expression
+
+    def test_irreducible_not_kept(self):
+        result = self.normalize("NOT flag")
+        assert isinstance(result, ast.UnaryOp) and result.op == "NOT"
+
+
+class TestStringRendering:
+    def test_literals(self):
+        assert str(ast.Literal(None)) == "NULL"
+        assert str(ast.Literal("o'hara")) == "'o''hara'"
+        assert str(ast.Literal(True)) == "TRUE"
+
+    def test_qualified_column(self):
+        assert str(ast.ColumnRef("t", "a")) == "t.a"
+
+    def test_nested_ops(self):
+        assert str(parse_expression("a + b = 2")) == "((a + b) = 2)"

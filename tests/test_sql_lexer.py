@@ -1,0 +1,112 @@
+"""Unit tests for the tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import TokenType, tokenize
+
+
+def kinds(text):
+    return [(t.type, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasicTokens:
+    def test_keywords_fold_to_upper(self):
+        tokens = kinds("select From WHERE")
+        assert tokens == [(TokenType.KEYWORD, "SELECT"),
+                          (TokenType.KEYWORD, "FROM"),
+                          (TokenType.KEYWORD, "WHERE")]
+
+    def test_identifiers_keep_case(self):
+        assert kinds("myTable") == [(TokenType.IDENTIFIER, "myTable")]
+
+    def test_xnf_keywords(self):
+        words = [v for _t, v in kinds("OUT OF TAKE RELATE VIA USING")]
+        assert words == ["OUT", "OF", "TAKE", "RELATE", "VIA", "USING"]
+
+    def test_eof_is_last(self):
+        assert tokenize("x")[-1].type is TokenType.EOF
+
+    def test_empty_input(self):
+        assert tokenize("")[0].type is TokenType.EOF
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert kinds("42") == [(TokenType.NUMBER, "42")]
+
+    def test_float(self):
+        assert kinds("3.14") == [(TokenType.NUMBER, "3.14")]
+
+    def test_trailing_dot_is_punctuation(self):
+        tokens = kinds("1.x")
+        assert tokens[0] == (TokenType.NUMBER, "1")
+        assert tokens[1] == (TokenType.PUNCTUATION, ".")
+
+    def test_two_dots_not_one_number(self):
+        tokens = kinds("1.2.3")
+        assert tokens[0] == (TokenType.NUMBER, "1.2")
+
+
+class TestStrings:
+    def test_simple_string(self):
+        assert kinds("'abc'") == [(TokenType.STRING, "abc")]
+
+    def test_doubled_quote_escape(self):
+        assert kinds("'it''s'") == [(TokenType.STRING, "it's")]
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError, match="unterminated string"):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        assert kinds('"Mixed Case"') == \
+            [(TokenType.IDENTIFIER, "Mixed Case")]
+
+    def test_unterminated_quoted_identifier(self):
+        with pytest.raises(LexerError):
+            tokenize('"oops')
+
+
+class TestOperators:
+    @pytest.mark.parametrize("op", ["<>", "!=", "<=", ">=", "||", "=",
+                                    "<", ">", "+", "-", "*", "/"])
+    def test_each_operator(self, op):
+        assert kinds(op) == [(TokenType.OPERATOR, op)]
+
+    def test_longest_match_wins(self):
+        assert kinds("<=") == [(TokenType.OPERATOR, "<=")]
+
+    def test_adjacent_operators(self):
+        assert [v for _t, v in kinds("a<=b")] == ["a", "<=", "b"]
+
+
+class TestComments:
+    def test_line_comment_skipped(self):
+        assert kinds("a -- comment\n b") == \
+            [(TokenType.IDENTIFIER, "a"), (TokenType.IDENTIFIER, "b")]
+
+    def test_block_comment_skipped(self):
+        assert kinds("a /* hi \n there */ b") == \
+            [(TokenType.IDENTIFIER, "a"), (TokenType.IDENTIFIER, "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError, match="unterminated block"):
+            tokenize("a /* oops")
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("a\n  b")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(LexerError) as info:
+            tokenize("ok ?")
+        assert info.value.line == 1
+        assert info.value.column == 4
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError, match="unexpected character"):
+            tokenize("#")

@@ -1,0 +1,127 @@
+"""Statistics manager and cost model tests."""
+
+import pytest
+
+from repro.optimizer.cost import CostModel
+from repro.qgm.builder import QGMBuilder
+from repro.sql.parser import parse_expression, parse_statement
+from repro.storage.stats import StatisticsManager, analyze_table
+
+
+class TestAnalyzeTable:
+    def test_cardinality_and_distinct(self, simple_db):
+        stats = analyze_table(simple_db.table("DEPT"))
+        assert stats.cardinality == 3
+        assert stats.column("LOC").distinct == 2
+        assert stats.column("DNO").distinct == 3
+
+    def test_min_max(self, simple_db):
+        stats = analyze_table(simple_db.table("EMP"))
+        assert stats.column("SAL").minimum == 90
+        assert stats.column("SAL").maximum == 200
+
+    def test_null_fraction(self, simple_db):
+        stats = analyze_table(simple_db.table("EMP"))
+        assert stats.column("EDNO").null_fraction == pytest.approx(0.2)
+
+    def test_empty_table(self, empty_org_db):
+        stats = analyze_table(empty_org_db.table("DEPT"))
+        assert stats.cardinality == 0
+        assert stats.column("DNO").distinct == 0
+
+    def test_unknown_column_defaults(self, simple_db):
+        stats = analyze_table(simple_db.table("DEPT"))
+        assert stats.column("GHOST").distinct == 1
+
+    def test_equality_selectivity(self, simple_db):
+        stats = analyze_table(simple_db.table("DEPT"))
+        assert stats.column("LOC").selectivity_equals(3) == \
+            pytest.approx(0.5)
+
+
+class TestStatisticsManager:
+    def test_snapshot_cached(self, simple_db):
+        manager = StatisticsManager(simple_db.catalog)
+        first = manager.stats_for("DEPT")
+        assert manager.stats_for("DEPT") is first
+
+    def test_invalidate_refreshes(self, simple_db):
+        manager = StatisticsManager(simple_db.catalog)
+        first = manager.stats_for("DEPT")
+        manager.invalidate("DEPT")
+        assert manager.stats_for("DEPT") is not first
+
+    def test_large_drift_triggers_refresh(self, simple_db):
+        manager = StatisticsManager(simple_db.catalog)
+        before = manager.stats_for("DEPT")
+        table = simple_db.table("DEPT")
+        for i in range(100, 150):
+            table.insert((i, f"d{i}", "X"))
+        after = manager.stats_for("DEPT")
+        assert after is not before
+        assert after.cardinality == 53
+
+    def test_small_drift_tolerated(self, simple_db):
+        manager = StatisticsManager(simple_db.catalog)
+        before = manager.stats_for("DEPT")
+        simple_db.table("DEPT").insert((99, "tiny", "X"))
+        assert manager.stats_for("DEPT") is before
+
+
+class TestCostModel:
+    def make_model(self, db):
+        return CostModel(StatisticsManager(db.catalog))
+
+    def box_for(self, db, sql):
+        graph = QGMBuilder(db.catalog).build_select(parse_statement(sql))
+        return graph.top.single_output().box
+
+    def test_base_cardinality(self, simple_db):
+        model = self.make_model(simple_db)
+        box = self.box_for(simple_db, "SELECT * FROM EMP")
+        base = box.body_quantifiers[0].box
+        assert model.box_rows(base) == 5
+
+    def test_selection_reduces_estimate(self, simple_db):
+        model = self.make_model(simple_db)
+        filtered = self.box_for(simple_db,
+                                "SELECT * FROM DEPT WHERE loc = 'ARC'")
+        unfiltered = self.box_for(simple_db, "SELECT * FROM DEPT")
+        assert model.box_rows(filtered) < model.box_rows(unfiltered)
+
+    def test_equality_uses_distinct_counts(self, simple_db):
+        model = self.make_model(simple_db)
+        box = self.box_for(simple_db,
+                           "SELECT * FROM DEPT WHERE dno = 1")
+        # 3 rows / 3 distinct keys ~ 1 row.
+        assert model.box_rows(box) == pytest.approx(1.0, abs=0.2)
+
+    def test_and_multiplies_selectivities(self, simple_db):
+        model = self.make_model(simple_db)
+        one = model.selectivity(parse_expression("1 = 1"))
+        assert model.selectivity(parse_expression("1 = 1 AND 2 = 2")) \
+            == pytest.approx(one * one)
+
+    def test_or_adds_and_caps(self, simple_db):
+        model = self.make_model(simple_db)
+        assert model.selectivity(parse_expression(
+            "1 < 2 OR 3 < 4 OR 5 < 6")) <= 1.0
+
+    def test_literal_predicates(self, simple_db):
+        model = self.make_model(simple_db)
+        from repro.sql import ast
+        assert model.selectivity(ast.Literal(True)) == 1.0
+        assert model.selectivity(ast.Literal(False)) == 0.0
+
+    def test_join_estimate_grows_with_inputs(self, simple_db):
+        model = self.make_model(simple_db)
+        small = model.join_rows(10, 10, [])
+        large = model.join_rows(100, 100, [])
+        assert large > small
+
+    def test_estimates_cached_per_box(self, simple_db):
+        model = self.make_model(simple_db)
+        box = self.box_for(simple_db, "SELECT * FROM EMP")
+        assert model.box_rows(box) == model.box_rows(box)
+        model.invalidate()
+        assert model.box_rows(box) == 5

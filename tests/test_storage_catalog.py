@@ -1,0 +1,150 @@
+"""Unit tests for the catalog: objects, FKs, views."""
+
+import pytest
+
+from repro.errors import CatalogError, UpdateError
+from repro.storage.catalog import Catalog, ViewDefinition
+from repro.storage.types import Column, INTEGER, VARCHAR
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    catalog = Catalog()
+    catalog.create_table("DEPT", [
+        Column("DNO", INTEGER, primary_key=True),
+        Column("LOC", VARCHAR),
+    ])
+    catalog.create_table("EMP", [
+        Column("ENO", INTEGER, primary_key=True),
+        Column("EDNO", INTEGER),
+    ])
+    return catalog
+
+
+class TestTables:
+    def test_lookup_case_insensitive(self, catalog):
+        assert catalog.table("dept") is catalog.table("DEPT")
+
+    def test_duplicate_name_rejected(self, catalog):
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create_table("dept", [Column("X", INTEGER)])
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(CatalogError, match="no table"):
+            catalog.table("NOPE")
+
+    def test_drop_table(self, catalog):
+        catalog.drop_table("EMP")
+        assert not catalog.has_table("EMP")
+
+    def test_drop_referenced_parent_rejected(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        with pytest.raises(CatalogError, match="referenced by"):
+            catalog.drop_table("DEPT")
+
+    def test_drop_child_removes_its_fks(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        catalog.drop_table("EMP")
+        assert catalog.foreign_keys() == []
+        catalog.drop_table("DEPT")  # now unreferenced
+
+
+class TestIndexes:
+    def test_create_and_lookup(self, catalog):
+        catalog.create_index("IX", "EMP", ["EDNO"])
+        assert catalog.index("ix").column_names == ("EDNO",)
+
+    def test_duplicate_index_name(self, catalog):
+        catalog.create_index("IX", "EMP", ["EDNO"])
+        with pytest.raises(CatalogError):
+            catalog.create_index("IX", "DEPT", ["LOC"])
+
+    def test_indexes_on_filters_by_columns(self, catalog):
+        catalog.create_index("IX1", "EMP", ["EDNO"])
+        catalog.create_index("IX2", "EMP", ["ENO"])
+        found = catalog.indexes_on("EMP", ["edno"])
+        assert [i.name for i in found] == ["IX1"]
+
+    def test_drop_index_detaches(self, catalog):
+        catalog.create_index("IX", "EMP", ["EDNO"])
+        catalog.drop_index("IX")
+        assert catalog.table("EMP").indexes == ()
+
+    def test_dropping_table_drops_indexes(self, catalog):
+        catalog.create_index("IX", "EMP", ["EDNO"])
+        catalog.drop_table("EMP")
+        with pytest.raises(CatalogError):
+            catalog.index("IX")
+
+
+class TestForeignKeys:
+    def test_insert_without_parent_rejected(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        with pytest.raises(UpdateError, match="no parent"):
+            catalog.check_foreign_keys("EMP", (1, 99))
+
+    def test_insert_with_parent_ok(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        catalog.table("DEPT").insert((1, "ARC"))
+        catalog.check_foreign_keys("EMP", (1, 1))
+
+    def test_null_fk_exempt(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        catalog.check_foreign_keys("EMP", (1, None))
+
+    def test_delete_parent_with_children_rejected(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        catalog.table("DEPT").insert((1, "ARC"))
+        catalog.table("EMP").insert((10, 1))
+        with pytest.raises(UpdateError, match="still references"):
+            catalog.check_no_referencing_children("DEPT", (1, "ARC"))
+
+    def test_delete_childless_parent_ok(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        catalog.table("DEPT").insert((2, "SF"))
+        catalog.check_no_referencing_children("DEPT", (2, "SF"))
+
+    def test_column_count_mismatch(self, catalog):
+        with pytest.raises(CatalogError, match="mismatch"):
+            catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT",
+                                    ["DNO", "LOC"])
+
+    def test_find_foreign_key(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        assert catalog.find_foreign_key("EMP", ["edno"], "DEPT",
+                                        ["dno"]) is not None
+        assert catalog.find_foreign_key("EMP", ["eno"], "DEPT",
+                                        ["dno"]) is None
+
+    def test_foreign_keys_of(self, catalog):
+        catalog.add_foreign_key("FK", "EMP", ["EDNO"], "DEPT", ["DNO"])
+        assert [f.name for f in catalog.foreign_keys_of("emp")] == ["FK"]
+
+
+class TestViews:
+    def test_create_and_resolve(self, catalog):
+        catalog.create_view(ViewDefinition("V", definition=None, text=""))
+        assert catalog.has_view("v")
+        assert catalog.view("V").name == "V"
+
+    def test_view_name_conflicts_with_table(self, catalog):
+        with pytest.raises(CatalogError, match="already exists"):
+            catalog.create_view(ViewDefinition("EMP", None, ""))
+
+    def test_table_name_conflicts_with_view(self, catalog):
+        catalog.create_view(ViewDefinition("V", None, ""))
+        with pytest.raises(CatalogError):
+            catalog.create_table("v", [Column("A", INTEGER)])
+
+    def test_drop_view(self, catalog):
+        catalog.create_view(ViewDefinition("V", None, ""))
+        catalog.drop_view("V")
+        assert not catalog.has_view("V")
+
+    def test_resolve_prefers_table(self, catalog):
+        resolved = catalog.resolve("EMP")
+        assert resolved is catalog.table("EMP")
+
+    def test_resolve_unknown(self, catalog):
+        with pytest.raises(CatalogError, match="no table or view"):
+            catalog.resolve("GHOST")

@@ -1,0 +1,164 @@
+"""Unit tests for heap tables: RIDs, mutation, PK enforcement."""
+
+import pytest
+
+from repro.errors import StorageError, TypeCheckError
+from repro.storage.table import Table
+from repro.storage.types import Column, INTEGER, VARCHAR
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table("T", [
+        Column("ID", INTEGER, primary_key=True),
+        Column("NAME", VARCHAR),
+    ])
+
+
+class TestSchema:
+    def test_requires_columns(self):
+        with pytest.raises(StorageError):
+            Table("EMPTY", [])
+
+    def test_duplicate_column_names_rejected(self):
+        with pytest.raises(StorageError):
+            Table("D", [Column("A", INTEGER), Column("a", INTEGER)])
+
+    def test_column_position_case_insensitive(self, table):
+        assert table.column_position("name") == 1
+        assert table.column_position("NAME") == 1
+
+    def test_unknown_column(self, table):
+        with pytest.raises(StorageError, match="no column"):
+            table.column_position("NOPE")
+
+    def test_primary_key_names(self, table):
+        assert table.primary_key == ("ID",)
+
+
+class TestInsert:
+    def test_insert_returns_sequential_rids(self, table):
+        assert table.insert((1, "a")) == 0
+        assert table.insert((2, "b")) == 1
+
+    def test_insert_validates_types(self, table):
+        with pytest.raises(TypeCheckError):
+            table.insert(("x", "a"))
+
+    def test_duplicate_pk_rejected(self, table):
+        table.insert((1, "a"))
+        with pytest.raises(TypeCheckError, match="duplicate primary key"):
+            table.insert((1, "b"))
+
+    def test_len_counts_live_rows(self, table):
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert len(table) == 2
+
+
+class TestDelete:
+    def test_delete_leaves_tombstone(self, table):
+        rid = table.insert((1, "a"))
+        table.insert((2, "b"))
+        table.delete(rid)
+        assert len(table) == 1
+        assert not table.is_live(rid)
+        assert table.is_live(rid + 1)
+
+    def test_fetch_deleted_raises(self, table):
+        rid = table.insert((1, "a"))
+        table.delete(rid)
+        with pytest.raises(StorageError, match="not live"):
+            table.fetch(rid)
+
+    def test_rids_stay_stable_after_delete(self, table):
+        table.insert((1, "a"))
+        rid2 = table.insert((2, "b"))
+        table.delete(0)
+        assert table.fetch(rid2) == (2, "b")
+
+    def test_deleted_pk_can_be_reinserted(self, table):
+        rid = table.insert((1, "a"))
+        table.delete(rid)
+        table.insert((1, "again"))  # pk free again
+
+
+class TestUpdate:
+    def test_update_replaces_row(self, table):
+        rid = table.insert((1, "a"))
+        table.update(rid, (1, "z"))
+        assert table.fetch(rid) == (1, "z")
+
+    def test_update_validates(self, table):
+        rid = table.insert((1, "a"))
+        with pytest.raises(TypeCheckError):
+            table.update(rid, (1, 42))
+
+    def test_pk_change_checked(self, table):
+        table.insert((1, "a"))
+        rid = table.insert((2, "b"))
+        with pytest.raises(TypeCheckError, match="duplicate"):
+            table.update(rid, (1, "b"))
+
+    def test_pk_change_to_free_value(self, table):
+        rid = table.insert((1, "a"))
+        table.update(rid, (9, "a"))
+        assert table.lookup_pk((9,)) == rid
+        assert table.lookup_pk((1,)) is None
+
+
+class TestScan:
+    def test_scan_yields_rid_row_pairs(self, table):
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        assert list(table.scan()) == [(0, (1, "a")), (1, (2, "b"))]
+
+    def test_rows_skips_tombstones(self, table):
+        table.insert((1, "a"))
+        table.insert((2, "b"))
+        table.delete(0)
+        assert list(table.rows()) == [(2, "b")]
+
+
+class TestPkLookup:
+    def test_lookup_present(self, table):
+        rid = table.insert((5, "e"))
+        assert table.lookup_pk((5,)) == rid
+
+    def test_lookup_absent(self, table):
+        assert table.lookup_pk((99,)) is None
+
+    def test_lookup_without_pk_raises(self):
+        plain = Table("P", [Column("A", INTEGER)])
+        with pytest.raises(StorageError):
+            plain.lookup_pk((1,))
+
+
+class TestMutationHook:
+    def test_hook_sees_all_operations(self, table):
+        events = []
+        table.on_mutation = lambda *args: events.append(args[0])
+        rid = table.insert((1, "a"))
+        table.update(rid, (1, "b"))
+        table.delete(rid)
+        assert events == ["insert", "update", "delete"]
+
+    def test_insert_at_restores_exact_slot(self, table):
+        rid = table.insert((1, "a"))
+        row = table.delete(rid)
+        table.insert_at(rid, row)
+        assert table.fetch(rid) == (1, "a")
+        assert table.lookup_pk((1,)) == rid
+
+    def test_insert_at_live_slot_rejected(self, table):
+        rid = table.insert((1, "a"))
+        with pytest.raises(StorageError, match="already live"):
+            table.insert_at(rid, (2, "b"))
+
+
+class TestTruncate:
+    def test_truncate_clears_everything(self, table):
+        table.insert((1, "a"))
+        table.truncate()
+        assert len(table) == 0
+        table.insert((1, "a"))  # pk map was cleared too

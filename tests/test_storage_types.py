@@ -1,0 +1,159 @@
+"""Unit tests for SQL data types and row validation."""
+
+import pytest
+
+from repro.errors import TypeCheckError
+from repro.storage.types import (BOOLEAN, DOUBLE, INTEGER, VARCHAR,
+                                 CharType, Column, VarcharType, infer_type,
+                                 type_from_name, validate_row)
+
+
+class TestIntegerType:
+    def test_accepts_int(self):
+        assert INTEGER.validate(42) == 42
+
+    def test_accepts_integral_float(self):
+        assert INTEGER.validate(3.0) == 3
+
+    def test_rejects_fractional_float(self):
+        with pytest.raises(TypeCheckError):
+            INTEGER.validate(3.5)
+
+    def test_rejects_string(self):
+        with pytest.raises(TypeCheckError):
+            INTEGER.validate("7")
+
+    def test_rejects_boolean(self):
+        with pytest.raises(TypeCheckError):
+            INTEGER.validate(True)
+
+    def test_null_passes(self):
+        assert INTEGER.validate(None) is None
+
+
+class TestFloatType:
+    def test_accepts_float(self):
+        assert DOUBLE.validate(2.5) == 2.5
+
+    def test_coerces_int(self):
+        value = DOUBLE.validate(2)
+        assert value == 2.0 and isinstance(value, float)
+
+    def test_rejects_boolean(self):
+        with pytest.raises(TypeCheckError):
+            DOUBLE.validate(False)
+
+
+class TestVarcharType:
+    def test_unbounded_accepts_any_string(self):
+        assert VARCHAR.validate("x" * 1000) == "x" * 1000
+
+    def test_bounded_rejects_overflow(self):
+        with pytest.raises(TypeCheckError):
+            VarcharType(3).validate("abcd")
+
+    def test_bounded_accepts_exact(self):
+        assert VarcharType(4).validate("abcd") == "abcd"
+
+    def test_rejects_non_string(self):
+        with pytest.raises(TypeCheckError):
+            VARCHAR.validate(5)
+
+    def test_zero_length_is_invalid(self):
+        with pytest.raises(TypeCheckError):
+            VarcharType(0)
+
+
+class TestCharType:
+    def test_blank_pads(self):
+        assert CharType(4).validate("ab") == "ab  "
+
+    def test_rejects_overflow(self):
+        with pytest.raises(TypeCheckError):
+            CharType(2).validate("abc")
+
+
+class TestBooleanType:
+    def test_accepts_bool(self):
+        assert BOOLEAN.validate(True) is True
+
+    def test_rejects_int(self):
+        with pytest.raises(TypeCheckError):
+            BOOLEAN.validate(1)
+
+
+class TestTypeFromName:
+    @pytest.mark.parametrize("name", ["INT", "INTEGER", "int", "BIGINT"])
+    def test_integer_spellings(self, name):
+        assert type_from_name(name) == INTEGER
+
+    @pytest.mark.parametrize("name", ["FLOAT", "DOUBLE", "REAL"])
+    def test_float_spellings(self, name):
+        assert type_from_name(name) == DOUBLE
+
+    def test_varchar_with_length(self):
+        assert type_from_name("VARCHAR", 10) == VarcharType(10)
+
+    def test_char_defaults_to_one(self):
+        assert type_from_name("CHAR") == CharType(1)
+
+    def test_unknown_type(self):
+        with pytest.raises(TypeCheckError):
+            type_from_name("BLOB")
+
+
+class TestInferType:
+    def test_int(self):
+        assert infer_type(7) == INTEGER
+
+    def test_bool_before_int(self):
+        assert infer_type(True) == BOOLEAN
+
+    def test_str(self):
+        assert infer_type("x") == VARCHAR
+
+    def test_unsupported(self):
+        with pytest.raises(TypeCheckError):
+            infer_type(object())
+
+
+class TestColumn:
+    def test_not_null_rejects_none(self):
+        column = Column("A", INTEGER, nullable=False)
+        with pytest.raises(TypeCheckError):
+            column.validate(None)
+
+    def test_primary_key_rejects_none(self):
+        column = Column("A", INTEGER, primary_key=True)
+        with pytest.raises(TypeCheckError):
+            column.validate(None)
+
+    def test_error_names_column(self):
+        column = Column("AGE", INTEGER)
+        with pytest.raises(TypeCheckError, match="AGE"):
+            column.validate("old")
+
+
+class TestValidateRow:
+    COLUMNS = [Column("A", INTEGER), Column("B", VARCHAR)]
+
+    def test_valid_row(self):
+        assert validate_row(self.COLUMNS, [1, "x"]) == (1, "x")
+
+    def test_width_mismatch(self):
+        with pytest.raises(TypeCheckError, match="2 columns"):
+            validate_row(self.COLUMNS, [1])
+
+    def test_coercion_applies(self):
+        assert validate_row(self.COLUMNS, [2.0, None]) == (2, None)
+
+
+class TestTypeEquality:
+    def test_parameterized_types_compare_by_value(self):
+        assert VarcharType(5) == VarcharType(5)
+        assert VarcharType(5) != VarcharType(6)
+
+    def test_comparability_families(self):
+        assert INTEGER.is_comparable_with(DOUBLE)
+        assert not INTEGER.is_comparable_with(VARCHAR)
+        assert VARCHAR.is_comparable_with(VarcharType(3))

@@ -1,0 +1,80 @@
+"""Transport simulator tests (Sect. 5.3 shipping disciplines)."""
+
+import pytest
+
+from repro.api.transport import (MESSAGE_OVERHEAD, TransportSimulator,
+                                 tuple_size, value_size)
+
+
+@pytest.fixture
+def co(org_db):
+    return org_db.xnf("deps_arc")
+
+
+class TestSizes:
+    def test_value_sizes(self):
+        assert value_size(None) == 1
+        assert value_size(7) == 4
+        assert value_size(2.5) == 8
+        assert value_size("abcd") == 4
+        assert value_size((1, "ab")) == 6
+
+    def test_tuple_size_includes_per_value_overhead(self):
+        assert tuple_size((1,)) > value_size(1)
+
+
+class TestDisciplines:
+    def test_tuple_at_a_time_two_messages_per_tuple(self, co):
+        stats = TransportSimulator().tuple_at_a_time(co)
+        assert stats.messages == 2 * stats.tuples + 2
+        assert stats.tuples == co.shipped_tuples
+
+    def test_block_shipping_few_messages(self, co):
+        stats = TransportSimulator().block_shipping(co)
+        assert stats.tuples == co.shipped_tuples
+        assert stats.messages <= 3  # request + one or two blocks
+
+    def test_order_of_magnitude_message_gap(self, co):
+        simulator = TransportSimulator()
+        one_at_a_time = simulator.tuple_at_a_time(co)
+        blocked = simulator.block_shipping(co)
+        assert one_at_a_time.messages >= 10 * blocked.messages
+
+    def test_object_shipping_message_per_object(self, co):
+        stats = TransportSimulator().object_shipping(co)
+        assert stats.messages == co.shipped_tuples
+
+    def test_page_shipping_ships_whole_pages(self, co):
+        stats = TransportSimulator().page_shipping(co)
+        assert stats.payload_bytes % 4096 == 0
+        blocked = TransportSimulator().block_shipping(co)
+        # Half-empty pages cost more bytes than exactly-packed blocks.
+        assert stats.payload_bytes > blocked.payload_bytes
+
+    def test_small_block_size_increases_messages(self, co):
+        simulator = TransportSimulator()
+        large = simulator.block_shipping(co, block_bytes=1 << 20)
+        small = simulator.block_shipping(co, block_bytes=256)
+        assert small.messages > large.messages
+        assert small.tuples == large.tuples
+
+    def test_total_bytes_accounts_overhead(self, co):
+        stats = TransportSimulator().block_shipping(co)
+        assert stats.total_bytes == stats.payload_bytes + \
+            stats.messages * MESSAGE_OVERHEAD
+
+    def test_projection_reduces_bytes(self, org_db):
+        full = org_db.xnf("deps_arc")
+        query = org_db.catalog.view("deps_arc").definition
+        from repro.sql import ast
+        narrow = ast.XNFQuery(
+            definitions=query.definitions,
+            take_all=False,
+            take_items=(ast.TakeItem("xdept", ("DNO",)),
+                        ast.TakeItem("xemp", ("ENO",)),
+                        ast.TakeItem("employment")),
+        )
+        slim = org_db.xnf(narrow)
+        simulator = TransportSimulator()
+        assert simulator.block_shipping(slim).payload_bytes < \
+            simulator.block_shipping(full).payload_bytes

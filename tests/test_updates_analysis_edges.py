@@ -1,0 +1,135 @@
+"""Edge cases of the updatability analysis and write-back machinery."""
+
+import pytest
+
+from repro.errors import NotUpdatableError, UpdateError
+from repro.qgm.builder import QGMBuilder
+from repro.sql.parser import parse_statement
+from repro.xnf.updates import analyze_xnf_box
+
+
+def analysis_for(db, query_text):
+    builder = QGMBuilder(db.catalog)
+    graph = builder.build_xnf(parse_statement(query_text), "V")
+    return analyze_xnf_box(graph.xnf_box())
+
+
+class TestComponentEdges:
+    def test_subquery_component_readonly(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT * FROM EMP e WHERE EXISTS
+                     (SELECT 1 FROM DEPT d WHERE d.dno = e.edno))
+        TAKE *
+        """)
+        assert not components["X"].updatable
+        assert "subqueries" in components["X"].reason
+
+    def test_union_component_readonly(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT eno FROM EMP UNION SELECT dno FROM DEPT)
+        TAKE *
+        """)
+        assert not components["X"].updatable
+
+    def test_renamed_columns_still_map(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT eno AS badge, ename AS who FROM EMP)
+        TAKE *
+        """)
+        info = components["X"]
+        assert info.updatable
+        assert info.column_map == {"BADGE": "ENO", "WHO": "ENAME"}
+
+    def test_multiple_checks_recorded(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT * FROM EMP WHERE sal > 10 AND eno < 500)
+        TAKE *
+        """)
+        assert len(components["X"].check_predicates) == 2
+
+
+class TestRelationshipEdges:
+    def test_multi_column_fk(self, simple_db):
+        simple_db.execute("CREATE TABLE PAIRS (A INT, B INT)")
+        simple_db.execute("CREATE TABLE ITEMS (PA INT, PB INT, V INT)")
+        _components, rels = analysis_for(simple_db, """
+        OUT OF p AS PAIRS, i AS ITEMS,
+               r AS (RELATE p VIA OWNS, i
+                     WHERE p.a = i.pa AND p.b = i.pb)
+        TAKE *
+        """)
+        assert rels["R"].kind == "foreign_key"
+        assert sorted(rels["R"].fk_pairs) == [("PA", "A"), ("PB", "B")]
+
+    def test_predicate_with_constant_readonly(self, org_db):
+        _components, rels = analysis_for(org_db, """
+        OUT OF d AS DEPT, e AS EMP,
+               r AS (RELATE d VIA X, e
+                     WHERE d.dno = e.edno AND e.sal = 100)
+        TAKE *
+        """)
+        assert rels["R"].kind == "readonly"
+
+    def test_readonly_child_blocks_fk_kind(self, org_db):
+        _components, rels = analysis_for(org_db, """
+        OUT OF d AS DEPT,
+               e AS (SELECT eno, edno, sal * 1 AS pay FROM EMP),
+               r AS (RELATE d VIA X, e WHERE d.dno = e.edno)
+        TAKE *
+        """)
+        assert rels["R"].kind == "readonly"
+        assert "not updatable" in rels["R"].reason
+
+
+class TestWriteBackEdges:
+    def test_disconnect_fk_nulls_out(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        dept = cache.extent("xdept")[0]
+        emp = dept.children("employment")[0]
+        cache.disconnect("employment", dept, emp)
+        cache.write_back()
+        assert org_db.query(
+            f"SELECT edno FROM EMP WHERE eno = {emp.eno}").rows == \
+            [(None,)]
+
+    def test_disconnect_missing_connect_table_row(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("xemp")[0]
+        skill = emp.children("empproperty")[0]
+        # Remove the mapping row behind the cache's back, then try to
+        # disconnect: write-back must fail loudly, not silently no-op.
+        org_db.execute(
+            f"DELETE FROM EMPSKILLS WHERE eseno = {emp.eno} AND "
+            f"essno = {skill.sno}")
+        cache.disconnect("empproperty", emp, skill)
+        with pytest.raises(UpdateError, match="no connect-table row"):
+            cache.write_back()
+
+    def test_update_of_unmapped_column_rejected(self, org_db):
+        cache = org_db.open_cache("""
+        OUT OF x AS (SELECT eno, sal * 2 AS double_sal FROM EMP)
+        TAKE *
+        """)
+        obj = cache.extent("x")[0]
+        obj.set("DOUBLE_SAL", 0)
+        with pytest.raises(NotUpdatableError):
+            cache.write_back()
+
+    def test_nary_connect_rejected(self, org_db):
+        cache = org_db.open_cache("""
+        OUT OF d AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
+               e AS EMP, p AS PROJ,
+               staffing AS (RELATE d VIA RUNS, e, p
+                            WHERE d.dno = e.edno AND d.dno = p.pdno)
+        TAKE *
+        """)
+        depts = cache.extent("d")
+        assert len(depts) >= 2
+        # A combination that cannot pre-exist: first dept with another
+        # dept's employee and project.
+        foreign_emp = depts[1].children("staffing")[0][0]
+        foreign_proj = depts[1].children("staffing")[0][1]
+        cache.connect("staffing", depts[0], foreign_emp, foreign_proj)
+        assert cache.dirty
+        with pytest.raises(NotUpdatableError, match="read-only"):
+            cache.write_back()

@@ -1,0 +1,210 @@
+"""Updatability analysis and cache write-back (Sect. 2 update model)."""
+
+import pytest
+
+from repro.errors import NotUpdatableError, UpdateError
+from repro.qgm.builder import QGMBuilder
+from repro.sql.parser import parse_statement
+from repro.xnf.updates import analyze_xnf_box
+
+
+def analysis_for(db, query_text):
+    builder = QGMBuilder(db.catalog)
+    graph = builder.build_xnf(parse_statement(query_text), "V")
+    return analyze_xnf_box(graph.xnf_box())
+
+
+class TestComponentAnalysis:
+    def test_simple_restriction_is_updatable(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF d AS (SELECT * FROM DEPT WHERE loc = 'ARC') TAKE *
+        """)
+        info = components["D"]
+        assert info.updatable
+        assert info.table == "DEPT"
+        assert info.column_map["DNO"] == "DNO"
+        assert info.check_texts  # the loc predicate became a check
+
+    def test_projection_is_updatable(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF d AS (SELECT dno, dname FROM DEPT) TAKE *
+        """)
+        assert components["D"].updatable
+
+    def test_join_is_read_only(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT e.eno, d.dname FROM EMP e, DEPT d
+                     WHERE e.edno = d.dno) TAKE *
+        """)
+        assert not components["X"].updatable
+        assert "joins" in components["X"].reason
+
+    def test_aggregate_is_read_only(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT loc, COUNT(*) AS n FROM DEPT GROUP BY loc)
+        TAKE *
+        """)
+        assert not components["X"].updatable
+
+    def test_computed_column_is_read_only(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT eno, sal * 2 AS double_sal FROM EMP) TAKE *
+        """)
+        assert not components["X"].updatable
+        assert "computed" in components["X"].reason
+
+    def test_distinct_is_read_only(self, org_db):
+        components, _rels = analysis_for(org_db, """
+        OUT OF x AS (SELECT DISTINCT loc FROM DEPT) TAKE *
+        """)
+        assert not components["X"].updatable
+
+
+class TestRelationshipAnalysis:
+    def test_fk_relationship(self, org_db):
+        _components, rels = analysis_for(org_db, """
+        OUT OF d AS DEPT, e AS EMP,
+               r AS (RELATE d VIA EMPLOYS, e WHERE d.dno = e.edno)
+        TAKE *
+        """)
+        info = rels["R"]
+        assert info.kind == "foreign_key"
+        assert info.fk_pairs == [("EDNO", "DNO")]
+
+    def test_connect_table_relationship(self, org_db):
+        _components, rels = analysis_for(org_db, """
+        OUT OF e AS EMP, s AS SKILLS,
+               r AS (RELATE e VIA POSSESSES, s USING EMPSKILLS es
+                     WHERE e.eno = es.eseno AND es.essno = s.sno)
+        TAKE *
+        """)
+        info = rels["R"]
+        assert info.kind == "connect_table"
+        assert info.table == "EMPSKILLS"
+        assert info.parent_pairs == [("ESENO", "ENO")]
+        assert info.child_pairs == [("ESSNO", "SNO")]
+
+    def test_nary_is_readonly(self, org_db):
+        _components, rels = analysis_for(org_db, """
+        OUT OF d AS DEPT, e AS EMP, p AS PROJ,
+               r AS (RELATE d VIA RUNS, e, p
+                     WHERE d.dno = e.edno AND d.dno = p.pdno)
+        TAKE *
+        """)
+        assert rels["R"].kind == "readonly"
+
+    def test_inequality_predicate_is_readonly(self, org_db):
+        _components, rels = analysis_for(org_db, """
+        OUT OF a AS (SELECT * FROM EMP WHERE sal > 150000), b AS EMP,
+               r AS (RELATE a VIA DOMINATES, b WHERE a.sal > b.sal)
+        TAKE *
+        """)
+        assert rels["R"].kind == "readonly"
+
+
+class TestWriteBack:
+    def test_update_reaches_base_table(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("xemp")[0]
+        emp.set("SAL", 123456)
+        cache.write_back()
+        assert org_db.query(
+            f"SELECT sal FROM EMP WHERE eno = {emp.eno}").rows == \
+            [(123456,)]
+        assert not cache.dirty
+
+    def test_insert_then_update_new_object(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        dept = cache.extent("xdept")[0]
+        new = cache.insert("xemp", ENO=500, ENAME="n", EDNO=dept.dno,
+                           SAL=1)
+        new.set("SAL", 2)
+        cache.write_back()
+        assert org_db.query(
+            "SELECT sal FROM EMP WHERE eno = 500").rows == [(2,)]
+
+    def test_delete_reaches_base_table(self, org_db):
+        org_db.execute("INSERT INTO DEPT VALUES (99, 'empty', 'ARC')")
+        cache = org_db.open_cache("deps_arc")
+        victim = cache.find("xdept", dno=99)[0]
+        cache.delete(victim)
+        cache.write_back()
+        assert org_db.query(
+            "SELECT COUNT(*) FROM DEPT WHERE dno = 99").rows == [(0,)]
+
+    def test_insert_deleted_in_cache_never_ships(self, org_db):
+        before = org_db.query("SELECT COUNT(*) FROM EMP").rows[0][0]
+        cache = org_db.open_cache("deps_arc")
+        ghost = cache.insert("xemp", ENO=501, EDNO=1, SAL=1)
+        cache.delete(ghost)
+        cache.write_back()
+        assert org_db.query("SELECT COUNT(*) FROM EMP").rows[0][0] == \
+            before
+
+    def test_check_option_rejects_escaping_row(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        dept = cache.extent("xdept")[0]
+        dept.set("LOC", "SF")  # would leave the deps_ARC view
+        with pytest.raises(UpdateError, match="view predicate"):
+            cache.write_back()
+
+    def test_failed_writeback_rolls_back_everything(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        emps = cache.extent("xemp")
+        emps[0].set("SAL", 1)
+        dept = cache.extent("xdept")[0]
+        dept.set("LOC", "SF")  # fails the check option
+        with pytest.raises(UpdateError):
+            cache.write_back()
+        eno = emps[0].eno
+        salary = org_db.query(
+            f"SELECT sal FROM EMP WHERE eno = {eno}").rows[0][0]
+        assert salary != 1  # the first update was rolled back too
+
+    def test_connect_fk_sets_foreign_key(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        depts = cache.extent("xdept")
+        emp = depts[0].children("employment")[0]
+        cache.disconnect("employment", depts[0], emp)
+        cache.connect("employment", depts[1], emp)
+        cache.write_back()
+        assert org_db.query(
+            f"SELECT edno FROM EMP WHERE eno = {emp.eno}").rows == \
+            [(depts[1].dno,)]
+
+    def test_connect_table_insert_and_delete(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("xemp")[0]
+        skills = cache.extent("xskills")
+        target = [s for s in skills
+                  if emp not in s.parents("empproperty")][0]
+        cache.connect("empproperty", emp, target)
+        cache.write_back()
+        assert org_db.query(
+            f"SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = {emp.eno} "
+            f"AND essno = {target.sno}").rows == [(1,)]
+        cache2 = org_db.open_cache("deps_arc")
+        emp2 = cache2.find("xemp", eno=emp.eno)[0]
+        skill2 = cache2.find("xskills", sno=target.sno)[0]
+        cache2.disconnect("empproperty", emp2, skill2)
+        cache2.write_back()
+        assert org_db.query(
+            f"SELECT COUNT(*) FROM EMPSKILLS WHERE eseno = {emp.eno} "
+            f"AND essno = {target.sno}").rows == [(0,)]
+
+    def test_readonly_component_rejected(self, org_db):
+        cache = org_db.open_cache("""
+        OUT OF x AS (SELECT loc, COUNT(*) AS n FROM DEPT GROUP BY loc)
+        TAKE *
+        """)
+        obj = cache.extent("x")[0]
+        obj.set("N", 0)
+        with pytest.raises(NotUpdatableError, match="read-only"):
+            cache.write_back()
+
+    def test_fk_violation_detected_at_writeback(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("xemp")[0]
+        emp.set("EDNO", 9999)
+        with pytest.raises(UpdateError, match="no parent"):
+            cache.write_back()

@@ -1,0 +1,92 @@
+"""Workload generator tests: determinism, shape, referential integrity."""
+
+from repro.storage.catalog import Catalog
+from repro.workloads.bom import BOMScale, build_bom_catalog
+from repro.workloads.oo1 import OO1Scale, build_oo1_catalog
+from repro.workloads.orgdb import OrgScale, build_org_catalog
+
+
+class TestOrgDb:
+    def test_counts_match_scale(self):
+        scale = OrgScale(departments=4, employees_per_dept=2,
+                         projects_per_dept=1, skills=5, seed=1)
+        catalog, summary = build_org_catalog(scale)
+        assert len(catalog.table("DEPT")) == 4
+        assert len(catalog.table("EMP")) == 8
+        assert len(catalog.table("PROJ")) == 4
+        assert summary["employees"] == 8
+
+    def test_seeded_determinism(self):
+        first, _ = build_org_catalog(OrgScale(seed=9))
+        second, _ = build_org_catalog(OrgScale(seed=9))
+        assert list(first.table("EMP").rows()) == \
+            list(second.table("EMP").rows())
+
+    def test_different_seeds_differ(self):
+        first, _ = build_org_catalog(OrgScale(seed=1))
+        second, _ = build_org_catalog(OrgScale(seed=2))
+        assert list(first.table("EMP").rows()) != \
+            list(second.table("EMP").rows())
+
+    def test_arc_fraction_respected(self):
+        catalog, summary = build_org_catalog(
+            OrgScale(departments=10, arc_fraction=0.3))
+        arc = [r for r in catalog.table("DEPT").rows() if r[2] == "ARC"]
+        assert len(arc) == summary["arc_departments"] == 3
+
+    def test_referential_integrity(self):
+        catalog, _ = build_org_catalog(OrgScale(seed=4))
+        for row in catalog.table("EMP").rows():
+            catalog.check_foreign_keys("EMP", row)
+        for row in catalog.table("EMPSKILLS").rows():
+            catalog.check_foreign_keys("EMPSKILLS", row)
+
+
+class TestOO1:
+    def test_fanout(self):
+        catalog, summary = build_oo1_catalog(OO1Scale(parts=50, fanout=3,
+                                                      seed=1))
+        assert summary["connections"] == 150
+        assert len(catalog.table("CONNECTION")) == 150
+
+    def test_connection_targets_in_range(self):
+        catalog, _ = build_oo1_catalog(OO1Scale(parts=40, seed=2))
+        for row in catalog.table("CONNECTION").rows():
+            assert 1 <= row[1] <= 40
+
+    def test_locality_bias(self):
+        scale = OO1Scale(parts=1000, locality_fraction=0.01,
+                         locality_probability=0.9, seed=3)
+        catalog, _ = build_oo1_catalog(scale)
+        near = 0
+        total = 0
+        for from_id, to_id, _t, _l in catalog.table("CONNECTION").rows():
+            distance = min(abs(from_id - to_id),
+                           1000 - abs(from_id - to_id))
+            total += 1
+            if distance <= 10:
+                near += 1
+        assert near / total > 0.7
+
+
+class TestBOM:
+    def test_root_parts_created(self):
+        catalog, summary = build_bom_catalog(BOMScale(roots=2, depth=2,
+                                                      fanout=2, seed=1))
+        assert len(summary["roots"]) == 2
+        kinds = {r[2] for r in catalog.table("PART").rows()}
+        assert kinds == {"assembly", "atomic"}
+
+    def test_edges_reference_parts(self):
+        catalog, _ = build_bom_catalog(BOMScale(seed=2))
+        part_ids = {r[0] for r in catalog.table("PART").rows()}
+        for parent, child, _qty in catalog.table("CONTAINS").rows():
+            assert parent in part_ids and child in part_ids
+
+    def test_sharing_probability_zero_gives_tree(self):
+        catalog, summary = build_bom_catalog(
+            BOMScale(roots=1, depth=3, fanout=2, share_probability=0.0,
+                     seed=3))
+        children = [r[1] for r in catalog.table("CONTAINS").rows()]
+        assert len(children) == len(set(children))  # no shared children
+        del summary

@@ -1,0 +1,125 @@
+"""Tests for XNF execution results: streams, identity, sharing."""
+
+import pytest
+
+from repro.errors import XNFError
+from repro.workloads.orgdb import DEPS_ARC_QUERY
+
+
+@pytest.fixture
+def co(org_db):
+    return org_db.xnf("deps_arc")
+
+
+class TestStreams:
+    def test_all_taken_elements_present(self, co):
+        assert set(co.components) == {"XDEPT", "XEMP", "XPROJ", "XSKILLS"}
+        assert set(co.relationships) == {"EMPLOYMENT", "OWNERSHIP",
+                                         "EMPPROPERTY", "PROJPROPERTY"}
+
+    def test_component_numbers_are_distinct(self, co):
+        numbers = [s.number for s in co.components.values()] + \
+                  [s.number for s in co.relationships.values()]
+        assert len(set(numbers)) == len(numbers)
+
+    def test_columns_exclude_system_names(self, co):
+        for stream in co.components.values():
+            assert all(not c.startswith("$") for c in stream.columns)
+
+    def test_unknown_stream_raises(self, co):
+        with pytest.raises(XNFError):
+            co.component("ghost")
+        with pytest.raises(XNFError):
+            co.relationship("ghost")
+
+    def test_reconstructed_flags(self, co):
+        assert co.relationship("employment").reconstructed
+        assert not co.relationship("empproperty").reconstructed
+
+
+class TestReachability:
+    def test_only_arc_departments(self, co):
+        assert all(row[2] == "ARC" for row in co.component("xdept").rows)
+
+    def test_only_reachable_employees(self, org_db, co):
+        arc_counts = org_db.query(
+            "SELECT COUNT(*) FROM EMP e, DEPT d "
+            "WHERE e.edno = d.dno AND d.loc = 'ARC'").rows[0][0]
+        assert len(co.component("xemp")) == arc_counts
+
+    def test_skills_reachable_via_either_path(self, org_db, co):
+        expected = org_db.query(
+            "SELECT COUNT(DISTINCT s.sno) FROM SKILLS s, EMPSKILLS es, "
+            "EMP e, DEPT d WHERE s.sno = es.essno AND es.eseno = e.eno "
+            "AND e.edno = d.dno AND d.loc = 'ARC' "
+        ).rows[0][0]
+        union_expected = org_db.query(
+            "SELECT COUNT(*) FROM (SELECT s.sno FROM SKILLS s, "
+            "EMPSKILLS es, EMP e, DEPT d WHERE s.sno = es.essno AND "
+            "es.eseno = e.eno AND e.edno = d.dno AND d.loc = 'ARC' "
+            "UNION SELECT s.sno FROM SKILLS s, PROJSKILLS ps, PROJ p, "
+            "DEPT d WHERE s.sno = ps.pssno AND ps.pspno = p.pno AND "
+            "p.pdno = d.dno AND d.loc = 'ARC') u").rows[0][0]
+        assert len(co.component("xskills")) == union_expected
+        assert union_expected >= expected
+
+
+class TestConnections:
+    def test_connection_identities_resolve(self, co):
+        dept_oids = set(co.component("xdept").oids)
+        emp_oids = set(co.component("xemp").oids)
+        for parent_oid, child_oid in \
+                co.relationship("employment").connections:
+            assert parent_oid in dept_oids
+            assert child_oid in emp_oids
+
+    def test_object_sharing_single_tuple_per_identity(self, co):
+        skills = co.component("xskills")
+        assert len(set(skills.oids)) == len(skills.oids)
+        shared = [
+            child for _parent, child in
+            co.relationship("empproperty").connections
+        ]
+        # Several connections may point at the same skill object.
+        assert len(shared) >= len(set(shared))
+
+    def test_connections_deduplicated(self, co):
+        for stream in co.relationships.values():
+            assert len(set(stream.connections)) == \
+                len(stream.connections)
+
+
+class TestHeterogeneousStream:
+    def test_tagged_tuples_cover_everything(self, co):
+        tagged = list(co.tuples())
+        assert len(tagged) == co.total_tuples()
+        kinds = {t.kind for t in tagged}
+        assert kinds == {"component", "connection"}
+
+    def test_tags_match_stream_numbers(self, co):
+        by_number = {}
+        for tagged in co.tuples():
+            by_number.setdefault(tagged.component_number, set()).add(
+                tagged.stream_name)
+        for names in by_number.values():
+            assert len(names) == 1
+
+    def test_shipped_fewer_than_total_with_elision(self, co):
+        # employment + ownership were reconstructed client-side.
+        reconstructed = sum(
+            len(s) for s in co.relationships.values() if s.reconstructed
+        )
+        assert co.shipped_tuples == co.total_tuples() - reconstructed
+
+
+class TestExecutableReuse:
+    def test_plan_reusable_across_runs(self, org_db):
+        executable = org_db.xnf_executable("deps_arc")
+        first = executable.run()
+        org_db.execute("UPDATE EMP SET sal = sal + 1 WHERE eno = 1")
+        second = executable.run()
+        assert first.total_tuples() == second.total_tuples()
+
+    def test_explain_lists_outputs(self, org_db):
+        text = org_db.xnf_executable("deps_arc").explain()
+        assert "XDEPT" in text and "EMPPROPERTY" in text
