@@ -1,0 +1,173 @@
+"""Batch-at-a-time vs row-at-a-time execution: the A/B benchmark.
+
+The batch executor replaces per-row generator resumptions with per-batch
+comprehensions (ISSUE 1 tentpole).  Each workload compiles one plan and
+executes it in both modes — same plan, same data, only the execution
+protocol differs — so the measured delta is purely the interpreter
+overhead batching removes.
+
+Asserted: batch beats row on the scan+filter and hash-join workloads
+(the acceptance criterion); the index-nested-loop and aggregation
+workloads are reported and held to a no-regression bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.api.database import Database
+from repro.executor.runtime import PipelineOptions
+from repro.optimizer.optimizer import PlannerOptions
+from repro.sql.parser import parse_statement
+from repro.workloads.oo1 import OO1Scale, create_oo1_schema, populate_oo1
+from repro.workloads.orgdb import OrgScale, create_org_schema, populate_org
+
+BENCH_ORG_SCALE = OrgScale(departments=250, employees_per_dept=40,
+                           projects_per_dept=8, skills=120,
+                           skills_per_employee=3, skills_per_project=3,
+                           arc_fraction=0.2, seed=1994)
+
+BENCH_OO1_SCALE = OO1Scale(parts=12000, fanout=3, seed=7)
+
+
+@pytest.fixture(scope="module")
+def org_db() -> Database:
+    db = Database()
+    create_org_schema(db.catalog)
+    populate_org(db.catalog, BENCH_ORG_SCALE)
+    return db
+
+
+@pytest.fixture(scope="module")
+def org_db_noindex() -> Database:
+    db = Database(PipelineOptions(planner=PlannerOptions(
+        use_indexes=False)))
+    create_org_schema(db.catalog, with_indexes=False)
+    populate_org(db.catalog, BENCH_ORG_SCALE)
+    return db
+
+
+@pytest.fixture(scope="module")
+def oo1_db() -> Database:
+    db = Database()
+    create_oo1_schema(db.catalog)
+    populate_oo1(db.catalog, BENCH_OO1_SCALE)
+    return db
+
+
+def ab_measure(db: Database, sql: str, repeats: int = 9):
+    """Compile once; run in row and batch mode, best-of-N each.
+
+    Best-of-9 because the strict A/B asserts below gate CI: with a
+    2x+ underlying gap, nine samples make a scheduler-noise loss of
+    the *minimum* vanishingly unlikely on shared runners.
+
+    Returns (row_time, batch_time, row_count, plan_text).
+    """
+    compiled = db.pipeline.compile_select(parse_statement(sql))
+    plan = compiled.plan
+
+    def run() -> int:
+        return len(db.pipeline.run_compiled(compiled, plan.new_context()))
+
+    timings = {}
+    counts = {}
+    # Alternate modes so cache warming effects hit both equally.
+    for mode in ("warmup", "row", "batch"):
+        plan.batch_execution = mode != "row"
+        best = float("inf")
+        for _ in range(1 if mode == "warmup" else repeats):
+            start = time.perf_counter()
+            counts[mode] = run()
+            best = min(best, time.perf_counter() - start)
+        timings[mode] = best
+    plan.batch_execution = True
+    assert counts["row"] == counts["batch"]
+    return (timings["row"], timings["batch"], counts["batch"],
+            compiled.plan.explain())
+
+
+def report(title: str, results: list[tuple[str, float, float, int]]):
+    rows = []
+    for name, row_time, batch_time, count in results:
+        speedup = row_time / batch_time if batch_time else float("inf")
+        rows.append([name, count, f"{row_time * 1e3:.2f}",
+                     f"{batch_time * 1e3:.2f}", f"{speedup:.2f}x"])
+    print_table(title,
+                ["workload", "rows out", "row (ms)", "batch (ms)",
+                 "speedup"], rows)
+
+
+@pytest.mark.benchmark(group="batch-executor")
+def test_scan_filter_speedup(oo1_db, org_db, benchmark):
+    """Scans + filters: the OO1 parts table and the org EMP table."""
+    oo1_sql = ("SELECT id, x, y FROM PART "
+               "WHERE x < 50000 AND y >= 20000")
+    org_sql = ("SELECT ename, sal FROM EMP "
+               "WHERE sal >= 100000 AND sal < 180000")
+    oo1_row, oo1_batch, oo1_count, oo1_plan = ab_measure(oo1_db, oo1_sql)
+    org_row, org_batch, org_count, _ = ab_measure(org_db, org_sql)
+    assert "TableScan" in oo1_plan and "Filter" in oo1_plan
+    assert oo1_count > 1000 and org_count > 1000
+
+    report("Batch executor — scan + filter",
+           [["OO1 PART scan+filter", oo1_row, oo1_batch, oo1_count],
+            ["org EMP scan+filter", org_row, org_batch, org_count]])
+    compiled = oo1_db.pipeline.compile_select(parse_statement(oo1_sql))
+    benchmark(lambda: oo1_db.pipeline.run_compiled(
+        compiled, compiled.plan.new_context()))
+
+    assert oo1_batch < oo1_row, \
+        f"batch ({oo1_batch:.4f}s) not faster than row ({oo1_row:.4f}s)"
+    assert org_batch < org_row, \
+        f"batch ({org_batch:.4f}s) not faster than row ({org_row:.4f}s)"
+
+
+@pytest.mark.benchmark(group="batch-executor")
+def test_hash_join_speedup(org_db_noindex, benchmark):
+    """Equi join without indexes: forced HashJoin on EMP x DEPT."""
+    sql = ("SELECT e.ename, d.dname FROM DEPT d, EMP e "
+           "WHERE d.dno = e.edno AND e.sal >= 60000")
+    row_time, batch_time, count, plan_text = ab_measure(org_db_noindex,
+                                                        sql)
+    assert "HashJoin" in plan_text
+    assert count > 5000
+
+    report("Batch executor — hash join",
+           [["EMP x DEPT hash join", row_time, batch_time, count]])
+    compiled = org_db_noindex.pipeline.compile_select(parse_statement(sql))
+    benchmark(lambda: org_db_noindex.pipeline.run_compiled(
+        compiled, compiled.plan.new_context()))
+
+    assert batch_time < row_time, \
+        f"batch ({batch_time:.4f}s) not faster than row ({row_time:.4f}s)"
+
+
+@pytest.mark.benchmark(group="batch-executor")
+def test_index_join_and_aggregate_no_regression(org_db, benchmark):
+    """Index-nested-loop join and hash aggregation: batch mode must not
+    regress.  These paths gain little from batching, so the bound is
+    deliberately loose (1.6x) to ride out scheduler noise on shared CI
+    runners; the speedup claims are asserted by the scan/hash-join
+    tests, whose margins are wide."""
+    join_sql = ("SELECT e.ename, d.dname FROM DEPT d, EMP e "
+                "WHERE d.dno = e.edno AND d.loc = 'ARC'")
+    agg_sql = ("SELECT d.loc, COUNT(*), SUM(e.sal) FROM DEPT d, EMP e "
+               "WHERE d.dno = e.edno GROUP BY d.loc")
+    join_row, join_batch, join_count, join_plan = ab_measure(org_db,
+                                                             join_sql)
+    agg_row, agg_batch, agg_count, _ = ab_measure(org_db, agg_sql)
+    assert "IndexNLJoin" in join_plan
+
+    report("Batch executor — index join / aggregation",
+           [["DEPT->EMP index NL join", join_row, join_batch, join_count],
+            ["group-by aggregation", agg_row, agg_batch, agg_count]])
+    compiled = org_db.pipeline.compile_select(parse_statement(join_sql))
+    benchmark(lambda: org_db.pipeline.run_compiled(
+        compiled, compiled.plan.new_context()))
+
+    assert join_batch < join_row * 1.6
+    assert agg_batch < agg_row * 1.6

@@ -164,4 +164,4 @@ class DMLExecutor:
         plan = planner.plan(graph)
         ctx = plan.new_context()
         _stream, node = plan.single_output()
-        return list(node.execute(ctx))
+        return plan.run_node(node, ctx)

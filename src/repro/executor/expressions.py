@@ -25,6 +25,12 @@ RID_COLUMN = "$RID$"
 
 CompiledExpression = Callable[[tuple, Any], Any]
 
+#: Batch predicate: filters a list of rows, returning the kept rows in
+#: order.  The contract matches row-at-a-time filtering (keep rows whose
+#: predicate is exactly True) but is evaluated a batch at a time, with
+#: conjunct-level short-circuiting: later conjuncts only see survivors.
+BatchPredicate = Callable[[list, Any], list]
+
 
 def sql_and(left: Optional[bool], right: Optional[bool]) -> Optional[bool]:
     if left is False or right is False:
@@ -182,6 +188,97 @@ def _arith(op: str, left: Any, right: Any) -> Any:
     raise ExecutionError(f"unknown operator {op!r}")
 
 
+_COMPARISON_OPS = ("=", "<>", "<", "<=", ">", ">=")
+
+#: ``a op b`` is equivalent to ``b flip(op) a``.
+_FLIPPED_OP = {"=": "=", "<>": "<>", "<": ">", "<=": ">=",
+               ">": "<", ">=": "<="}
+
+
+def fold_constants(expression: ast.Expression) -> ast.Expression:
+    """Evaluate literal-only subexpressions at compile time.
+
+    Folds arithmetic, comparisons, AND/OR/NOT, and pure scalar functions
+    whose operands are all literals, replacing them with the literal the
+    runtime closure would have produced.  Anything that would raise
+    (division by zero, type mismatches) is left unfolded so the error
+    still surfaces at execution time.
+    """
+    if isinstance(expression, ast.BinaryOp):
+        left = fold_constants(expression.left)
+        right = fold_constants(expression.right)
+        if isinstance(left, ast.Literal) and isinstance(right, ast.Literal):
+            op = expression.op
+            try:
+                if op == "AND":
+                    return ast.Literal(sql_and(left.value, right.value))
+                if op == "OR":
+                    return ast.Literal(sql_or(left.value, right.value))
+                if op in _COMPARISON_OPS:
+                    return ast.Literal(_compare(op, left.value, right.value))
+                return ast.Literal(_arith(op, left.value, right.value))
+            except ExecutionError:
+                pass
+        if left is not expression.left or right is not expression.right:
+            return ast.BinaryOp(expression.op, left, right)
+        return expression
+    if isinstance(expression, ast.UnaryOp):
+        operand = fold_constants(expression.operand)
+        if isinstance(operand, ast.Literal):
+            if expression.op == "NOT":
+                return ast.Literal(sql_not(operand.value))
+            if expression.op == "-":
+                if operand.value is None:
+                    return ast.Literal(None)
+                try:
+                    return ast.Literal(-operand.value)
+                except TypeError:
+                    pass
+        if operand is not expression.operand:
+            return ast.UnaryOp(expression.op, operand)
+        return expression
+    if isinstance(expression, ast.FunctionCall):
+        args = tuple(fold_constants(a) for a in expression.args)
+        name = expression.name.upper()
+        if (not name.startswith("$") and name in SCALAR_FUNCTIONS
+                and not expression.distinct
+                and all(isinstance(a, ast.Literal) for a in args)):
+            try:
+                value = SCALAR_FUNCTIONS[name](*(a.value for a in args))
+                return ast.Literal(value)
+            except Exception:
+                pass
+        if any(a is not b for a, b in zip(args, expression.args)):
+            return ast.FunctionCall(expression.name, args,
+                                    expression.distinct)
+        return expression
+    if isinstance(expression, ast.IsNull):
+        operand = fold_constants(expression.operand)
+        if isinstance(operand, ast.Literal):
+            is_null = operand.value is None
+            return ast.Literal(not is_null if expression.negated
+                               else is_null)
+        if operand is not expression.operand:
+            return ast.IsNull(operand, expression.negated)
+        return expression
+    if isinstance(expression, ast.Between):
+        operand = fold_constants(expression.operand)
+        low = fold_constants(expression.low)
+        high = fold_constants(expression.high)
+        if (operand is not expression.operand or low is not expression.low
+                or high is not expression.high):
+            return ast.Between(operand, low, high, expression.negated)
+        return expression
+    if isinstance(expression, ast.InList):
+        operand = fold_constants(expression.operand)
+        items = tuple(fold_constants(i) for i in expression.items)
+        if (operand is not expression.operand
+                or any(a is not b for a, b in zip(items, expression.items))):
+            return ast.InList(operand, items, expression.negated)
+        return expression
+    return expression
+
+
 class ExpressionCompiler:
     """Compiles QGM expressions against a fixed row layout."""
 
@@ -189,6 +286,35 @@ class ExpressionCompiler:
         self.layout = layout
 
     def compile(self, expression: ast.Expression) -> CompiledExpression:
+        return self._compile(fold_constants(expression))
+
+    def compile_condition(self, expression: ast.Expression
+                          ) -> CompiledExpression:
+        """Compile a predicate for a *filter* context.
+
+        Same True/dropped outcome as :meth:`compile` for every row, but
+        conjunctions short-circuit exactly like the batch filter built
+        by :meth:`compile_filter`: a right conjunct is only evaluated
+        when the left conjunct is True, so the two protocols also agree
+        on which side effects (runtime errors) can surface.  Only valid
+        where UNKNOWN and False are interchangeable — filters keep
+        exactly-True rows — not for value contexts.
+        """
+        return self._condition(fold_constants(expression))
+
+    def _condition(self, expression: ast.Expression) -> CompiledExpression:
+        if isinstance(expression, ast.BinaryOp) and expression.op == "AND":
+            left = self._condition(expression.left)
+            right = self._condition(expression.right)
+
+            def run(row, ctx):
+                if left(row, ctx) is True:
+                    return right(row, ctx)
+                return False
+            return run
+        return self._compile(expression)
+
+    def _compile(self, expression: ast.Expression) -> CompiledExpression:
         if isinstance(expression, ast.Literal):
             value = expression.value
             return lambda row, ctx: value
@@ -212,7 +338,7 @@ class ExpressionCompiler:
         if isinstance(expression, ast.BinaryOp):
             return self._compile_binary(expression)
         if isinstance(expression, ast.UnaryOp):
-            operand = self.compile(expression.operand)
+            operand = self._compile(expression.operand)
             if expression.op == "NOT":
                 return lambda row, ctx: sql_not(operand(row, ctx))
             if expression.op == "-":
@@ -223,7 +349,7 @@ class ExpressionCompiler:
         if isinstance(expression, ast.FunctionCall):
             return self._compile_function(expression)
         if isinstance(expression, ast.IsNull):
-            operand = self.compile(expression.operand)
+            operand = self._compile(expression.operand)
             if expression.negated:
                 return lambda row, ctx: operand(row, ctx) is not None
             return lambda row, ctx: operand(row, ctx) is None
@@ -242,8 +368,8 @@ class ExpressionCompiler:
         return self.layout.get((qid, column.upper()))
 
     def _compile_binary(self, expression: ast.BinaryOp) -> CompiledExpression:
-        left = self.compile(expression.left)
-        right = self.compile(expression.right)
+        left = self._compile(expression.left)
+        right = self._compile(expression.right)
         op = expression.op
         if op == "AND":
             return lambda row, ctx: sql_and(left(row, ctx), right(row, ctx))
@@ -260,14 +386,14 @@ class ExpressionCompiler:
         function = SCALAR_FUNCTIONS.get(name)
         if function is None:
             raise ExecutionError(f"unknown function {name!r}")
-        args = [self.compile(a) for a in expression.args]
+        args = [self._compile(a) for a in expression.args]
         return lambda row, ctx: function(*(a(row, ctx) for a in args))
 
     def _compile_between(self,
                          expression: ast.Between) -> CompiledExpression:
-        operand = self.compile(expression.operand)
-        low = self.compile(expression.low)
-        high = self.compile(expression.high)
+        operand = self._compile(expression.operand)
+        low = self._compile(expression.low)
+        high = self._compile(expression.high)
 
         def run(row, ctx):
             value = operand(row, ctx)
@@ -277,7 +403,7 @@ class ExpressionCompiler:
         return run
 
     def _compile_like(self, expression: ast.Like) -> CompiledExpression:
-        operand = self.compile(expression.operand)
+        operand = self._compile(expression.operand)
         if isinstance(expression.pattern, ast.Literal) \
                 and isinstance(expression.pattern.value, str):
             regex = like_to_regex(expression.pattern.value)
@@ -290,7 +416,7 @@ class ExpressionCompiler:
                 return not matched if expression.negated else matched
             return run_static
 
-        pattern = self.compile(expression.pattern)
+        pattern = self._compile(expression.pattern)
 
         def run_dynamic(row, ctx):
             value = operand(row, ctx)
@@ -302,8 +428,8 @@ class ExpressionCompiler:
         return run_dynamic
 
     def _compile_in_list(self, expression: ast.InList) -> CompiledExpression:
-        operand = self.compile(expression.operand)
-        items = [self.compile(i) for i in expression.items]
+        operand = self._compile(expression.operand)
+        items = [self._compile(i) for i in expression.items]
 
         def run(row, ctx):
             value = operand(row, ctx)
@@ -322,9 +448,9 @@ class ExpressionCompiler:
         return run
 
     def _compile_case(self, expression: ast.CaseWhen) -> CompiledExpression:
-        whens = [(self.compile(c), self.compile(r))
+        whens = [(self._compile(c), self._compile(r))
                  for c, r in expression.whens]
-        default = (self.compile(expression.default)
+        default = (self._compile(expression.default)
                    if expression.default is not None else None)
 
         def run(row, ctx):
@@ -333,6 +459,132 @@ class ExpressionCompiler:
                     return result(row, ctx)
             return default(row, ctx) if default is not None else None
         return run
+
+    # ------------------------------------------------------------------
+    # Batch (vectorized) predicate compilation
+    # ------------------------------------------------------------------
+    def compile_filter(self, expression: ast.Expression) -> BatchPredicate:
+        """Compile a predicate into a batch filter.
+
+        The returned callable takes (rows, ctx) and returns the rows
+        whose predicate evaluates to exactly True, preserving order.
+        Conjunctions short-circuit at batch granularity (the right
+        conjunct only sees the left conjunct's survivors) and
+        column-vs-constant comparisons run as plain comprehensions with
+        no per-row closure call.
+        """
+        return self._filter(fold_constants(expression))
+
+    def _filter(self, expression: ast.Expression) -> BatchPredicate:
+        if isinstance(expression, ast.Literal):
+            if expression.value is True:
+                return lambda rows, ctx: rows
+            return lambda rows, ctx: []
+        if isinstance(expression, ast.BinaryOp):
+            if expression.op == "AND":
+                left = self._filter(expression.left)
+                right = self._filter(expression.right)
+
+                def run_and(rows, ctx):
+                    kept = left(rows, ctx)
+                    return right(kept, ctx) if kept else kept
+                return run_and
+            if expression.op in _COMPARISON_OPS:
+                fast = self._filter_comparison(expression)
+                if fast is not None:
+                    return fast
+        if isinstance(expression, ast.IsNull):
+            fast = self._filter_is_null(expression)
+            if fast is not None:
+                return fast
+        fn = self._compile(expression)
+        return lambda rows, ctx: [row for row in rows
+                                  if fn(row, ctx) is True]
+
+    def _filter_comparison(self,
+                           expression: ast.BinaryOp
+                           ) -> Optional[BatchPredicate]:
+        """Fast path for ``column op constant`` (either side)."""
+        for this, other, op in (
+                (expression.left, expression.right, expression.op),
+                (expression.right, expression.left,
+                 _FLIPPED_OP[expression.op])):
+            if isinstance(this, QRef) and isinstance(other, ast.Literal):
+                position = self._position(this.quantifier.qid, this.column)
+                if position is None:
+                    return None  # scalar-subquery quantifier: generic path
+                value = other.value
+                if value is None:
+                    # Comparison with NULL is UNKNOWN: keeps nothing.
+                    return lambda rows, ctx: []
+                return _comparison_filter(op, position, value)
+        return None
+
+    def _filter_is_null(self, expression: ast.IsNull
+                        ) -> Optional[BatchPredicate]:
+        operand = expression.operand
+        if not isinstance(operand, QRef):
+            return None
+        position = self._position(operand.quantifier.qid, operand.column)
+        if position is None:
+            return None
+        if expression.negated:
+            return lambda rows, ctx: [r for r in rows
+                                      if r[position] is not None]
+        return lambda rows, ctx: [r for r in rows if r[position] is None]
+
+
+def _comparison_filter(op: str, position: int, value) -> BatchPredicate:
+    """Comprehension-based filters matching 3VL row semantics.
+
+    A NULL operand makes the comparison UNKNOWN, which never qualifies;
+    equality needs no explicit guard because ``None == value`` is False
+    for the non-NULL ``value`` the caller guarantees.  Ordering
+    comparisons fall back to the row-at-a-time comparator on type
+    mismatches so the error matches row mode exactly.
+    """
+    if op == "=":
+        def run(rows, ctx):
+            return [r for r in rows if r[position] == value]
+    elif op == "<>":
+        def run(rows, ctx):
+            return [r for r in rows
+                    if r[position] is not None and r[position] != value]
+    elif op == "<":
+        def run(rows, ctx):
+            try:
+                return [r for r in rows
+                        if r[position] is not None and r[position] < value]
+            except TypeError:
+                return [r for r in rows
+                        if _compare("<", r[position], value) is True]
+    elif op == "<=":
+        def run(rows, ctx):
+            try:
+                return [r for r in rows
+                        if r[position] is not None and r[position] <= value]
+            except TypeError:
+                return [r for r in rows
+                        if _compare("<=", r[position], value) is True]
+    elif op == ">":
+        def run(rows, ctx):
+            try:
+                return [r for r in rows
+                        if r[position] is not None and r[position] > value]
+            except TypeError:
+                return [r for r in rows
+                        if _compare(">", r[position], value) is True]
+    elif op == ">=":
+        def run(rows, ctx):
+            try:
+                return [r for r in rows
+                        if r[position] is not None and r[position] >= value]
+            except TypeError:
+                return [r for r in rows
+                        if _compare(">=", r[position], value) is True]
+    else:  # pragma: no cover - caller restricts ops
+        raise ExecutionError(f"unknown comparison operator {op!r}")
+    return run
 
 
 def compile_predicate(expression: ast.Expression,

@@ -37,7 +37,14 @@ class QueryResult:
         return iter(self.rows)
 
     def column(self, name: str) -> list:
-        position = [c.upper() for c in self.columns].index(name.upper())
+        try:
+            position = [c.upper() for c in self.columns].index(name.upper())
+        except ValueError:
+            available = ", ".join(self.columns) or "<none>"
+            raise KeyError(
+                f"result has no column {name!r}; available columns: "
+                f"{available}"
+            ) from None
         return [row[position] for row in self.rows]
 
     def as_dicts(self) -> list[dict]:
@@ -56,11 +63,25 @@ class CompiledQuery:
 
 @dataclass
 class PipelineOptions:
-    """Stage toggles, exposed so benchmarks can ablate the rewrites."""
+    """Stage toggles, exposed so benchmarks can ablate the rewrites.
+
+    Batch-at-a-time execution is controlled through the nested planner
+    options: ``PipelineOptions(planner=PlannerOptions(
+    batch_execution=False))`` falls back to row-at-a-time Volcano
+    iteration; ``PlannerOptions(batch_size=...)`` tunes the batch width.
+    """
 
     apply_nf_rewrite: bool = True
     prune_columns: bool = True
     planner: PlannerOptions = field(default_factory=PlannerOptions)
+
+    @property
+    def batch_execution(self) -> bool:
+        return self.planner.batch_execution
+
+    @batch_execution.setter
+    def batch_execution(self, enabled: bool) -> None:
+        self.planner.batch_execution = enabled
 
 
 class QueryPipeline:
@@ -117,5 +138,5 @@ class QueryPipeline:
         if ctx is None:
             ctx = compiled.plan.new_context()
         _stream, node = compiled.plan.single_output()
-        rows = list(node.execute(ctx))
+        rows = compiled.plan.run_node(node, ctx)
         return QueryResult(columns=list(node.columns), rows=rows)

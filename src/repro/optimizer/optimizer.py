@@ -20,8 +20,9 @@ from repro.errors import PlanningError
 from repro.executor.expressions import (RID_COLUMN, CompiledExpression,
                                         ExpressionCompiler, Layout)
 from repro.optimizer.cost import CostModel
-from repro.optimizer.plan import (Aggregate, Dedup, ExecutionContext, Filter,
-                                  HashJoin, IndexNestedLoopJoin, IndexScan,
+from repro.optimizer.plan import (DEFAULT_BATCH_SIZE, Aggregate, Dedup,
+                                  ExecutionContext, Filter, HashJoin,
+                                  IndexNestedLoopJoin, IndexScan,
                                   LeftOuterJoin, Limit, NestedLoopJoin,
                                   PlanNode, Project, SemiJoin, SetOperation,
                                   SingleRow, Sort, Spool, TableScan)
@@ -40,6 +41,10 @@ class PlannerOptions:
 
     use_indexes: bool = True
     share_common_subexpressions: bool = True
+    #: Batch-at-a-time execution (default on).  When off, plans run
+    #: through the original row-at-a-time Volcano iterators.
+    batch_execution: bool = True
+    batch_size: int = DEFAULT_BATCH_SIZE
 
 
 @dataclass
@@ -48,6 +53,9 @@ class ExecutablePlan:
 
     outputs: list[tuple[OutputStream, PlanNode]]
     scalar_plans: dict[int, PlanNode] = field(default_factory=dict)
+    #: Execution-mode knobs, stamped from :class:`PlannerOptions`.
+    batch_execution: bool = True
+    batch_size: int = DEFAULT_BATCH_SIZE
 
     def new_context(self) -> ExecutionContext:
         ctx = ExecutionContext()
@@ -61,12 +69,23 @@ class ExecutablePlan:
             )
         return self.outputs[0]
 
+    def run_node(self, node: PlanNode,
+                 ctx: ExecutionContext) -> list[tuple]:
+        """Materialize one output node under the plan's execution mode."""
+        if self.batch_execution:
+            batch_size = self.batch_size if self.batch_size >= 1 else 1
+            rows: list[tuple] = []
+            for batch in node.execute_batches(ctx, batch_size):
+                rows.extend(batch)
+            return rows
+        return list(node.execute(ctx))
+
     def execute(self, ctx: Optional[ExecutionContext] = None) -> list[tuple]:
         """Run the single output stream to completion."""
         if ctx is None:
             ctx = self.new_context()
         _stream, node = self.single_output()
-        return list(node.execute(ctx))
+        return self.run_node(node, ctx)
 
     def explain(self) -> str:
         parts = []
@@ -88,6 +107,18 @@ class _Source:
     #: by an index-nested-loop probe).
     bare_scan: bool = False
     with_rid: bool = False
+
+
+def _filter_node(node: PlanNode, compiler: ExpressionCompiler,
+                 predicate: ast.Expression) -> Filter:
+    """A Filter carrying both row and batch forms of the predicate.
+
+    The row form uses the condition compiler so both forms short-circuit
+    conjuncts identically (same kept rows AND same runtime errors).
+    """
+    return Filter(node, compiler.compile_condition(predicate),
+                  str(predicate),
+                  batch_predicate=compiler.compile_filter(predicate))
 
 
 def _referenced_quantifiers(expression: ast.Expression) -> set[Quantifier]:
@@ -121,7 +152,9 @@ class Planner:
         outputs: list[tuple[OutputStream, PlanNode]] = []
         for stream in graph.top.outputs:
             outputs.append((stream, self.plan_box(stream.box)))
-        return ExecutablePlan(outputs, dict(self.scalar_plans))
+        return ExecutablePlan(outputs, dict(self.scalar_plans),
+                              batch_execution=self.options.batch_execution,
+                              batch_size=self.options.batch_size)
 
     def plan_box(self, box: Box) -> PlanNode:
         memoized = self._memo.get(box.box_id)
@@ -201,8 +234,7 @@ class Planner:
         if constant:
             compiler = ExpressionCompiler(layout)
             for predicate in constant:
-                node = Filter(node, compiler.compile(predicate),
-                              str(predicate))
+                node = _filter_node(node, compiler, predicate)
 
         # Existential components (jointly existential quantifiers).
         remaining_preds = [
@@ -279,8 +311,7 @@ class Planner:
         if local_preds:
             compiler = ExpressionCompiler(layout)
             for predicate in local_preds:
-                node = Filter(node, compiler.compile(predicate),
-                              str(predicate))
+                node = _filter_node(node, compiler, predicate)
         node.estimated_rows = rows
         return _Source(quantifier, node, layout, rows)
 
@@ -329,8 +360,7 @@ class Planner:
         if remaining:
             compiler = ExpressionCompiler(layout)
             for predicate in remaining:
-                node = Filter(node, compiler.compile(predicate),
-                              str(predicate))
+                node = _filter_node(node, compiler, predicate)
             node.estimated_rows = rows
         return _Source(quantifier, node, layout, rows, bare_scan=bare,
                        with_rid=with_rid)
@@ -396,8 +426,7 @@ class Planner:
         if ready:
             compiler = ExpressionCompiler(layout)
             for predicate in ready:
-                node = Filter(node, compiler.compile(predicate),
-                              str(predicate))
+                node = _filter_node(node, compiler, predicate)
             pending = [p for p in pending if p not in ready]
         return node, layout, pending
 

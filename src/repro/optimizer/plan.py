@@ -9,6 +9,22 @@ Operators here are Python iterators over value tuples.  The
 :class:`Spool` operator is the "table queue" that lets several consumers
 share one evaluation of a common subexpression — the physical realization
 of the paper's multi-query optimization (Sect. 5.1).
+
+Two execution protocols coexist on every node:
+
+* ``execute(ctx)`` — the original row-at-a-time Volcano iterator, kept
+  as the reference semantics and as the fallback for operators without
+  a native batch implementation.
+* ``execute_batches(ctx, batch_size)`` — batch-at-a-time: yields lists
+  of up to ``batch_size`` row tuples.  Hot operators (scans, filter,
+  project, hash/index joins, aggregation, sort) implement it natively,
+  trading per-row generator resumptions for per-batch comprehensions;
+  everything else inherits the default, which chunks ``execute``.
+
+Both protocols produce identical row streams (same rows, same order)
+and bump the same instrumentation counters; batch mode merely bumps
+them at batch granularity, so with ``batch_size=1`` even the lazy
+counter trace is identical to row mode.
 """
 
 from __future__ import annotations
@@ -16,11 +32,14 @@ from __future__ import annotations
 from typing import Any, Callable, Iterator, Optional, Sequence
 
 from repro.errors import ExecutionError
-from repro.executor.expressions import CompiledExpression
+from repro.executor.expressions import BatchPredicate, CompiledExpression
 from repro.storage.index import Index
 from repro.storage.table import Table
 
 Row = tuple
+
+#: Default number of rows per batch in batch-at-a-time execution.
+DEFAULT_BATCH_SIZE = 1024
 
 
 class ExecutionContext:
@@ -71,6 +90,27 @@ class PlanNode:
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        """Yield the same row stream as :meth:`execute`, in lists of at
+        most ``batch_size`` rows.
+
+        Default implementation: row-mode fallback that chunks
+        ``execute``, so operators without a native batch path still
+        compose with batch-mode parents.
+        """
+        batch: list[Row] = []
+        append = batch.append
+        for row in self.execute(ctx):
+            append(row)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+                append = batch.append
+        if batch:
+            yield batch
+
     def children(self) -> list["PlanNode"]:
         return []
 
@@ -95,6 +135,11 @@ class SingleRow(PlanNode):
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         yield ()
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        yield [()]
+
 
 class TableScan(PlanNode):
     """Full scan of a heap table; optionally appends the RID column."""
@@ -116,6 +161,18 @@ class TableScan(PlanNode):
             for row in self.table.rows():
                 ctx.bump("rows_scanned")
                 yield row
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        if self.with_rid:
+            for chunk in self.table.scan_batches(batch_size):
+                ctx.bump("rows_scanned", len(chunk))
+                yield [row + (rid,) for rid, row in chunk]
+        else:
+            for chunk in self.table.batches(batch_size):
+                ctx.bump("rows_scanned", len(chunk))
+                yield chunk
 
     def describe(self) -> str:
         return f"TableScan({self.table.name})"
@@ -143,24 +200,64 @@ class IndexScan(PlanNode):
             ctx.bump("rows_scanned")
             yield row + (rid,) if self.with_rid else row
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        key = tuple(fn((), ctx) for fn in self.key_fns)
+        ctx.bump("index_lookups")
+        fetch = self.table.fetch
+        batch: list[Row] = []
+        for rid in self.index.lookup(key):
+            row = fetch(rid)
+            ctx.bump("rows_scanned")
+            batch.append(row + (rid,) if self.with_rid else row)
+            if len(batch) >= batch_size:
+                yield batch
+                batch = []
+        if batch:
+            yield batch
+
     def describe(self) -> str:
         return (f"IndexScan({self.table.name} via {self.index.name} "
                 f"on {','.join(self.index.column_names)})")
 
 
 class Filter(PlanNode):
+    """Keeps rows whose predicate is exactly True.
+
+    ``batch_predicate`` (a :data:`BatchPredicate` compiled from the same
+    expression) filters whole batches with comprehension fast paths and
+    conjunct short-circuiting; when absent, batch mode falls back to
+    applying the row predicate over each batch.
+    """
+
     def __init__(self, child: PlanNode, predicate: CompiledExpression,
-                 description: str = ""):
+                 description: str = "",
+                 batch_predicate: Optional[BatchPredicate] = None):
         super().__init__(child.columns)
         self.child = child
         self.predicate = predicate
         self.description = description
+        self.batch_predicate = batch_predicate
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         predicate = self.predicate
         for row in self.child.execute(ctx):
             if predicate(row, ctx) is True:
                 yield row
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        batch_predicate = self.batch_predicate
+        predicate = self.predicate
+        for batch in self.child.execute_batches(ctx, batch_size):
+            if batch_predicate is not None:
+                kept = batch_predicate(batch, ctx)
+            else:
+                kept = [row for row in batch if predicate(row, ctx) is True]
+            if kept:
+                yield kept
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -181,6 +278,18 @@ class Project(PlanNode):
         fns = self.fns
         for row in self.child.execute(ctx):
             yield tuple(fn(row, ctx) for fn in fns)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        fns = self.fns
+        if len(fns) == 1:
+            fn = fns[0]
+            for batch in self.child.execute_batches(ctx, batch_size):
+                yield [(fn(row, ctx),) for row in batch]
+            return
+        for batch in self.child.execute_batches(ctx, batch_size):
+            yield [tuple(fn(row, ctx) for fn in fns) for row in batch]
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -221,6 +330,63 @@ class HashJoin(PlanNode):
                     ctx.bump("rows_joined")
                     yield joined
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        right_keys = self.right_keys
+        single = len(right_keys) == 1
+        buckets: dict[Any, list[Row]] = {}
+        setdefault = buckets.setdefault
+        if single:
+            right_key = right_keys[0]
+            for batch in self.right.execute_batches(ctx, batch_size):
+                for row in batch:
+                    key = right_key(row, ctx)
+                    if key is None:
+                        continue
+                    setdefault(key, []).append(row)
+        else:
+            for batch in self.right.execute_batches(ctx, batch_size):
+                for row in batch:
+                    key = tuple(fn(row, ctx) for fn in right_keys)
+                    if None in key:
+                        continue
+                    setdefault(key, []).append(row)
+        residual = self.residual
+        left_keys = self.left_keys
+        left_key = left_keys[0] if single else None
+        get = buckets.get
+        out: list[Row] = []
+        for batch in self.left.execute_batches(ctx, batch_size):
+            for left_row in batch:
+                if single:
+                    key = left_key(left_row, ctx)
+                    if key is None:
+                        continue
+                else:
+                    key = tuple(fn(left_row, ctx) for fn in left_keys)
+                    if None in key:
+                        continue
+                matches = get(key)
+                if not matches:
+                    continue
+                if residual is None:
+                    out.extend(left_row + right_row
+                               for right_row in matches)
+                else:
+                    for right_row in matches:
+                        joined = left_row + right_row
+                        if residual(joined, ctx) is True:
+                            out.append(joined)
+                while len(out) >= batch_size:
+                    chunk = out[:batch_size]
+                    del out[:batch_size]
+                    ctx.bump("rows_joined", len(chunk))
+                    yield chunk
+        if out:
+            ctx.bump("rows_joined", len(out))
+            yield out
+
     def children(self) -> list[PlanNode]:
         return [self.left, self.right]
 
@@ -259,6 +425,38 @@ class IndexNestedLoopJoin(PlanNode):
                 if residual is None or residual(joined, ctx) is True:
                     ctx.bump("rows_joined")
                     yield joined
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        residual = self.residual
+        key_fns = self.key_fns
+        single = len(key_fns) == 1
+        key_fn = key_fns[0] if single else None
+        lookup = self.index.lookup
+        fetch = self.table.fetch
+        with_rid = self.with_rid
+        out: list[Row] = []
+        for batch in self.left.execute_batches(ctx, batch_size):
+            for left_row in batch:
+                key = ((key_fn(left_row, ctx),) if single
+                       else tuple(fn(left_row, ctx) for fn in key_fns))
+                ctx.bump("index_lookups")
+                for rid in lookup(key):
+                    inner = fetch(rid)
+                    if with_rid:
+                        inner = inner + (rid,)
+                    joined = left_row + inner
+                    if residual is None or residual(joined, ctx) is True:
+                        out.append(joined)
+                while len(out) >= batch_size:
+                    chunk = out[:batch_size]
+                    del out[:batch_size]
+                    ctx.bump("rows_joined", len(chunk))
+                    yield chunk
+        if out:
+            ctx.bump("rows_joined", len(out))
+            yield out
 
     def children(self) -> list[PlanNode]:
         return [self.left]
@@ -462,6 +660,20 @@ class Dedup(PlanNode):
                 seen.add(row)
                 yield row
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        seen: set[Row] = set()
+        add = seen.add
+        for batch in self.child.execute_batches(ctx, batch_size):
+            fresh = []
+            for row in batch:
+                if row not in seen:
+                    add(row)
+                    fresh.append(row)
+            if fresh:
+                yield fresh
+
     def children(self) -> list[PlanNode]:
         return [self.child]
 
@@ -496,10 +708,23 @@ class Sort(PlanNode):
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         rows = list(self.child.execute(ctx))
+        yield from self._sorted(rows, ctx)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        rows: list[Row] = []
+        for batch in self.child.execute_batches(ctx, batch_size):
+            rows.extend(batch)
+        rows = self._sorted(rows, ctx)
+        for start in range(0, len(rows), batch_size):
+            yield rows[start:start + batch_size]
+
+    def _sorted(self, rows: list[Row], ctx: ExecutionContext) -> list[Row]:
         # Stable sorts applied from the least-significant key backwards.
         for fn, desc in reversed(list(zip(self.key_fns, self.descending))):
             rows.sort(key=lambda row: _SortKey(fn(row, ctx)), reverse=desc)
-        yield from rows
+        return rows
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -514,16 +739,45 @@ class Limit(PlanNode):
         self.offset = offset or 0
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        limit = self.limit
+        if limit is not None and limit <= 0:
+            return
         produced = 0
         skipped = 0
         for row in self.child.execute(ctx):
             if skipped < self.offset:
                 skipped += 1
                 continue
-            if self.limit is not None and produced >= self.limit:
-                return
             produced += 1
             yield row
+            # Stop eagerly: never pull a row beyond the limit.
+            if limit is not None and produced >= limit:
+                return
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        limit = self.limit
+        if limit is not None and limit <= 0:
+            return
+        to_skip = self.offset
+        remaining = limit
+        for batch in self.child.execute_batches(ctx, batch_size):
+            if to_skip:
+                if len(batch) <= to_skip:
+                    to_skip -= len(batch)
+                    continue
+                batch = batch[to_skip:]
+                to_skip = 0
+            if remaining is None:
+                yield batch
+                continue
+            if len(batch) > remaining:
+                batch = batch[:remaining]
+            remaining -= len(batch)
+            yield batch
+            if remaining == 0:
+                return
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -540,6 +794,12 @@ class UnionAll(PlanNode):
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         for child in self.inputs:
             yield from child.execute(ctx)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        for child in self.inputs:
+            yield from child.execute_batches(ctx, batch_size)
 
     def children(self) -> list[PlanNode]:
         return list(self.inputs)
@@ -624,17 +884,38 @@ class Aggregate(PlanNode):
         groups: dict[tuple, list] = {}
         order: list[tuple] = []
         for row in self.child.execute(ctx):
-            key = tuple(fn(row, ctx) for fn in self.key_fns)
-            state = groups.get(key)
-            if state is None:
-                state = [self._initial_state(spec) for spec in self.specs]
-                groups[key] = state
-                order.append(key)
-            for accumulator, (function, argument, distinct) in zip(
-                    state, self.specs):
-                value = argument(row, ctx) if argument is not None else 1
-                self._accumulate(accumulator, function, value,
-                                 argument is None, distinct)
+            self._absorb(row, ctx, groups, order)
+        yield from self._results(groups, order)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        absorb = self._absorb
+        for batch in self.child.execute_batches(ctx, batch_size):
+            for row in batch:
+                absorb(row, ctx, groups, order)
+        results = list(self._results(groups, order))
+        for start in range(0, len(results), batch_size):
+            yield results[start:start + batch_size]
+
+    def _absorb(self, row: Row, ctx: ExecutionContext,
+                groups: dict[tuple, list], order: list[tuple]) -> None:
+        key = tuple(fn(row, ctx) for fn in self.key_fns)
+        state = groups.get(key)
+        if state is None:
+            state = [self._initial_state(spec) for spec in self.specs]
+            groups[key] = state
+            order.append(key)
+        for accumulator, (function, argument, distinct) in zip(
+                state, self.specs):
+            value = argument(row, ctx) if argument is not None else 1
+            self._accumulate(accumulator, function, value,
+                             argument is None, distinct)
+
+    def _results(self, groups: dict[tuple, list],
+                 order: list[tuple]) -> Iterator[Row]:
         if not groups and not self.key_fns:
             # Global aggregate over an empty input: one default row.
             state = [self._initial_state(spec) for spec in self.specs]
@@ -725,6 +1006,21 @@ class Spool(PlanNode):
             ctx.bump("spool_reads")
         return iter(cached)
 
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        cached = ctx.spool_cache.get(self.spool_id)
+        if cached is None:
+            cached = []
+            for batch in self.child.execute_batches(ctx, batch_size):
+                cached.extend(batch)
+            ctx.spool_cache[self.spool_id] = cached
+            ctx.bump("spool_materializations")
+        else:
+            ctx.bump("spool_reads")
+        for start in range(0, len(cached), batch_size):
+            yield cached[start:start + batch_size]
+
     def children(self) -> list[PlanNode]:
         return [self.child]
 
@@ -743,3 +1039,10 @@ class Materialized(PlanNode):
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         return iter(self.rows)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        rows = self.rows
+        for start in range(0, len(rows), batch_size):
+            yield rows[start:start + batch_size]

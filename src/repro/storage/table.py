@@ -94,6 +94,35 @@ class Table:
         for _rid, row in self.scan():
             yield row
 
+    def batches(self, batch_size: int) -> Iterator[list[Row]]:
+        """Yield live rows in slot order, grouped into lists of at most
+        ``batch_size`` rows.
+
+        The batch executor's scan path: one slice + comprehension per
+        batch instead of one generator resumption per row.  Batches may
+        be smaller than ``batch_size`` where deleted slots (tombstones)
+        thin a slice out.
+        """
+        batch_size = max(batch_size, 1)
+        slots = self._slots
+        for start in range(0, len(slots), batch_size):
+            chunk = [row for row in slots[start:start + batch_size]
+                     if row is not None]
+            if chunk:
+                yield chunk
+
+    def scan_batches(self, batch_size: int) -> Iterator[list[tuple[Rid, Row]]]:
+        """Like :meth:`batches`, but each element is ``(rid, row)``."""
+        batch_size = max(batch_size, 1)
+        slots = self._slots
+        for start in range(0, len(slots), batch_size):
+            chunk = [(rid, row)
+                     for rid, row in enumerate(slots[start:start + batch_size],
+                                               start)
+                     if row is not None]
+            if chunk:
+                yield chunk
+
     def fetch(self, rid: Rid) -> Row:
         """Return the row stored at ``rid``; raise if deleted or invalid."""
         row = self._slots[rid] if 0 <= rid < len(self._slots) else None

@@ -33,7 +33,7 @@ def evaluate_recursive(executable: "XNFExecutable",
     raw_components: dict[str, ComponentStream] = {}
     raw_connections: dict[str, ConnectionStream] = {}
     for stream, node in executable.plan.outputs:
-        rows = list(node.execute(ctx))
+        rows = executable.plan.run_node(node, ctx)
         if stream.stream_kind == "component":
             identity = stream.identity_position
             value_positions = [i for i in range(len(node.columns))

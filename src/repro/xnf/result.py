@@ -169,7 +169,7 @@ class XNFExecutable:
 
         embedded_connections: dict[str, list[tuple]] = {}
         for stream, node in self.plan.outputs:
-            rows = list(node.execute(ctx))
+            rows = self.plan.run_node(node, ctx)
             shipped += len(rows)
             if stream.stream_kind == "component":
                 component = self._decode_component(stream, node, rows,

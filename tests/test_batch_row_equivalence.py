@@ -1,0 +1,192 @@
+"""Batch-mode vs row-mode equivalence.
+
+Property-style guarantee for the batch executor: for every query shape
+the executor suite exercises, batch-at-a-time execution returns exactly
+the same rows (same order) as row-at-a-time execution, and the
+``ExecutionContext`` instrumentation counters agree.
+
+Counters are bumped at batch granularity, so a pipeline that stops
+early (LIMIT without a total-order barrier underneath) may scan up to
+one extra batch in batch mode.  With ``batch_size=1`` even that lazy
+counter trace must be identical to row mode, and the tests assert
+exactly that; with the default batch size, counters are compared for
+every query whose pipeline runs to completion.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.optimizer.optimizer import PlannerOptions
+from repro.sql.parser import parse_statement
+from repro.xnf.result import XNFExecutable
+
+#: (sql, runs_to_completion) — the second flag is False only for
+#: LIMIT-style queries that may abandon a pipeline mid-batch, where
+#: default-size batch counters legitimately over-count.
+QUERIES = [
+    # Projection / filter.
+    ("SELECT * FROM DEPT ORDER BY dno", True),
+    ("SELECT sal * 2 FROM EMP WHERE eno = 10", True),
+    ("SELECT ename FROM EMP WHERE sal >= 150 ORDER BY ename", True),
+    ("SELECT ename FROM EMP WHERE edno = 1 OR edno <> 1 ORDER BY 1", True),
+    ("SELECT ename FROM EMP WHERE edno IS NULL", True),
+    ("SELECT ename FROM EMP WHERE edno IS NOT NULL AND sal < 150", True),
+    ("SELECT 1 + 1 AS two", True),
+    ("SELECT ename FROM EMP WHERE sal BETWEEN 100 AND 150 ORDER BY 1", True),
+    ("SELECT ename FROM EMP WHERE ename LIKE 'a%'", True),
+    ("SELECT ename FROM EMP WHERE edno IN (1, 3) ORDER BY 1", True),
+    ("SELECT ename FROM EMP WHERE edno NOT IN (1, 3) ORDER BY 1", True),
+    ("SELECT UPPER(ename) FROM EMP WHERE LENGTH(ename) = 3 ORDER BY 1",
+     True),
+    # Constant-foldable predicates and projections.
+    ("SELECT eno FROM EMP WHERE 1 + 1 = 2 ORDER BY eno", True),
+    ("SELECT eno FROM EMP WHERE 1 > 2", True),
+    ("SELECT 2 * 3 + 1, UPPER('x') FROM DEPT", True),
+    # Joins.
+    ("SELECT d.dname, e.ename FROM DEPT d, EMP e "
+     "WHERE d.dno = e.edno ORDER BY e.eno", True),
+    ("SELECT e.ename FROM EMP e JOIN DEPT d ON d.dno = e.edno "
+     "WHERE d.loc = 'ARC' ORDER BY 1", True),
+    ("SELECT * FROM DEPT CROSS JOIN EMP", True),
+    ("SELECT d.dname, e.ename FROM DEPT d "
+     "LEFT JOIN EMP e ON d.dno = e.edno AND e.sal > 150 ORDER BY d.dno",
+     True),
+    ("SELECT a.ename, b.ename FROM EMP a, EMP b "
+     "WHERE a.edno = b.edno AND a.eno < b.eno", True),
+    # Subqueries (semi/anti joins, scalar subqueries).
+    ("SELECT ename FROM EMP e WHERE EXISTS (SELECT 1 FROM DEPT d "
+     "WHERE d.dno = e.edno AND d.loc = 'ARC') ORDER BY 1", True),
+    ("SELECT ename FROM EMP e WHERE NOT EXISTS (SELECT 1 FROM DEPT d "
+     "WHERE d.dno = e.edno) ORDER BY 1", True),
+    ("SELECT ename FROM EMP WHERE edno IN "
+     "(SELECT dno FROM DEPT WHERE loc = 'SF')", True),
+    ("SELECT ename FROM EMP WHERE edno NOT IN "
+     "(SELECT dno FROM DEPT WHERE loc = 'ARC') ORDER BY 1", True),
+    ("SELECT ename FROM EMP WHERE sal = (SELECT MAX(sal) FROM EMP)", True),
+    # Aggregation.
+    ("SELECT COUNT(*), SUM(sal), MIN(sal), MAX(sal) FROM EMP", True),
+    ("SELECT COUNT(edno) FROM EMP", True),
+    ("SELECT COUNT(*), SUM(sal) FROM EMP WHERE sal > 9999", True),
+    ("SELECT loc, COUNT(*) FROM DEPT GROUP BY loc ORDER BY loc", True),
+    ("SELECT d.loc, SUM(e.sal) FROM DEPT d, EMP e "
+     "WHERE d.dno = e.edno GROUP BY d.loc ORDER BY 1", True),
+    ("SELECT edno, COUNT(*) AS n FROM EMP GROUP BY edno "
+     "HAVING COUNT(*) > 1", True),
+    ("SELECT COUNT(DISTINCT loc) FROM DEPT", True),
+    # DISTINCT / ORDER BY / LIMIT.
+    ("SELECT DISTINCT loc FROM DEPT ORDER BY loc", True),
+    ("SELECT ename FROM EMP ORDER BY sal DESC LIMIT 2", True),
+    ("SELECT eno FROM EMP ORDER BY eno LIMIT 2 OFFSET 1", True),
+    ("SELECT eno FROM EMP LIMIT 3", False),
+    ("SELECT d.dname, e.ename FROM DEPT d, EMP e "
+     "WHERE d.dno = e.edno LIMIT 2", False),
+    ("SELECT edno FROM EMP ORDER BY edno", True),
+    # Set operations.
+    ("SELECT loc FROM DEPT UNION SELECT loc FROM DEPT", True),
+    ("SELECT loc FROM DEPT UNION ALL SELECT loc FROM DEPT", True),
+    ("SELECT dno FROM DEPT INTERSECT SELECT edno FROM EMP", True),
+    ("SELECT eno FROM EMP EXCEPT SELECT eno FROM EMP WHERE sal > 100",
+     True),
+    # CASE.
+    ("SELECT ename, CASE WHEN sal >= 150 THEN 'high' ELSE 'low' END "
+     "FROM EMP ORDER BY eno", True),
+    ("SELECT ename FROM EMP WHERE "
+     "CASE WHEN edno IS NULL THEN 0 ELSE edno END = 0", True),
+]
+
+ORG_QUERIES = [
+    ("SELECT COUNT(*) FROM DEPT d, EMP e, EMPSKILLS es "
+     "WHERE d.dno = e.edno AND e.eno = es.eseno AND d.loc = 'ARC'", True),
+    ("SELECT d.dname, p.pname FROM DEPT d, PROJ p "
+     "WHERE d.dno = p.pdno AND d.loc = 'ARC' ORDER BY p.pno", True),
+    ("SELECT s.sname, COUNT(*) FROM SKILLS s, EMPSKILLS es "
+     "WHERE s.sno = es.essno GROUP BY s.sname ORDER BY 1", True),
+]
+
+
+def run_modes(db, sql):
+    """Compile once; execute in row, batch(1), and batch(default) mode.
+
+    Returns (columns, [(rows, counters) per mode]).
+    """
+    compiled = db.pipeline.compile_select(parse_statement(sql))
+    plan = compiled.plan
+    runs = []
+    for batch_execution, batch_size in ((False, plan.batch_size),
+                                        (True, 1),
+                                        (True, plan.batch_size)):
+        plan.batch_execution = batch_execution
+        saved = plan.batch_size
+        plan.batch_size = batch_size
+        try:
+            ctx = plan.new_context()
+            result = db.pipeline.run_compiled(compiled, ctx)
+        finally:
+            plan.batch_size = saved
+            plan.batch_execution = True
+        runs.append((result.rows, dict(ctx.counters)))
+    return runs
+
+
+@pytest.mark.parametrize("sql,complete", QUERIES,
+                         ids=[q[:56] for q, _c in QUERIES])
+def test_simple_db_equivalence(simple_db, sql, complete):
+    (row_rows, row_counters), (one_rows, one_counters), \
+        (batch_rows, batch_counters) = run_modes(simple_db, sql)
+    assert one_rows == row_rows
+    assert batch_rows == row_rows
+    assert one_counters == row_counters
+    if complete:
+        assert batch_counters == row_counters
+
+
+@pytest.mark.parametrize("sql,complete", ORG_QUERIES,
+                         ids=[q[:56] for q, _c in ORG_QUERIES])
+def test_org_db_equivalence(org_db, sql, complete):
+    (row_rows, row_counters), (one_rows, one_counters), \
+        (batch_rows, batch_counters) = run_modes(org_db, sql)
+    assert one_rows == row_rows
+    assert batch_rows == row_rows
+    assert one_counters == row_counters
+    if complete:
+        assert batch_counters == row_counters
+
+
+def test_xnf_view_equivalence(org_db):
+    """The multi-output XNF pipeline (spools included) agrees across
+    modes, stream by stream, counters included."""
+    results = {}
+    for label, options in (
+            ("row", PlannerOptions(batch_execution=False)),
+            ("batch", PlannerOptions(batch_execution=True))):
+        executable = XNFExecutable(
+            org_db.xnf_executable("deps_arc").translated,
+            org_db.catalog, org_db.stats, options)
+        results[label] = executable.run()
+    row_co, batch_co = results["row"], results["batch"]
+    assert set(row_co.components) == set(batch_co.components)
+    for name in row_co.components:
+        assert row_co.component(name).rows == batch_co.component(name).rows
+        assert row_co.component(name).oids == batch_co.component(name).oids
+    for name in row_co.relationships:
+        assert row_co.relationship(name).connections == \
+            batch_co.relationship(name).connections
+    assert row_co.counters == batch_co.counters
+
+
+def test_batch_size_sweep(simple_db):
+    """Row stream identical across pathological batch sizes."""
+    sql = ("SELECT d.dname, e.ename FROM DEPT d, EMP e "
+           "WHERE d.dno = e.edno AND e.sal > 90 ORDER BY e.eno")
+    compiled = simple_db.pipeline.compile_select(parse_statement(sql))
+    plan = compiled.plan
+    plan.batch_execution = False
+    reference = simple_db.pipeline.run_compiled(
+        compiled, plan.new_context()).rows
+    plan.batch_execution = True
+    for batch_size in (1, 2, 3, 7, 1024):
+        plan.batch_size = batch_size
+        got = simple_db.pipeline.run_compiled(
+            compiled, plan.new_context()).rows
+        assert got == reference, f"batch_size={batch_size}"

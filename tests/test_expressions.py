@@ -209,3 +209,168 @@ class TestLikeRegex:
     def test_regex_metachars_escaped(self):
         assert like_to_regex("a+b").match("a+b")
         assert not like_to_regex("a+b").match("aab")
+
+
+class TestConstantFolding:
+    def fold(self, text):
+        from repro.executor.expressions import fold_constants
+        return fold_constants(parse_expression(text))
+
+    def test_arithmetic_folds_to_literal(self):
+        from repro.sql import ast
+        assert self.fold("1 + 2 * 3") == ast.Literal(7)
+
+    def test_comparison_folds(self):
+        from repro.sql import ast
+        assert self.fold("2 > 1") == ast.Literal(True)
+        assert self.fold("1 = 2") == ast.Literal(False)
+
+    def test_boolean_connectives_fold(self):
+        from repro.sql import ast
+        assert self.fold("1 < 2 AND 3 < 4") == ast.Literal(True)
+        assert self.fold("NOT (1 < 2)") == ast.Literal(False)
+
+    def test_null_propagates(self):
+        from repro.sql import ast
+        assert self.fold("1 + NULL") == ast.Literal(None)
+        assert self.fold("NULL = NULL") == ast.Literal(None)
+
+    def test_scalar_function_folds(self):
+        from repro.sql import ast
+        assert self.fold("UPPER('abc')") == ast.Literal("ABC")
+        assert self.fold("COALESCE(NULL, 5)") == ast.Literal(5)
+
+    def test_division_by_zero_left_for_runtime(self):
+        from repro.sql import ast
+        folded = self.fold("1 / 0")
+        assert not isinstance(folded, ast.Literal)
+        with pytest.raises(ExecutionError, match="division by zero"):
+            evaluate("1 / 0")
+
+    def test_folding_matches_runtime(self):
+        for text in ["1 + 2 * 3", "10 - 4 / 2", "'a' || 'b'",
+                     "2 BETWEEN 1 AND 3", "ABS(0 - 7)",
+                     "CASE WHEN 1 < 2 THEN 10 ELSE 20 END"]:
+            from repro.sql import ast
+            folded = self.fold(text)
+            from repro.executor.expressions import ExpressionCompiler
+            direct = ExpressionCompiler({}).compile(
+                parse_expression(text))((), None)
+            if isinstance(folded, ast.Literal):
+                assert folded.value == direct
+            else:
+                assert ExpressionCompiler({}).compile(folded)((), None) \
+                    == direct
+
+
+class TestBatchFilters:
+    """compile_filter vs compile: identical survivors on NULL-rich data."""
+
+    def env(self, names):
+        from repro.qgm.model import HeadColumn
+        box = SelectBox("env")
+        box.head = [HeadColumn(n) for n in names]
+        quantifier = Quantifier(box, Quantifier.F, name="env")
+        layout = {(quantifier.qid, n): i for i, n in enumerate(names)}
+        return quantifier, ExpressionCompiler(layout)
+
+    def both_ways(self, predicate, rows):
+        """Filter rows through the row closure and the batch filter."""
+        _q, compiler = self.predicate_env
+        row_fn = compiler.compile(predicate)
+        batch_fn = compiler.compile_filter(predicate)
+        row_result = [r for r in rows if row_fn(r, None) is True]
+        batch_result = batch_fn(list(rows), None)
+        assert batch_result == row_result
+        return row_result
+
+    @pytest.fixture(autouse=True)
+    def _env(self):
+        self.predicate_env = self.env(["A", "B"])
+
+    def rows(self):
+        return [(1, "x"), (2, "y"), (None, "x"), (3, None), (None, None),
+                (2, "x")]
+
+    def qref(self, column):
+        quantifier, _c = self.predicate_env
+        return QRef(quantifier, column)
+
+    def test_comparison_fast_paths(self):
+        from repro.sql import ast
+        for op in ("=", "<>", "<", "<=", ">", ">="):
+            predicate = ast.BinaryOp(op, self.qref("A"), ast.Literal(2))
+            self.both_ways(predicate, self.rows())
+            # Flipped: constant on the left.
+            flipped = ast.BinaryOp(op, ast.Literal(2), self.qref("A"))
+            self.both_ways(flipped, self.rows())
+
+    def test_comparison_with_null_literal_keeps_nothing(self):
+        from repro.sql import ast
+        predicate = ast.BinaryOp("=", self.qref("A"), ast.Literal(None))
+        assert self.both_ways(predicate, self.rows()) == []
+
+    def test_is_null_fast_paths(self):
+        from repro.sql import ast
+        self.both_ways(ast.IsNull(self.qref("A")), self.rows())
+        self.both_ways(ast.IsNull(self.qref("B"), negated=True),
+                       self.rows())
+
+    def test_and_short_circuits_per_conjunct(self):
+        from repro.sql import ast
+        predicate = ast.BinaryOp(
+            "AND",
+            ast.BinaryOp(">", self.qref("A"), ast.Literal(1)),
+            ast.BinaryOp("=", self.qref("B"), ast.Literal("x")))
+        assert self.both_ways(predicate, self.rows()) == [(2, "x")]
+
+    def test_or_uses_generic_path(self):
+        from repro.sql import ast
+        predicate = ast.BinaryOp(
+            "OR",
+            ast.BinaryOp("=", self.qref("B"), ast.Literal("y")),
+            ast.BinaryOp("<", self.qref("A"), ast.Literal(2)))
+        self.both_ways(predicate, self.rows())
+
+    def test_constant_false_predicate(self):
+        from repro.sql import ast
+        predicate = ast.BinaryOp(">", ast.Literal(1), ast.Literal(2))
+        assert self.both_ways(predicate, self.rows()) == []
+
+    def test_constant_true_predicate(self):
+        from repro.sql import ast
+        predicate = ast.BinaryOp("<", ast.Literal(1), ast.Literal(2))
+        assert self.both_ways(predicate, self.rows()) == self.rows()
+
+    def test_type_mismatch_raises_like_row_mode(self):
+        from repro.sql import ast
+        predicate = ast.BinaryOp("<", self.qref("A"), ast.Literal(5))
+        _q, compiler = self.predicate_env
+        batch_fn = compiler.compile_filter(predicate)
+        with pytest.raises(ExecutionError, match="cannot compare"):
+            batch_fn([(1, "x"), ("oops", "y")], None)
+
+    def test_and_error_parity_between_condition_and_batch(self):
+        """A right conjunct that would raise on rows the left conjunct
+        excludes: neither the condition compiler (row mode) nor the
+        batch filter may surface that error — and both must raise it
+        for rows that do reach the right conjunct."""
+        from repro.sql import ast
+        predicate = ast.BinaryOp(
+            "AND",
+            ast.BinaryOp(">", self.qref("A"), ast.Literal(1)),
+            ast.BinaryOp("<", self.qref("B"), ast.Literal(5)))
+        _q, compiler = self.predicate_env
+        condition = compiler.compile_condition(predicate)
+        batch_fn = compiler.compile_filter(predicate)
+        # Row (0, 'oops') fails the left conjunct; the right conjunct
+        # (which would raise on 'oops' < 5) must never run.
+        safe_rows = [(0, "oops"), (2, 3)]
+        assert [r for r in safe_rows if condition(r, None) is True] == \
+            [(2, 3)]
+        assert batch_fn(safe_rows, None) == [(2, 3)]
+        # Row (2, 'oops') reaches the right conjunct: both raise.
+        with pytest.raises(ExecutionError, match="cannot compare"):
+            condition((2, "oops"), None)
+        with pytest.raises(ExecutionError, match="cannot compare"):
+            batch_fn([(2, "oops")], None)

@@ -206,3 +206,101 @@ class TestSpool:
         spool = Spool(Materialized(["A"], [(1,)]), label="cse")
         text = spool.explain()
         assert "Spool" in text and "cse" in text
+
+
+class TestBatchProtocol:
+    """The batch-at-a-time protocol: chunking, bounds, and counters."""
+
+    def test_materialized_chunking(self, ctx):
+        node = mat(["A"], [(i,) for i in range(5)])
+        chunks = list(node.execute_batches(ctx, 2))
+        assert chunks == [[(0,), (1,)], [(2,), (3,)], [(4,)]]
+
+    def test_single_row_batch(self, ctx):
+        assert list(SingleRow().execute_batches(ctx, 4)) == [[()]]
+
+    def test_fallback_chunks_row_iterator(self, ctx):
+        # SetOperation has no native batch path: the PlanNode default
+        # chunks its row iterator.
+        node = SetOperation("UNION", False, mat(["A"], [(1,), (2,)]),
+                            mat(["A"], [(2,), (3,)]))
+        chunks = list(node.execute_batches(ctx, 2))
+        assert [row for chunk in chunks for row in chunk] == \
+            [(1,), (2,), (3,)]
+        assert all(1 <= len(chunk) <= 2 for chunk in chunks)
+
+    def test_union_all_preserves_input_batching(self, ctx):
+        node = UnionAll([mat(["A"], [(1,)]), mat(["A"], [(2,), (3,)])])
+        chunks = list(node.execute_batches(ctx, 8))
+        assert chunks == [[(1,)], [(2,), (3,)]]
+
+    def test_filter_without_batch_predicate(self, ctx):
+        node = Filter(mat(["A"], [(1,), (None,), (3,)]),
+                      lambda row, ctx: None if row[0] is None
+                      else row[0] > 1)
+        assert list(node.execute_batches(ctx, 2)) == [[(3,)]]
+
+    def test_filter_with_batch_predicate(self, ctx):
+        node = Filter(mat(["A"], [(1,), (2,), (3,), (4,)]),
+                      lambda row, ctx: row[0] % 2 == 0,
+                      batch_predicate=lambda rows, ctx:
+                      [r for r in rows if r[0] % 2 == 0])
+        assert [row for chunk in node.execute_batches(ctx, 3)
+                for row in chunk] == [(2,), (4,)]
+
+    def test_limit_offset_batches(self, ctx):
+        node = Limit(mat(["A"], [(i,) for i in range(10)]), 4, 3)
+        rows = [row for chunk in node.execute_batches(ctx, 2)
+                for row in chunk]
+        assert rows == [(3,), (4,), (5,), (6,)]
+
+    def test_limit_zero_yields_nothing(self, ctx):
+        node = Limit(mat(["A"], [(1,)]), 0, None)
+        assert list(node.execute_batches(ctx, 2)) == []
+        assert list(node.execute(ctx)) == []
+
+    def test_hash_join_chunk_bound_and_counters(self, ctx):
+        left = mat(["L", "K"], [("a", 1)])
+        right = mat(["K", "R"], [(1, i) for i in range(5)])
+        node = HashJoin(left, right, [const(1)], [const(0)])
+        chunks = list(node.execute_batches(ctx, 2))
+        assert [len(chunk) for chunk in chunks] == [2, 2, 1]
+        assert ctx.counters["rows_joined"] == 5
+        fresh = ExecutionContext()
+        assert [row for chunk in chunks for row in chunk] == \
+            list(node.execute(fresh))
+        assert fresh.counters["rows_joined"] == 5
+
+    def test_sort_batches_are_globally_sorted(self, ctx):
+        node = Sort(mat(["A"], [(3,), (1,), (None,), (2,)]),
+                    [const(0)], [False])
+        chunks = list(node.execute_batches(ctx, 2))
+        assert chunks == [[(1,), (2,)], [(3,), (None,)]]
+
+    def test_dedup_batches(self, ctx):
+        node = Dedup(mat(["A"], [(2,), (1,), (2,), (1,), (3,)]))
+        assert [row for chunk in node.execute_batches(ctx, 2)
+                for row in chunk] == [(2,), (1,), (3,)]
+
+    def test_aggregate_batches(self, ctx):
+        node = Aggregate(mat(["K", "V"], [("x", 1), ("y", 2), ("x", 3)]),
+                         [const(0)], [("SUM", const(1), False)],
+                         ["K", "S"])
+        assert [row for chunk in node.execute_batches(ctx, 1)
+                for row in chunk] == [("x", 4), ("y", 2)]
+
+    def test_spool_batch_counters(self, ctx):
+        spool = Spool(mat(["A"], [(1,), (2,), (3,)]))
+        first = list(spool.execute_batches(ctx, 2))
+        second = list(spool.execute_batches(ctx, 2))
+        assert first == second == [[(1,), (2,)], [(3,)]]
+        assert ctx.counters["spool_materializations"] == 1
+        assert ctx.counters["spool_reads"] == 1
+
+    def test_spool_cache_shared_between_modes(self, ctx):
+        spool = Spool(mat(["A"], [(1,), (2,)]))
+        assert list(spool.execute(ctx)) == [(1, ), (2,)]
+        assert [row for chunk in spool.execute_batches(ctx, 8)
+                for row in chunk] == [(1,), (2,)]
+        assert ctx.counters["spool_materializations"] == 1
+        assert ctx.counters["spool_reads"] == 1

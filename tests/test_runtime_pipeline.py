@@ -14,10 +14,18 @@ class TestQueryResult:
         assert result.column("ename")[0] == "ann"
         assert result.column("ENO")[:2] == [10, 11]
 
-    def test_unknown_column(self, simple_db):
-        result = simple_db.query("SELECT eno FROM EMP")
-        with pytest.raises(ValueError):
+    def test_unknown_column_raises_named_key_error(self, simple_db):
+        result = simple_db.query("SELECT eno, ename FROM EMP")
+        with pytest.raises(KeyError) as excinfo:
             result.column("ghost")
+        message = str(excinfo.value)
+        assert "'ghost'" in message
+        assert "eno" in message.lower() and "ename" in message.lower()
+
+    def test_unknown_column_on_empty_result(self):
+        result = QueryResult(columns=[], rows=[])
+        with pytest.raises(KeyError, match="<none>"):
+            result.column("anything")
 
     def test_as_dicts(self, simple_db):
         result = simple_db.query("SELECT dno, loc FROM DEPT "
@@ -91,6 +99,18 @@ class TestOptionToggles:
             parse_statement(sql)).pruned_columns == 2
         assert unpruned.compile_select(
             parse_statement(sql)).pruned_columns == 0
+
+    def test_degenerate_batch_sizes_clamped(self, org_db):
+        reference = org_db.pipeline.run_select(parse_statement(
+            "SELECT eno FROM EMP WHERE sal > 0 ORDER BY eno")).rows
+        for batch_size in (0, -5, 1):
+            pipeline = QueryPipeline(
+                org_db.catalog, org_db.stats,
+                PipelineOptions(planner=PlannerOptions(
+                    batch_size=batch_size)))
+            got = pipeline.run_select(parse_statement(
+                "SELECT eno FROM EMP WHERE sal > 0 ORDER BY eno")).rows
+            assert got == reference, f"batch_size={batch_size}"
 
     def test_all_toggles_off_still_correct(self, org_db):
         options = PipelineOptions(
