@@ -21,6 +21,8 @@ from repro.executor.dml import DMLExecutor
 from repro.executor.runtime import (PipelineOptions, QueryPipeline,
                                     QueryResult)
 from repro.cache.manager import XNFCache
+from repro.cache.matview import (MaterializedView,
+                                 MaterializedViewRegistry)
 from repro.qgm.builder import QGMBuilder
 from repro.qgm.dump import dump_graph
 from repro.qgm.model import Box, QGMGraph
@@ -53,6 +55,23 @@ class Database:
             xnf_component_resolver=self._resolve_xnf_component,
         )
         self.dml = DMLExecutor(self.pipeline)
+        self.matviews = MaterializedViewRegistry(
+            self.catalog, self._matview_executable)
+        self.catalog.delta_listeners.append(self._on_table_delta)
+        # Deltas emitted inside a rolled-back transaction were undone;
+        # eagerly maintained views must recompute from the base tables.
+        self.transactions.rollback_listeners.append(self._on_rollback)
+
+    def _on_table_delta(self, delta) -> None:
+        if self.transactions.in_transaction:
+            self.transactions.current.delta_count += 1
+        self.matviews.on_table_delta(delta)
+
+    def _on_rollback(self, _txn) -> None:
+        # The transaction manager only calls this when published deltas
+        # were actually undone (full rollback or savepoint crossing an
+        # emission).
+        self.matviews.invalidate_all()
 
     # ------------------------------------------------------------------
     # Statement execution
@@ -87,6 +106,13 @@ class Database:
         if isinstance(statement, ast.CreateViewStatement):
             self._create_view(statement)
             return None
+        if isinstance(statement, ast.CreateMaterializedViewStatement):
+            self.create_materialized_view(statement.name, statement.query,
+                                          policy=statement.policy)
+            return None
+        if isinstance(statement, ast.RefreshStatement):
+            return self.refresh_materialized_view(statement.name,
+                                                  full=statement.full)
         if isinstance(statement, ast.DropStatement):
             self._drop(statement)
             return None
@@ -147,9 +173,25 @@ class Database:
 
     def _drop(self, statement: ast.DropStatement) -> None:
         if statement.kind == "TABLE":
+            dependent = [view.name for view in self.matviews.views()
+                         if statement.name.upper() in view.base_tables]
+            if dependent:
+                raise CatalogError(
+                    f"cannot drop table {statement.name!r}: materialized "
+                    f"views {dependent} are defined over it"
+                )
             self.catalog.drop_table(statement.name)
             self.stats.invalidate(statement.name)
         elif statement.kind == "VIEW":
+            if self.catalog.has_view(statement.name) \
+                    and self.catalog.view(statement.name).materialized:
+                raise CatalogError(
+                    f"{statement.name!r} is a materialized view; use "
+                    f"DROP MATERIALIZED VIEW"
+                )
+            self.catalog.drop_view(statement.name)
+        elif statement.kind == "MATERIALIZED VIEW":
+            self.matviews.drop(statement.name)
             self.catalog.drop_view(statement.name)
         elif statement.kind == "INDEX":
             self.catalog.drop_index(statement.name)
@@ -164,6 +206,11 @@ class Database:
                        ) -> XNFExecutable:
         """Compile an XNF query (text, view name, or AST) to plans."""
         query, view_name = self._xnf_query_of(source)
+        return self._compile_xnf(query, view_name, xnf_options)
+
+    def _compile_xnf(self, query: ast.XNFQuery, view_name: str,
+                     xnf_options: Optional[XNFOptions] = None
+                     ) -> XNFExecutable:
         builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
         graph = builder.build_xnf(query, view_name=view_name)
         translator = XNFTranslator(self.catalog,
@@ -173,7 +220,14 @@ class Database:
                              self.pipeline_options.planner)
 
     def run_xnf_query(self, source: Union[str, ast.XNFQuery]) -> COResult:
-        return self.xnf_executable(source).run()
+        query, view_name = self._xnf_query_of(source)
+        # Read-through: a query structurally equal to a registered
+        # materialized view's definition is served from the
+        # materialization (refreshed per its staleness policy).
+        materialized = self.matviews.lookup_query(query)
+        if materialized is not None:
+            return materialized.read()
+        return self._compile_xnf(query, view_name).run()
 
     def xnf(self, source: Union[str, ast.XNFQuery]) -> COResult:
         """Materialize a CO view (alias of :meth:`run_xnf_query`)."""
@@ -185,6 +239,50 @@ class Database:
         builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
         graph = builder.build_xnf(query, view_name=view_name)
         return NaiveXNFEvaluator(self.catalog, self.stats).evaluate(graph)
+
+    # ------------------------------------------------------------------
+    # Materialized XNF views (delta-maintained; repro.cache.matview)
+    # ------------------------------------------------------------------
+    def _matview_executable(self, query: ast.XNFQuery) -> XNFExecutable:
+        """Compile a materialized view's definition.
+
+        The output optimization is disabled so the stored representation
+        always carries explicit connection streams — the canonical form
+        the delta engine maintains.
+        """
+        options = XNFOptions(
+            output_optimization=False,
+            apply_nf_rewrite=self.xnf_options.apply_nf_rewrite,
+        )
+        return self.xnf_executable(query, xnf_options=options)
+
+    def create_materialized_view(self, name: str,
+                                 source: Union[str, ast.XNFQuery],
+                                 policy: str = "eager"
+                                 ) -> MaterializedView:
+        """Register, evaluate and store a materialized CO view.
+
+        The view is also entered in the catalog (so its components
+        compose into SQL like any XNF view's).  ``policy`` is 'eager'
+        or 'deferred'.
+        """
+        query, _view_name = self._xnf_query_of(source)
+        self.catalog._check_fresh(name)
+        view = self.matviews.create(name, query, policy=policy)
+        self.catalog.create_view(ViewDefinition(
+            name=name, definition=query, text="", is_xnf=True,
+            materialized=True,
+        ))
+        return view
+
+    def refresh_materialized_view(self, name: str,
+                                  full: bool = False) -> COResult:
+        """Apply queued deltas (or recompute with ``full=True``)."""
+        return self.matviews.get(name).refresh(full=full)
+
+    def matview(self, name: str) -> COResult:
+        """Read a materialized view per its staleness policy."""
+        return self.matviews.get(name).read()
 
     def open_cache(self, source: Union[str, ast.XNFQuery]) -> XNFCache:
         """Evaluate a CO view into a navigable client-side cache."""

@@ -154,14 +154,21 @@ class XNFCache:
         Pass the view's ``TranslatedXNF`` (e.g. from
         ``Database.xnf_executable``) to restore updatability metadata so
         the reloaded cache can still write back.
+
+        Raises :class:`~repro.errors.CacheError` (never a bare
+        unpickling crash) when the file is not a cache snapshot, is
+        truncated/corrupt, or was written by an incompatible version.
         """
-        with open(path, "rb") as handle:
-            snapshot = pickle.load(handle)
-        if snapshot.get("format") != SNAPSHOT_FORMAT:
+        try:
+            with open(path, "rb") as handle:
+                snapshot = pickle.load(handle)
+        except (pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError, ValueError) as exc:
             raise CacheError(
-                f"unsupported cache snapshot format "
-                f"{snapshot.get('format')!r}"
-            )
+                f"cannot load cache snapshot {path!r}: file is not a "
+                f"readable snapshot ({exc})"
+            ) from exc
+        snapshot = _validate_snapshot(snapshot, path)
         result = _result_from_snapshot(snapshot)
         cache = cls(result, translated=translated, catalog=catalog,
                     transactions=transactions)
@@ -226,6 +233,39 @@ class XNFCache:
             "relationships": relationships,
             "log": log,
         }
+
+
+#: Keys every loadable snapshot must carry (beyond the format tag).
+_SNAPSHOT_KEYS = ("schema", "components", "relationships", "log")
+
+
+def _validate_snapshot(snapshot: object, path: str) -> dict:
+    """Shape-check a deserialized snapshot before reviving it."""
+    if not isinstance(snapshot, dict):
+        raise CacheError(
+            f"cache snapshot {path!r} is not a snapshot mapping "
+            f"(found {type(snapshot).__name__})"
+        )
+    found = snapshot.get("format")
+    if found != SNAPSHOT_FORMAT:
+        raise CacheError(
+            f"cache snapshot {path!r} has unsupported format {found!r}; "
+            f"this build reads format {SNAPSHOT_FORMAT}. Re-evaluate the "
+            f"view and save a fresh snapshot."
+        )
+    missing = [key for key in _SNAPSHOT_KEYS if key not in snapshot]
+    if missing:
+        raise CacheError(
+            f"cache snapshot {path!r} is incomplete: missing "
+            f"{', '.join(missing)}"
+        )
+    schema = snapshot["schema"]
+    if not isinstance(schema, dict) or not {"components", "roots",
+                                            "edges"} <= set(schema):
+        raise CacheError(
+            f"cache snapshot {path!r} has a malformed schema section"
+        )
+    return snapshot
 
 
 def _freeze_payload(payload: dict) -> dict:

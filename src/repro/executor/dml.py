@@ -5,6 +5,13 @@ SELECT, and the row-qualification part of UPDATE/DELETE, which compiles
 to a plan producing RIDs plus new values) and then applies storage
 mutations with foreign-key checks.  Atomicity is the caller's concern:
 the Database facade wraps each statement in ``run_atomic``.
+
+Every successful statement additionally publishes one per-table
+:class:`~repro.storage.catalog.TableDelta` through the catalog's delta
+protocol (when anyone subscribed), which is how materialized
+composite-object views are maintained incrementally instead of being
+recomputed.  A statement that raises mid-way publishes nothing: the
+facade's ``run_atomic`` rolls the partial mutations back.
 """
 
 from __future__ import annotations
@@ -21,7 +28,7 @@ from repro.qgm.model import (BaseBox, HeadColumn, OutputStream, QGMGraph,
 from repro.rewrite.engine import RuleEngine
 from repro.rewrite.nf_rules import DEFAULT_NF_RULES
 from repro.sql import ast
-from repro.storage.catalog import Catalog
+from repro.storage.catalog import Catalog, TableDelta
 from repro.storage.table import Table
 
 
@@ -63,14 +70,20 @@ class DMLExecutor:
                 f"{len(target_positions)} columns"
             )
         inserted = 0
+        delta = TableDelta(table.name) if self.catalog.wants_deltas \
+            else None
         for values in rows:
             full_row = [None] * len(table.columns)
             for position, value in zip(target_positions, values):
                 full_row[position] = value
             self.catalog.check_foreign_keys(table.name, tuple(full_row))
-            table.insert(full_row)
+            rid = table.insert(full_row)
+            if delta is not None:
+                delta.inserted.append((rid, table.fetch(rid)))
             inserted += 1
         self.pipeline.stats.invalidate(table.name)
+        if delta is not None:
+            self.catalog.emit_table_delta(delta)
         return inserted
 
     @staticmethod
@@ -91,6 +104,8 @@ class DMLExecutor:
         expressions = [a.value for a in statement.assignments]
         rows = self._qualify(table, statement.where, expressions)
         updated = 0
+        delta = TableDelta(table.name) if self.catalog.wants_deltas \
+            else None
         pk_positions = {table.column_position(c)
                         for c in table.primary_key}
         for row_values in rows:
@@ -105,9 +120,14 @@ class DMLExecutor:
                 self.catalog.check_no_referencing_children(table.name,
                                                            old_row)
             self.catalog.check_foreign_keys(table.name, tuple(new_row))
-            table.update(rid, new_row)
+            stored = table.update(rid, new_row)
+            if delta is not None and stored != old_row:
+                delta.deleted.append((rid, old_row))
+                delta.inserted.append((rid, stored))
             updated += 1
         self.pipeline.stats.invalidate(table.name)
+        if delta is not None:
+            self.catalog.emit_table_delta(delta)
         return updated
 
     # ------------------------------------------------------------------
@@ -117,13 +137,19 @@ class DMLExecutor:
         table = self.catalog.table(statement.table)
         rows = self._qualify(table, statement.where, [])
         deleted = 0
+        delta = TableDelta(table.name) if self.catalog.wants_deltas \
+            else None
         for row_values in rows:
             rid = row_values[0]
             old_row = table.fetch(rid)
             self.catalog.check_no_referencing_children(table.name, old_row)
             table.delete(rid)
+            if delta is not None:
+                delta.deleted.append((rid, old_row))
             deleted += 1
         self.pipeline.stats.invalidate(table.name)
+        if delta is not None:
+            self.catalog.emit_table_delta(delta)
         return deleted
 
     # ------------------------------------------------------------------

@@ -340,8 +340,37 @@ class CreateViewStatement:
 
 
 @dataclass(frozen=True)
+class CreateMaterializedViewStatement:
+    """``CREATE MATERIALIZED VIEW name [REFRESH EAGER|DEFERRED] AS
+    <xnf query>``.
+
+    Materialized CO views store their evaluated result and are kept
+    consistent under DML by the delta-maintenance engine
+    (:mod:`repro.cache.matview`).  ``policy`` is the staleness policy:
+    ``'eager'`` (maintained on write) or ``'deferred'`` (maintained on
+    the next read or explicit REFRESH).
+    """
+
+    name: str
+    query: "XNFQuery"
+    policy: str = "eager"
+
+
+@dataclass(frozen=True)
+class RefreshStatement:
+    """``REFRESH MATERIALIZED VIEW name [FULL]``.
+
+    Applies the view's queued deltas; with FULL, recomputes from the
+    base tables unconditionally.
+    """
+
+    name: str
+    full: bool = False
+
+
+@dataclass(frozen=True)
 class DropStatement:
-    kind: str  # 'TABLE' | 'VIEW' | 'INDEX'
+    kind: str  # 'TABLE' | 'VIEW' | 'INDEX' | 'MATERIALIZED VIEW'
     name: str
 
 
@@ -417,6 +446,7 @@ class XNFQuery:
 Statement = Union[
     SelectStatement, InsertStatement, UpdateStatement, DeleteStatement,
     CreateTableStatement, CreateIndexStatement, CreateViewStatement,
+    CreateMaterializedViewStatement, RefreshStatement,
     DropStatement, XNFQuery,
 ]
 

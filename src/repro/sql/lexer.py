@@ -34,6 +34,7 @@ SQL_KEYWORDS = frozenset({
     "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
     "CREATE", "TABLE", "VIEW", "INDEX", "UNIQUE", "DROP", "PRIMARY",
     "KEY", "FOREIGN", "REFERENCES", "CONSTRAINT",
+    "MATERIALIZED", "REFRESH",
     "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END", "WITH",
     "LIMIT", "OFFSET", "COUNT", "SUM", "AVG", "MIN", "MAX",
 })

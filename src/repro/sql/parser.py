@@ -136,6 +136,8 @@ class Parser:
             return self._parse_create()
         if token.is_keyword("DROP"):
             return self._parse_drop()
+        if token.is_keyword("REFRESH"):
+            return self._parse_refresh()
         raise self._error("expected a statement")
 
     # ------------------------------------------------------------------
@@ -577,10 +579,15 @@ class Parser:
             return self._parse_create_table()
         if self._accept_keyword("VIEW"):
             return self._parse_create_view()
+        if self._accept_keyword("MATERIALIZED"):
+            self._expect_keyword("VIEW")
+            return self._parse_create_materialized_view()
         unique = self._accept_keyword("UNIQUE")
         if self._accept_keyword("INDEX"):
             return self._parse_create_index(unique)
-        raise self._error("expected TABLE, VIEW or INDEX after CREATE")
+        raise self._error(
+            "expected TABLE, VIEW, MATERIALIZED VIEW or INDEX after CREATE"
+        )
 
     def _parse_create_table(self) -> ast.CreateTableStatement:
         name = self._expect_identifier("table name")
@@ -671,8 +678,43 @@ class Parser:
             query = self.parse_select()
         return ast.CreateViewStatement(name, query, column_names)
 
+    def _parse_create_materialized_view(
+            self) -> ast.CreateMaterializedViewStatement:
+        name = self._expect_identifier("materialized view name")
+        policy = "eager"
+        if self._accept_keyword("REFRESH"):
+            word = self._expect_identifier("staleness policy").upper()
+            if word not in ("EAGER", "DEFERRED"):
+                raise self._error(
+                    "expected EAGER or DEFERRED after REFRESH"
+                )
+            policy = word.lower()
+        self._expect_keyword("AS")
+        if not self.current.is_keyword("OUT"):
+            raise self._error(
+                "materialized views require an XNF query (OUT OF ... TAKE)"
+            )
+        return ast.CreateMaterializedViewStatement(
+            name, self.parse_xnf_query(), policy)
+
+    def _parse_refresh(self) -> ast.RefreshStatement:
+        self._expect_keyword("REFRESH")
+        self._expect_keyword("MATERIALIZED")
+        self._expect_keyword("VIEW")
+        name = self._expect_identifier("materialized view name")
+        full = False
+        if self.current.type is TokenType.IDENTIFIER \
+                and self.current.value.upper() == "FULL":
+            self._advance()
+            full = True
+        return ast.RefreshStatement(name, full)
+
     def _parse_drop(self) -> ast.DropStatement:
         self._expect_keyword("DROP")
+        if self._accept_keyword("MATERIALIZED"):
+            self._expect_keyword("VIEW")
+            name = self._expect_identifier("object name")
+            return ast.DropStatement("MATERIALIZED VIEW", name)
         kind_token = self._expect_keyword("TABLE", "VIEW", "INDEX")
         name = self._expect_identifier("object name")
         return ast.DropStatement(kind_token.value, name)

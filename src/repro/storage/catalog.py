@@ -10,12 +10,78 @@ constraints, since only the catalog can see both sides of a foreign key.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.errors import CatalogError, UpdateError
 from repro.storage.index import HashIndex, Index, OrderedIndex
-from repro.storage.table import Row, Table
+from repro.storage.table import Rid, Row, Table
 from repro.storage.types import Column
+
+
+@dataclass
+class TableDelta:
+    """The net effect of one statement (or write-back) on one table.
+
+    ``inserted`` and ``deleted`` are ``(rid, row)`` pairs; an UPDATE
+    contributes the old row to ``deleted`` and the new row to
+    ``inserted`` under the same (stable) RID.  This is the wire format
+    of the delta protocol that keeps materialized composite-object
+    views (:mod:`repro.cache.matview`) maintained incrementally.
+    """
+
+    table: str
+    inserted: list[tuple[Rid, Row]] = field(default_factory=list)
+    deleted: list[tuple[Rid, Row]] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.inserted or self.deleted)
+
+
+class DeltaRecorder:
+    """Accumulates mutations and consolidates them into per-table deltas.
+
+    Re-touching the same RID collapses into its net effect (insert then
+    update = one insert of the final row; insert then delete = nothing),
+    so a consumer sees each statement/batch as a minimal delta.
+    """
+
+    def __init__(self) -> None:
+        #: table -> rid -> [first_old | _ABSENT, last_new | _ABSENT]
+        self._tracks: dict[str, dict[Rid, list]] = {}
+        self._order: list[str] = []
+
+    _ABSENT = object()
+
+    def record(self, table_name: str, rid: Rid,
+               old: Row | None, new: Row | None) -> None:
+        key = table_name.upper()
+        tracks = self._tracks.get(key)
+        if tracks is None:
+            tracks = self._tracks[key] = {}
+            self._order.append(key)
+        track = tracks.get(rid)
+        if track is None:
+            tracks[rid] = [old if old is not None else self._ABSENT,
+                           new if new is not None else self._ABSENT]
+        else:
+            track[1] = new if new is not None else self._ABSENT
+
+    def deltas(self) -> list[TableDelta]:
+        result: list[TableDelta] = []
+        for name in self._order:
+            delta = TableDelta(name)
+            for rid, (first, last) in self._tracks[name].items():
+                if first is not self._ABSENT and first != last:
+                    delta.deleted.append((rid, first))
+                if last is not self._ABSENT and first != last:
+                    delta.inserted.append((rid, last))
+            if delta:
+                result.append(delta)
+        return result
+
+    def clear(self) -> None:
+        self._tracks.clear()
+        self._order.clear()
 
 
 @dataclass(frozen=True)
@@ -44,6 +110,9 @@ class ViewDefinition:
     text: str
     is_xnf: bool = False
     column_names: tuple[str, ...] = field(default_factory=tuple)
+    #: True when the view is backed by a MaterializedView registry entry
+    #: (created via CREATE MATERIALIZED VIEW).
+    materialized: bool = False
 
 
 class Catalog:
@@ -54,6 +123,25 @@ class Catalog:
         self._indexes: dict[str, Index] = {}
         self._views: dict[str, ViewDefinition] = {}
         self._foreign_keys: dict[str, ForeignKey] = {}
+        #: Delta protocol subscribers (e.g. the materialized-view
+        #: registry).  DML and cache write-back publish one
+        #: :class:`TableDelta` per touched table per statement.
+        self.delta_listeners: list[Callable[[TableDelta], None]] = []
+
+    # ------------------------------------------------------------------
+    # Delta protocol
+    # ------------------------------------------------------------------
+    @property
+    def wants_deltas(self) -> bool:
+        """True when at least one delta subscriber is registered; write
+        paths use this to skip delta bookkeeping entirely otherwise."""
+        return bool(self.delta_listeners)
+
+    def emit_table_delta(self, delta: TableDelta) -> None:
+        if not delta:
+            return
+        for listener in list(self.delta_listeners):
+            listener(delta)
 
     # ------------------------------------------------------------------
     # Name handling
@@ -273,6 +361,7 @@ class Catalog:
             text=view.text,
             is_xnf=view.is_xnf,
             column_names=view.column_names,
+            materialized=view.materialized,
         )
         self._views[stored.name] = stored
         return stored

@@ -38,13 +38,21 @@ class Transaction:
         self.txn_id = txn_id
         self.log: list[UndoRecord] = []
         self._savepoints: dict[str, int] = {}
+        self._savepoint_deltas: dict[str, int] = {}
         self.active = True
+        #: Number of table deltas published while this transaction was
+        #: open (see Catalog.emit_table_delta subscribers).  A rollback
+        #: that undoes published deltas must invalidate delta-derived
+        #: state; savepoints snapshot the count so partial rollbacks
+        #: only invalidate when they actually cross an emission.
+        self.delta_count = 0
 
     def record(self, record: UndoRecord) -> None:
         self.log.append(record)
 
     def set_savepoint(self, name: str) -> None:
         self._savepoints[name] = len(self.log)
+        self._savepoint_deltas[name] = self.delta_count
 
     def savepoint_position(self, name: str) -> int:
         try:
@@ -52,10 +60,17 @@ class Transaction:
         except KeyError:
             raise TransactionError(f"no savepoint named {name!r}") from None
 
+    def savepoint_delta_count(self, name: str) -> int:
+        return self._savepoint_deltas.get(name, 0)
+
     def drop_savepoints_after(self, position: int) -> None:
         self._savepoints = {
             name: pos for name, pos in self._savepoints.items()
             if pos <= position
+        }
+        self._savepoint_deltas = {
+            name: count for name, count in self._savepoint_deltas.items()
+            if name in self._savepoints
         }
 
 
@@ -74,6 +89,11 @@ class TransactionManager:
         self._next_id = 1
         self.committed_count = 0
         self.rolled_back_count = 0
+        #: Called with the transaction after a rollback (full, or to a
+        #: savepoint) undid published table deltas.  Derived state
+        #: maintained eagerly from those deltas (e.g. materialized
+        #: views) uses this to invalidate itself.
+        self.rollback_listeners: list = []
 
     # ------------------------------------------------------------------
     @property
@@ -111,6 +131,9 @@ class TransactionManager:
             txn.active = False
             self._current = None
             self.rolled_back_count += 1
+            if txn.delta_count:
+                for listener in list(self.rollback_listeners):
+                    listener(txn)
 
     # ------------------------------------------------------------------
     def savepoint(self, name: str) -> None:
@@ -119,6 +142,7 @@ class TransactionManager:
     def rollback_to_savepoint(self, name: str) -> None:
         txn = self.current
         position = txn.savepoint_position(name)
+        saved_deltas = txn.savepoint_delta_count(name)
         self._remove_hooks()
         try:
             self._undo(txn.log, down_to=position)
@@ -126,6 +150,11 @@ class TransactionManager:
             txn.drop_savepoints_after(position)
         finally:
             self._install_hooks()
+        if txn.delta_count > saved_deltas:
+            # Deltas published after the savepoint have been undone.
+            txn.delta_count = saved_deltas
+            for listener in list(self.rollback_listeners):
+                listener(txn)
 
     # ------------------------------------------------------------------
     def run_atomic(self, thunk) -> Any:

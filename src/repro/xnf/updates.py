@@ -32,7 +32,7 @@ from repro.executor.expressions import ExpressionCompiler
 from repro.qgm.model import (BaseBox, QRef, Quantifier, RidRef, SelectBox,
                              XNFBox, XNFRelationship, quantifiers_in)
 from repro.sql import ast
-from repro.storage.catalog import Catalog
+from repro.storage.catalog import Catalog, DeltaRecorder
 from repro.storage.transactions import TransactionManager
 from repro.cache.workspace import LogEntry, Workspace
 
@@ -239,11 +239,17 @@ class CacheWriteBack:
         self.relationship_info = relationship_info
         #: workspace ("new", n) oids -> storage RIDs after insert
         self._new_rids: dict = {}
+        #: Consolidates this write-back's base-table mutations into the
+        #: delta protocol (one TableDelta per touched table), published
+        #: only after the transaction committed.
+        self._recorder: Optional[DeltaRecorder] = None
 
     # ------------------------------------------------------------------
     def apply(self, workspace: Workspace) -> int:
         """Write every logged change back; returns #applied entries."""
         log = list(workspace.log)
+        self._recorder = DeltaRecorder() if self.catalog.wants_deltas \
+            else None
 
         def run() -> int:
             applied = 0
@@ -254,7 +260,15 @@ class CacheWriteBack:
 
         applied = self.transactions.run_atomic(run)
         workspace.clear_log()
+        if self._recorder is not None:
+            for delta in self._recorder.deltas():
+                self.catalog.emit_table_delta(delta)
+            self._recorder = None
         return applied
+
+    def _record(self, table_name: str, rid, old, new) -> None:
+        if self._recorder is not None:
+            self._recorder.record(table_name, rid, old, new)
 
     # ------------------------------------------------------------------
     def _apply_entry(self, entry: LogEntry) -> None:
@@ -310,7 +324,8 @@ class CacheWriteBack:
         row[table.column_position(base_column)] = entry.payload["new"]
         self._check_view_predicates(info, entry.target, row)
         self.catalog.check_foreign_keys(table.name, tuple(row))
-        table.update(rid, row)
+        old = table.fetch(rid)
+        self._record(table.name, rid, old, table.update(rid, row))
 
     def _apply_insert(self, entry: LogEntry) -> None:
         info = self._component_info(entry.target)
@@ -327,6 +342,7 @@ class CacheWriteBack:
         self._check_view_predicates(info, entry.target, row)
         self.catalog.check_foreign_keys(table.name, tuple(row))
         rid = table.insert(row)
+        self._record(table.name, rid, None, table.fetch(rid))
         self._new_rids[(entry.target, entry.payload["oid"])] = rid
 
     def _apply_delete(self, entry: LogEntry) -> None:
@@ -341,7 +357,7 @@ class CacheWriteBack:
             rid = self._resolve_rid(entry.target, entry.payload["oid"])
         self.catalog.check_no_referencing_children(table.name,
                                                    table.fetch(rid))
-        table.delete(rid)
+        self._record(table.name, rid, table.delete(rid), None)
 
     def _apply_connect(self, entry: LogEntry, disconnect: bool) -> None:
         info = self.relationship_info.get(entry.target)
@@ -372,7 +388,8 @@ class CacheWriteBack:
             value = None if disconnect else parent.get(parent_column)
             row[table.column_position(child_column)] = value
         self.catalog.check_foreign_keys(table.name, tuple(row))
-        table.update(rid, row)
+        old = table.fetch(rid)
+        self._record(table.name, rid, old, table.update(rid, row))
 
     def _connect_table(self, info: RelationshipUpdatability,
                        parent, child, disconnect: bool) -> None:
@@ -395,13 +412,14 @@ class CacheWriteBack:
                 raise UpdateError(
                     "no connect-table row matches the disconnected pair"
                 )
-            table.delete(victim)
+            self._record(table.name, victim, table.delete(victim), None)
             return
         row = [None] * len(table.columns)
         for position, value in assignments.items():
             row[position] = value
         self.catalog.check_foreign_keys(table.name, tuple(row))
-        table.insert(row)
+        rid = table.insert(row)
+        self._record(table.name, rid, None, table.fetch(rid))
 
     def _check_view_predicates(self, info: ComponentUpdatability,
                                component: str, row: list) -> None:

@@ -111,3 +111,65 @@ class TestWriteBackWiring:
     def test_clean_write_back_is_zero(self, org_db):
         cache = org_db.open_cache("deps_arc")
         assert cache.write_back() == 0
+
+
+class TestSnapshotValidation:
+    """Stale or corrupt snapshot files fail with a descriptive
+    CacheError, never with a bare unpickling crash."""
+
+    def test_garbage_bytes_rejected(self, tmp_path):
+        path = str(tmp_path / "garbage.bin")
+        with open(path, "wb") as handle:
+            handle.write(b"this is not a pickle at all")
+        with pytest.raises(CacheError, match="not a readable snapshot"):
+            XNFCache.load(path)
+
+    def test_truncated_snapshot_rejected(self, org_db, tmp_path):
+        cache = org_db.open_cache("deps_arc")
+        path = str(tmp_path / "cache.bin")
+        cache.save(path)
+        with open(path, "rb") as handle:
+            blob = handle.read()
+        truncated = str(tmp_path / "truncated.bin")
+        with open(truncated, "wb") as handle:
+            handle.write(blob[:len(blob) // 2])
+        with pytest.raises(CacheError, match="not a readable snapshot"):
+            XNFCache.load(truncated)
+
+    def test_non_mapping_pickle_rejected(self, tmp_path):
+        import pickle
+        path = str(tmp_path / "list.bin")
+        with open(path, "wb") as handle:
+            pickle.dump([1, 2, 3], handle)
+        with pytest.raises(CacheError, match="not a snapshot mapping"):
+            XNFCache.load(path)
+
+    def test_missing_sections_rejected(self, tmp_path):
+        import pickle
+        from repro.cache.manager import SNAPSHOT_FORMAT
+        path = str(tmp_path / "partial.bin")
+        with open(path, "wb") as handle:
+            pickle.dump({"format": SNAPSHOT_FORMAT,
+                         "components": {}}, handle)
+        with pytest.raises(CacheError,
+                           match="missing schema, relationships, log"):
+            XNFCache.load(path)
+
+    def test_malformed_schema_rejected(self, tmp_path):
+        import pickle
+        from repro.cache.manager import SNAPSHOT_FORMAT
+        path = str(tmp_path / "badschema.bin")
+        with open(path, "wb") as handle:
+            pickle.dump({"format": SNAPSHOT_FORMAT, "schema": {"x": 1},
+                         "components": {}, "relationships": {},
+                         "log": []}, handle)
+        with pytest.raises(CacheError, match="malformed schema"):
+            XNFCache.load(path)
+
+    def test_error_names_the_path(self, tmp_path):
+        import pickle
+        path = str(tmp_path / "old-format.bin")
+        with open(path, "wb") as handle:
+            pickle.dump({"format": 0}, handle)
+        with pytest.raises(CacheError, match="old-format.bin"):
+            XNFCache.load(path)

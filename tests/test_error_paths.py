@@ -35,7 +35,7 @@ class TestParserMessages:
         ("SELECT * FROM", "table name"),
         ("SELECT * FROM T WHERE", "expected an expression"),
         ("INSERT INTO T", "VALUES or SELECT"),
-        ("CREATE NONSENSE X", "TABLE, VIEW or INDEX"),
+        ("CREATE NONSENSE X", "TABLE, VIEW, MATERIALIZED VIEW or INDEX"),
         ("UPDATE T SET", "column name"),
         ("SELECT * FROM T ORDER", "BY"),
     ])

@@ -1,0 +1,297 @@
+"""Differential testing of incremental matview maintenance.
+
+A seeded random DML generator (inserts, updates, deletes over every
+table of the org / BOM schemas, including foreign-key violations that
+roll statements back) drives a database carrying materialized views
+under both staleness policies.  After every statement, each view's
+maintained result must equal a from-scratch recomputation of its
+definition — the incremental delta engine and the full evaluator are
+independent code paths, so any divergence in join semantics, NULL
+handling, reachability support counting or connection multiplicities
+trips this suite.
+
+Tier-1 runs one fixed seed; ``REPRO_DIFF_SEEDS=<n>`` sweeps ``n``
+additional seeds, mirroring ``tests/test_differential_sqlite.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.api.database import Database
+from repro.cache.matview import co_canonical
+from repro.errors import ReproError
+from repro.workloads.bom import BOMScale, create_bom_schema, populate_bom
+from repro.workloads.orgdb import (DEPS_ARC_QUERY, OrgScale,
+                                   create_org_schema, populate_org)
+
+BASE_SEED = 19940328
+OPERATIONS_PER_SEED = 45
+
+#: Non-recursive two-level BOM view: two components over the same base
+#: table (PART), a relationship attribute drawn from the USING table.
+BOM_LEVELS_QUERY = """
+OUT OF xassembly AS (SELECT * FROM PART WHERE kind = 'assembly'),
+       xpart AS PART,
+       holds AS (RELATE xassembly VIA HOLDS, xpart
+                 USING CONTAINS c
+                 WITH c.qty AS qty
+                 WHERE xassembly.pno = c.parent AND c.child = xpart.pno)
+TAKE *
+"""
+
+
+def check_view(db: Database, name: str, context: str) -> None:
+    view = db.matviews.get(name)
+    maintained = co_canonical(view.read())
+    recomputed = co_canonical(view.executable.run())
+    assert maintained == recomputed, (
+        f"materialized view {name!r} diverged from recomputation "
+        f"after {context}\nmaintained:  {maintained}\n"
+        f"recomputed: {recomputed}"
+    )
+
+
+class OrgMutator:
+    """Seeded random DML over the org schema."""
+
+    def __init__(self, db: Database, seed: int):
+        self.db = db
+        self.rng = random.Random(seed)
+        self.next_id = 50000 + (seed % 1000) * 100
+
+    def fresh_id(self) -> int:
+        self.next_id += 1
+        return self.next_id
+
+    def sample_pk(self, table: str, position: int = 0):
+        rows = list(self.db.catalog.table(table).rows())
+        if not rows:
+            return None
+        return self.rng.choice(rows)[position]
+
+    def statement(self) -> str:
+        rng = self.rng
+        choice = rng.choice([
+            "insert_emp", "insert_emp", "update_emp_sal",
+            "update_emp_dept", "delete_emp", "insert_dept",
+            "update_dept_loc", "delete_dept", "insert_proj",
+            "update_proj", "delete_proj", "insert_empskills",
+            "delete_empskills", "insert_projskills",
+            "delete_projskills", "insert_skill", "update_skill",
+        ])
+        if choice == "insert_emp":
+            dno = self.sample_pk("DEPT")
+            if rng.random() < 0.15:
+                dno = "NULL"
+            return (f"INSERT INTO EMP VALUES ({self.fresh_id()}, "
+                    f"'emp-r{self.next_id}', {dno}, "
+                    f"{rng.randint(30, 200) * 1000})")
+        if choice == "update_emp_sal":
+            eno = self.sample_pk("EMP")
+            return (f"UPDATE EMP SET SAL = {rng.randint(1, 300) * 1000} "
+                    f"WHERE ENO = {eno}")
+        if choice == "update_emp_dept":
+            eno = self.sample_pk("EMP")
+            dno = self.sample_pk("DEPT")
+            return f"UPDATE EMP SET EDNO = {dno} WHERE ENO = {eno}"
+        if choice == "delete_emp":
+            eno = self.sample_pk("EMP")
+            return f"DELETE FROM EMP WHERE ENO = {eno}"
+        if choice == "insert_dept":
+            loc = rng.choice(["ARC", "ARC", "SF", "NY"])
+            return (f"INSERT INTO DEPT VALUES ({self.fresh_id()}, "
+                    f"'dept-r{self.next_id}', '{loc}')")
+        if choice == "update_dept_loc":
+            dno = self.sample_pk("DEPT")
+            loc = rng.choice(["ARC", "SF", "NY", "HD"])
+            return f"UPDATE DEPT SET LOC = '{loc}' WHERE DNO = {dno}"
+        if choice == "delete_dept":
+            dno = self.sample_pk("DEPT")
+            return f"DELETE FROM DEPT WHERE DNO = {dno}"
+        if choice == "insert_proj":
+            dno = self.sample_pk("DEPT")
+            return (f"INSERT INTO PROJ VALUES ({self.fresh_id()}, "
+                    f"'proj-r{self.next_id}', {dno}, "
+                    f"{rng.randint(10, 500) * 1000})")
+        if choice == "update_proj":
+            pno = self.sample_pk("PROJ")
+            return (f"UPDATE PROJ SET BUDGET = "
+                    f"{rng.randint(1, 900) * 1000} WHERE PNO = {pno}")
+        if choice == "delete_proj":
+            pno = self.sample_pk("PROJ")
+            return f"DELETE FROM PROJ WHERE PNO = {pno}"
+        if choice == "insert_empskills":
+            eno = self.sample_pk("EMP")
+            sno = self.sample_pk("SKILLS")
+            return f"INSERT INTO EMPSKILLS VALUES ({eno}, {sno})"
+        if choice == "delete_empskills":
+            eno = self.sample_pk("EMPSKILLS")
+            return f"DELETE FROM EMPSKILLS WHERE ESENO = {eno}"
+        if choice == "insert_projskills":
+            pno = self.sample_pk("PROJ")
+            sno = self.sample_pk("SKILLS")
+            return f"INSERT INTO PROJSKILLS VALUES ({pno}, {sno})"
+        if choice == "delete_projskills":
+            pno = self.sample_pk("PROJSKILLS")
+            return f"DELETE FROM PROJSKILLS WHERE PSPNO = {pno}"
+        if choice == "insert_skill":
+            return (f"INSERT INTO SKILLS VALUES ({self.fresh_id()}, "
+                    f"'skill-r{self.next_id}', {rng.randint(1, 5)})")
+        pno = self.sample_pk("SKILLS")
+        return (f"UPDATE SKILLS SET LEVEL = {rng.randint(1, 9)} "
+                f"WHERE SNO = {pno}")
+
+
+class BOMMutator:
+    """Seeded random DML over the BOM schema."""
+
+    def __init__(self, db: Database, seed: int):
+        self.db = db
+        self.rng = random.Random(seed)
+        self.next_id = 70000 + (seed % 1000) * 100
+
+    def sample_pk(self, table: str, position: int = 0):
+        rows = list(self.db.catalog.table(table).rows())
+        if not rows:
+            return None
+        return self.rng.choice(rows)[position]
+
+    def statement(self) -> str:
+        rng = self.rng
+        choice = rng.choice([
+            "insert_part", "insert_part", "update_cost", "flip_kind",
+            "delete_part", "insert_contains", "delete_contains",
+            "update_qty",
+        ])
+        if choice == "insert_part":
+            self.next_id += 1
+            kind = rng.choice(["assembly", "atomic"])
+            return (f"INSERT INTO PART VALUES ({self.next_id}, "
+                    f"'part-r{self.next_id}', '{kind}', "
+                    f"{rng.randint(1, 500)})")
+        if choice == "update_cost":
+            pno = self.sample_pk("PART")
+            return (f"UPDATE PART SET COST = {rng.randint(1, 900)} "
+                    f"WHERE PNO = {pno}")
+        if choice == "flip_kind":
+            # Moves the row in or out of the xassembly component.
+            pno = self.sample_pk("PART")
+            kind = rng.choice(["assembly", "atomic"])
+            return f"UPDATE PART SET KIND = '{kind}' WHERE PNO = {pno}"
+        if choice == "delete_part":
+            pno = self.sample_pk("PART")
+            return f"DELETE FROM PART WHERE PNO = {pno}"
+        if choice == "insert_contains":
+            parent = self.sample_pk("PART")
+            child = self.sample_pk("PART")
+            return (f"INSERT INTO CONTAINS VALUES ({parent}, {child}, "
+                    f"{rng.randint(1, 9)})")
+        if choice == "delete_contains":
+            parent = self.sample_pk("CONTAINS")
+            return f"DELETE FROM CONTAINS WHERE PARENT = {parent}"
+        parent = self.sample_pk("CONTAINS")
+        return (f"UPDATE CONTAINS SET QTY = {rng.randint(1, 99)} "
+                f"WHERE PARENT = {parent}")
+
+
+# ----------------------------------------------------------------------
+# Drivers
+# ----------------------------------------------------------------------
+def run_org_seed(seed: int, operations: int = OPERATIONS_PER_SEED) -> None:
+    db = Database()
+    create_org_schema(db.catalog)
+    populate_org(db.catalog, OrgScale(departments=6,
+                                      employees_per_dept=4,
+                                      projects_per_dept=2, skills=10,
+                                      arc_fraction=0.4, seed=seed % 997))
+    db.execute(f"CREATE MATERIALIZED VIEW eager_v AS {DEPS_ARC_QUERY}")
+    db.execute(f"CREATE MATERIALIZED VIEW lazy_v REFRESH DEFERRED "
+               f"AS {DEPS_ARC_QUERY}")
+    assert db.matviews.get("eager_v").is_incremental
+    mutator = OrgMutator(db, seed)
+    applied = 0
+    for _step in range(operations):
+        sql = mutator.statement()
+        try:
+            db.execute(sql)
+            applied += 1
+        except ReproError:
+            continue  # constraint violation: statement rolled back
+        check_view(db, "eager_v", sql)
+        check_view(db, "lazy_v", sql)
+    assert applied > operations // 3, "generator mostly produced no-ops"
+
+
+def run_bom_seed(seed: int, operations: int = OPERATIONS_PER_SEED) -> None:
+    db = Database()
+    create_bom_schema(db.catalog)
+    populate_bom(db.catalog, BOMScale(roots=2, depth=3, fanout=2,
+                                      seed=seed % 991))
+    db.execute(f"CREATE MATERIALIZED VIEW levels AS {BOM_LEVELS_QUERY}")
+    assert db.matviews.get("levels").is_incremental
+    mutator = BOMMutator(db, seed)
+    for _step in range(operations):
+        sql = mutator.statement()
+        try:
+            db.execute(sql)
+        except ReproError:
+            continue
+        check_view(db, "levels", sql)
+
+
+def extra_seeds() -> list[int]:
+    count = int(os.environ.get("REPRO_DIFF_SEEDS", "0"))
+    return [BASE_SEED + offset for offset in range(1, count + 1)]
+
+
+# ----------------------------------------------------------------------
+# Tier-1 (fixed seed) and extended sweep
+# ----------------------------------------------------------------------
+def test_org_matview_differential_fixed_seed():
+    run_org_seed(BASE_SEED)
+
+
+def test_bom_matview_differential_fixed_seed():
+    run_bom_seed(BASE_SEED)
+
+
+def test_writeback_differential_fixed_seed():
+    """Cache write-back (the other delta source) also maintains views."""
+    db = Database()
+    create_org_schema(db.catalog)
+    populate_org(db.catalog, OrgScale(departments=5,
+                                      employees_per_dept=3,
+                                      projects_per_dept=2, skills=8,
+                                      arc_fraction=0.5, seed=77))
+    db.execute(f"CREATE MATERIALIZED VIEW wb AS {DEPS_ARC_QUERY}")
+    rng = random.Random(BASE_SEED)
+    for round_number in range(4):
+        cache = db.open_cache("wb")
+        employees = cache.extent("xemp")
+        if employees:
+            victim = rng.choice(employees)
+            victim.set("SAL", rng.randint(1, 999) * 100)
+        skills = cache.extent("xskills")
+        if employees and skills:
+            cache.connect("empproperty", rng.choice(employees),
+                          rng.choice(skills))
+        cache.write_back()
+        check_view(db, "wb", f"write-back round {round_number}")
+
+
+@pytest.mark.parametrize("seed", extra_seeds() or [None])
+def test_org_matview_differential_extended(seed):
+    if seed is None:
+        pytest.skip("set REPRO_DIFF_SEEDS=<n> to sweep more seeds")
+    run_org_seed(seed)
+
+
+@pytest.mark.parametrize("seed", extra_seeds() or [None])
+def test_bom_matview_differential_extended(seed):
+    if seed is None:
+        pytest.skip("set REPRO_DIFF_SEEDS=<n> to sweep more seeds")
+    run_bom_seed(seed)

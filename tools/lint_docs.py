@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Documentation linter for the repo's markdown pages.
+
+Checks (stdlib only, used by the CI build-docs job):
+
+1. **Dead relative links** — every ``[text](target)`` whose target is
+   not an absolute URL or a pure anchor must resolve to an existing
+   file or directory relative to the page (anchors and line suffixes
+   are stripped first).
+2. **Fenced code blocks** — every fence must be closed, and every
+   ``python`` fence must contain syntactically valid Python
+   (``compile(..., "exec")``; snippets are compiled, never executed).
+
+Exit status 0 when clean; 1 with one line per finding otherwise.
+
+Usage:  python tools/lint_docs.py [page.md ...]
+        (defaults to README.md, docs/*.md, PAPER.md, ROADMAP.md)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Inline markdown links: [text](target).  Images share the syntax.
+LINK_PATTERN = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+FENCE_PATTERN = re.compile(r"^(```+|~~~+)\s*([A-Za-z0-9_+-]*)\s*$")
+
+
+def display(page: Path) -> str:
+    try:
+        return str(page.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(page)
+
+
+def default_pages() -> list[Path]:
+    pages = [REPO_ROOT / "README.md", REPO_ROOT / "PAPER.md",
+             REPO_ROOT / "ROADMAP.md"]
+    pages.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return [page for page in pages if page.exists()]
+
+
+def strip_fences(text: str) -> str:
+    """Remove fenced block bodies so links inside code are not checked."""
+    out: list[str] = []
+    in_fence = False
+    for line in text.splitlines():
+        if FENCE_PATTERN.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if not in_fence:
+            out.append(line)
+    return "\n".join(out)
+
+
+def check_links(page: Path, text: str) -> list[str]:
+    problems: list[str] = []
+    for match in LINK_PATTERN.finditer(strip_fences(text)):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part:
+            continue
+        resolved = (page.parent / path_part).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{display(page)}: dead relative link -> {target}"
+            )
+    return problems
+
+
+def check_fences(page: Path, text: str) -> list[str]:
+    problems: list[str] = []
+    lines = text.splitlines()
+    open_line = None
+    language = ""
+    body: list[str] = []
+    for number, line in enumerate(lines, start=1):
+        match = FENCE_PATTERN.match(line.strip())
+        if match and open_line is None:
+            open_line = number
+            language = match.group(2).lower()
+            body = []
+        elif match:
+            if language in ("python", "py"):
+                snippet = "\n".join(body)
+                try:
+                    compile(snippet, f"{page.name}:{open_line}", "exec")
+                except SyntaxError as error:
+                    problems.append(
+                        f"{display(page)}:{open_line}: python fence "
+                        f"does not parse ({error.msg}, snippet line "
+                        f"{error.lineno})"
+                    )
+            open_line = None
+        elif open_line is not None:
+            body.append(line)
+    if open_line is not None:
+        problems.append(
+            f"{display(page)}:{open_line}: unclosed code fence"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    pages = ([Path(arg).resolve() for arg in argv]
+             if argv else default_pages())
+    problems: list[str] = []
+    for page in pages:
+        if not page.exists():
+            problems.append(f"{page}: page does not exist")
+            continue
+        text = page.read_text(encoding="utf-8")
+        problems.extend(check_links(page, text))
+        problems.extend(check_fences(page, text))
+    for problem in problems:
+        print(problem)
+    if problems:
+        print(f"\n{len(problems)} documentation problem(s).")
+        return 1
+    print(f"docs lint: {len(pages)} page(s) clean.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
