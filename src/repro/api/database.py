@@ -14,8 +14,10 @@ plus DDL, DML (atomic), transactions, XNF views, CO caches, and EXPLAIN.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Optional, Union
 
+from repro.api.prepared import PreparedStatement
 from repro.errors import CatalogError, SemanticError
 from repro.executor.dml import DMLExecutor
 from repro.executor.runtime import (PipelineOptions, QueryPipeline,
@@ -46,7 +48,9 @@ class Database:
     def __init__(self, pipeline_options: Optional[PipelineOptions] = None,
                  xnf_options: Optional[XNFOptions] = None):
         self.catalog = Catalog()
-        self.stats = StatisticsManager(self.catalog)
+        # Subscribed: DML deltas invalidate statistics (and, on material
+        # drift, the plan-cache stats epoch) automatically.
+        self.stats = StatisticsManager(self.catalog, subscribe=True)
         self.transactions = TransactionManager(self.catalog)
         self.pipeline_options = pipeline_options or PipelineOptions()
         self.xnf_options = xnf_options or XNFOptions()
@@ -61,6 +65,27 @@ class Database:
         # Deltas emitted inside a rolled-back transaction were undone;
         # eagerly maintained views must recompute from the base tables.
         self.transactions.rollback_listeners.append(self._on_rollback)
+        # Statement-text cache above the plan cache: exact-text repeats
+        # skip the lexer/parser entirely.  Parsing is schema-independent
+        # (ASTs are unresolved), so entries never need invalidation;
+        # the LRU bound only caps memory.  Disabled with the plan cache
+        # so `plan_cache_size=0` measures true full-pipeline cost.
+        self._parse_cache: OrderedDict[str, ast.Statement] = OrderedDict()
+        self._parse_cache_capacity = \
+            2 * max(self.pipeline_options.plan_cache_size, 0)
+
+    def _parse(self, sql: str) -> ast.Statement:
+        if self._parse_cache_capacity <= 0:
+            return parse_statement(sql)
+        statement = self._parse_cache.get(sql)
+        if statement is not None:
+            self._parse_cache.move_to_end(sql)
+            return statement
+        statement = parse_statement(sql)
+        self._parse_cache[sql] = statement
+        while len(self._parse_cache) > self._parse_cache_capacity:
+            self._parse_cache.popitem(last=False)
+        return statement
 
     def _on_table_delta(self, delta) -> None:
         if self.transactions.in_transaction:
@@ -76,25 +101,32 @@ class Database:
     # ------------------------------------------------------------------
     # Statement execution
     # ------------------------------------------------------------------
-    def execute(self, sql: str) -> ExecuteResult:
-        """Run one statement of any kind; return type depends on it."""
-        statement = parse_statement(sql)
-        return self.execute_statement(statement)
+    def execute(self, sql: str, params=None) -> ExecuteResult:
+        """Run one statement of any kind; return type depends on it.
 
-    def execute_statement(self, statement: ast.Statement) -> ExecuteResult:
+        ``params`` binds ``?`` (sequence) or ``:name`` (mapping)
+        markers for SELECT and DML statements.
+        """
+        statement = self._parse(sql)
+        return self.execute_statement(statement, params=params)
+
+    def execute_statement(self, statement: ast.Statement,
+                          params=None) -> ExecuteResult:
         if isinstance(statement, ast.SelectStatement):
-            return self.pipeline.run_select(statement)
+            return self.pipeline.run_select(statement, params=params)
         if isinstance(statement, ast.XNFQuery):
             return self.run_xnf_query(statement)
         if isinstance(statement, ast.InsertStatement):
             return self.transactions.run_atomic(
-                lambda: self.dml.insert(statement))
+                lambda: self.dml.insert(statement, params))
         if isinstance(statement, ast.UpdateStatement):
             return self.transactions.run_atomic(
-                lambda: self.dml.update(statement))
+                lambda: self.dml.update(statement, params))
         if isinstance(statement, ast.DeleteStatement):
             return self.transactions.run_atomic(
-                lambda: self.dml.delete(statement))
+                lambda: self.dml.delete(statement, params))
+        if isinstance(statement, ast.AnalyzeStatement):
+            return self.analyze(statement.table)
         if isinstance(statement, ast.CreateTableStatement):
             self._create_table(statement)
             return None
@@ -118,12 +150,34 @@ class Database:
             return None
         raise SemanticError(f"cannot execute {type(statement).__name__}")
 
-    def query(self, sql: str) -> QueryResult:
-        """Run a SELECT and return its result."""
-        statement = parse_statement(sql)
+    def query(self, sql: str, params=None) -> QueryResult:
+        """Run a SELECT and return its result.
+
+        Repeated queries hit the auto-parameterizing plan cache: two
+        calls differing only in literal constants (or bound parameter
+        values) share one compiled plan.
+        """
+        statement = self._parse(sql)
         if not isinstance(statement, ast.SelectStatement):
             raise SemanticError("query() expects a SELECT statement")
-        return self.pipeline.run_select(statement)
+        return self.pipeline.run_select(statement, params=params)
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse (and pre-parameterize) a statement for repeated runs.
+
+        The returned object's :meth:`~PreparedStatement.run` binds
+        parameter values and executes through the plan cache, skipping
+        parse *and* compile on every execution after the first.
+        """
+        return PreparedStatement(self, sql, parse_statement(sql))
+
+    def analyze(self, table: Optional[str] = None) -> int:
+        """Recompute optimizer statistics (the ``ANALYZE`` statement).
+
+        Returns the number of tables analyzed.  Advances the statistics
+        epoch, so cached plans recompile against the new distributions.
+        """
+        return self.stats.analyze(table)
 
     def execute_script(self, sql: str) -> list[ExecuteResult]:
         from repro.sql.parser import parse_script
@@ -211,10 +265,30 @@ class Database:
     def _compile_xnf(self, query: ast.XNFQuery, view_name: str,
                      xnf_options: Optional[XNFOptions] = None
                      ) -> XNFExecutable:
+        """Compile an XNF query, read through the plan cache.
+
+        The XNF read path is hot for gateway navigation: repeated
+        ``db.xnf()`` / ``open_cache()`` calls over the same view reuse
+        the translated graph and physical plans.  Entries invalidate
+        with the catalog schema version (view/DDL changes) and the
+        statistics epoch like any cached plan.
+        """
+        options = xnf_options or self.xnf_options
+        key = ("xnf", query, view_name, options.output_optimization,
+               options.apply_nf_rewrite,
+               self.pipeline._options_signature())
+        return self.pipeline.cached_compile(
+            key,
+            lambda: self._compile_xnf_fresh(query, view_name, options),
+            tables_of=lambda executable: self.pipeline.graph_tables(
+                executable.translated.graph),
+        )
+
+    def _compile_xnf_fresh(self, query: ast.XNFQuery, view_name: str,
+                           options: XNFOptions) -> XNFExecutable:
         builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
         graph = builder.build_xnf(query, view_name=view_name)
-        translator = XNFTranslator(self.catalog,
-                                   xnf_options or self.xnf_options)
+        translator = XNFTranslator(self.catalog, options)
         translated = translator.translate(graph)
         return XNFExecutable(translated, self.catalog, self.stats,
                              self.pipeline_options.planner)
@@ -334,10 +408,17 @@ class Database:
     # Introspection
     # ------------------------------------------------------------------
     def explain(self, sql: str) -> str:
-        """QGM graph plus physical plan for a SELECT or XNF query."""
+        """QGM graph, physical plan, and plan-cache status for a SELECT
+        or XNF query.
+
+        The plan-cache section reports whether this compile hit or
+        missed, the normalized statement fingerprint, and — on a miss —
+        why the cached entry (if any) was invalidated.
+        """
         statement = parse_statement(sql)
         if isinstance(statement, ast.SelectStatement):
-            compiled = self.pipeline.compile_select(statement)
+            compiled, _bindings = self.pipeline.compile_select_cached(
+                statement)
             parts = ["-- QGM (after rewrite) --",
                      dump_graph(compiled.graph),
                      "-- plan --", compiled.plan.explain()]
@@ -345,13 +426,27 @@ class Database:
                 parts.append(
                     f"-- rewrites: {compiled.rewrite_context.applications}"
                 )
+            parts.append(self._explain_cache_section())
             return "\n".join(parts)
         if isinstance(statement, ast.XNFQuery):
             executable = self.xnf_executable(statement)
             return "\n".join(["-- XNF QGM (after semantic rewrite) --",
                               dump_graph(executable.translated.graph),
-                              "-- plan --", executable.explain()])
+                              "-- plan --", executable.explain(),
+                              self._explain_cache_section()])
         raise SemanticError("EXPLAIN supports SELECT and XNF queries")
+
+    def _explain_cache_section(self) -> str:
+        info = self.pipeline.plan_cache.last_info
+        lines = ["-- plan cache --", f"status: {info.status}"]
+        if info.fingerprint:
+            lines.append(f"fingerprint: {info.fingerprint}")
+        if info.reason:
+            lines.append(f"reason: {info.reason}")
+        if info.status != "bypass":
+            lines.append(f"schema_version: {info.schema_version}, "
+                         f"stats_epoch: {info.stats_epoch}")
+        return "\n".join(lines)
 
     def table(self, name: str) -> Table:
         return self.catalog.table(name)

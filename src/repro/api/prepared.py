@@ -1,0 +1,101 @@
+"""Prepared statements: parse once, execute many.
+
+``db.prepare(sql)`` runs the front half of the pipeline (lexing,
+parsing, and — for SELECTs — literal lifting) exactly once and returns
+a :class:`PreparedStatement`.  Each :meth:`~PreparedStatement.run`
+binds fresh parameter values and goes through the database's plan
+cache, so the compile stages (QGM build, rewrite, plan optimization)
+are also skipped on every execution after the first.  Cache entries
+are revalidated against the catalog schema version and statistics
+epoch on every run, so DDL or ANALYZE between executions transparently
+recompiles.
+
+    stmt = db.prepare("SELECT ENAME FROM EMP WHERE ENO = ?")
+    for eno in hot_ids:
+        rows = stmt.run([eno]).rows
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.errors import SemanticError
+from repro.executor.plan_cache import (ParameterizedStatement,
+                                       parameterize_select)
+from repro.executor.runtime import QueryResult
+from repro.sql import ast
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.api.database import Database
+
+
+#: Statement kinds prepare() accepts.
+_PREPARABLE = (ast.SelectStatement, ast.XNFQuery, ast.InsertStatement,
+               ast.UpdateStatement, ast.DeleteStatement)
+
+
+class PreparedStatement:
+    """One parsed (and, for SELECT, pre-parameterized) statement."""
+
+    def __init__(self, database: "Database", sql: str,
+                 statement: ast.Statement):
+        if not isinstance(statement, _PREPARABLE):
+            raise SemanticError(
+                f"cannot prepare a {type(statement).__name__}; prepare "
+                "supports SELECT, XNF, INSERT, UPDATE and DELETE"
+            )
+        self.database = database
+        self.sql = sql
+        self.statement = statement
+        self._parameterized: Optional[ParameterizedStatement] = None
+        if isinstance(statement, ast.SelectStatement):
+            # Lift literals once at prepare time; run() only needs to
+            # hash the normalized AST for the cache probe.
+            self._parameterized = parameterize_select(statement)
+
+    @property
+    def kind(self) -> str:
+        return type(self.statement).__name__
+
+    # ------------------------------------------------------------------
+    def run(self, params=None):
+        """Execute with the given parameter values.
+
+        ``params`` is a sequence for positional ``?`` markers or a
+        mapping for ``:name`` markers.  Returns whatever the statement
+        kind returns from ``db.execute``: a
+        :class:`~repro.executor.runtime.QueryResult` for SELECT, a
+        :class:`~repro.xnf.result.COResult` for XNF, a row count for
+        DML.
+        """
+        statement = self.statement
+        database = self.database
+        if isinstance(statement, ast.SelectStatement):
+            return self._run_select(params)
+        if isinstance(statement, ast.XNFQuery):
+            if params:
+                raise SemanticError(
+                    "XNF queries do not take parameters")
+            return database.run_xnf_query(statement)
+        return database.execute_statement(statement, params=params)
+
+    __call__ = run
+
+    def _run_select(self, params) -> QueryResult:
+        pipeline = self.database.pipeline
+        parameterized = self._parameterized
+        if not pipeline.plan_cache.enabled:
+            return pipeline.run_select(self.statement, params=params)
+        compiled = pipeline.compile_parameterized(parameterized)
+        ctx = compiled.plan.new_context(params)
+        if parameterized.values:
+            ctx.parameters.update(parameterized.bindings)
+        return pipeline.run_compiled(compiled, ctx)
+
+    # ------------------------------------------------------------------
+    def explain(self) -> str:
+        """EXPLAIN output for the prepared form (SELECT/XNF only)."""
+        return self.database.explain(self.sql)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"PreparedStatement({self.kind}, {self.sql!r})"

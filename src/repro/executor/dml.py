@@ -20,8 +20,11 @@ from typing import Optional
 
 from repro.errors import ExecutionError, SemanticError
 from repro.executor.expressions import ExpressionCompiler
+from repro.executor.plan_cache import (max_positional_in_expressions,
+                                       parameterize_expressions)
 from repro.executor.runtime import QueryPipeline
-from repro.optimizer.optimizer import Planner
+from repro.optimizer.optimizer import ExecutablePlan, Planner
+from repro.optimizer.plan import ExecutionContext
 from repro.qgm.builder import QGMBuilder, Scope, validate_subquery_positions
 from repro.qgm.model import (BaseBox, HeadColumn, OutputStream, QGMGraph,
                              QRef, Quantifier, RidRef, SelectBox, TopBox)
@@ -42,20 +45,23 @@ class DMLExecutor:
     # ------------------------------------------------------------------
     # INSERT
     # ------------------------------------------------------------------
-    def insert(self, statement: ast.InsertStatement) -> int:
+    def insert(self, statement: ast.InsertStatement, params=None) -> int:
         table = self.catalog.table(statement.table)
         target_positions = self._target_positions(table, statement.columns)
         if statement.query is not None:
-            result = self.pipeline.run_select(statement.query)
+            result = self.pipeline.run_select(statement.query,
+                                              params=params)
             rows = result.rows
             width = len(result.columns)
         else:
             compiler = ExpressionCompiler({})
+            value_ctx = ExecutionContext()
+            value_ctx.bind_parameters(params)
             rows = []
             width = None
             for value_row in statement.rows:
                 values = tuple(
-                    compiler.compile(expression)((), None)
+                    compiler.compile(expression)((), value_ctx)
                     for expression in value_row
                 )
                 width = len(values) if width is None else width
@@ -81,7 +87,8 @@ class DMLExecutor:
             if delta is not None:
                 delta.inserted.append((rid, table.fetch(rid)))
             inserted += 1
-        self.pipeline.stats.invalidate(table.name)
+        # Statistics invalidation rides the delta protocol (the
+        # pipeline's manager subscribes to catalog.delta_listeners).
         if delta is not None:
             self.catalog.emit_table_delta(delta)
         return inserted
@@ -96,13 +103,13 @@ class DMLExecutor:
     # ------------------------------------------------------------------
     # UPDATE
     # ------------------------------------------------------------------
-    def update(self, statement: ast.UpdateStatement) -> int:
+    def update(self, statement: ast.UpdateStatement, params=None) -> int:
         table = self.catalog.table(statement.table)
         assigned_positions = [
             table.column_position(a.column) for a in statement.assignments
         ]
         expressions = [a.value for a in statement.assignments]
-        rows = self._qualify(table, statement.where, expressions)
+        rows = self._qualify(table, statement.where, expressions, params)
         updated = 0
         delta = TableDelta(table.name) if self.catalog.wants_deltas \
             else None
@@ -125,7 +132,6 @@ class DMLExecutor:
                 delta.deleted.append((rid, old_row))
                 delta.inserted.append((rid, stored))
             updated += 1
-        self.pipeline.stats.invalidate(table.name)
         if delta is not None:
             self.catalog.emit_table_delta(delta)
         return updated
@@ -133,9 +139,9 @@ class DMLExecutor:
     # ------------------------------------------------------------------
     # DELETE
     # ------------------------------------------------------------------
-    def delete(self, statement: ast.DeleteStatement) -> int:
+    def delete(self, statement: ast.DeleteStatement, params=None) -> int:
         table = self.catalog.table(statement.table)
-        rows = self._qualify(table, statement.where, [])
+        rows = self._qualify(table, statement.where, [], params)
         deleted = 0
         delta = TableDelta(table.name) if self.catalog.wants_deltas \
             else None
@@ -147,19 +153,52 @@ class DMLExecutor:
             if delta is not None:
                 delta.deleted.append((rid, old_row))
             deleted += 1
-        self.pipeline.stats.invalidate(table.name)
         if delta is not None:
             self.catalog.emit_table_delta(delta)
         return deleted
 
     # ------------------------------------------------------------------
     def _qualify(self, table: Table, where: Optional[ast.Expression],
-                 value_expressions: list[ast.Expression]) -> list[tuple]:
+                 value_expressions: list[ast.Expression],
+                 params=None) -> list[tuple]:
         """Plan and run ``SELECT rid, <exprs> FROM table WHERE pred``.
 
-        Rows are materialized before mutation so halloween-style
+        The qualification plan is read through the pipeline's plan
+        cache: literals in the predicate and the SET expressions are
+        lifted into synthetic parameters, so repeated UPDATE/DELETE
+        statements differing only in constants reuse one plan.  Rows
+        are materialized before mutation so halloween-style
         re-visitation cannot occur.
         """
+        expressions = [where] + list(value_expressions)
+        bindings: dict = {}
+        if self.pipeline.plan_cache.enabled:
+            start = max_positional_in_expressions(expressions) + 1
+            lifted = parameterize_expressions(expressions, start)
+            where = lifted.statement[0]
+            value_expressions = list(lifted.statement[1:])
+            bindings = lifted.bindings
+            key = ("dml_qualify", table.name, lifted.statement,
+                   self.pipeline._options_signature())
+            plan = self.pipeline.cached_compile(
+                key,
+                lambda: self._compile_qualification(table, where,
+                                                    value_expressions),
+                tables_of=lambda _plan: [table.name],
+            )
+        else:
+            plan = self._compile_qualification(table, where,
+                                               list(value_expressions))
+        ctx = plan.new_context(params)
+        if bindings:
+            ctx.parameters.update(bindings)
+        _stream, node = plan.single_output()
+        return plan.run_node(node, ctx)
+
+    def _compile_qualification(self, table: Table,
+                               where: Optional[ast.Expression],
+                               value_expressions: list[ast.Expression]
+                               ) -> ExecutablePlan:
         builder = QGMBuilder(self.catalog,
                              self.pipeline.xnf_component_resolver)
         box = SelectBox(label=f"dml_{table.name}")
@@ -187,7 +226,4 @@ class DMLExecutor:
         RuleEngine(DEFAULT_NF_RULES).run(graph, self.catalog)
         planner = Planner(self.catalog, self.pipeline.stats,
                           self.pipeline.options.planner)
-        plan = planner.plan(graph)
-        ctx = plan.new_context()
-        _stream, node = plan.single_output()
-        return plan.run_node(node, ctx)
+        return planner.plan(graph)

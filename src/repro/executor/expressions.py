@@ -318,6 +318,17 @@ class ExpressionCompiler:
         if isinstance(expression, ast.Literal):
             value = expression.value
             return lambda row, ctx: value
+        if isinstance(expression, ast.Parameter):
+            key = expression.key
+            marker = str(expression)
+
+            def run_parameter(row, ctx):
+                if ctx is None:
+                    raise ExecutionError(
+                        f"statement parameter {marker} has no bound value"
+                    )
+                return ctx.parameter(key)
+            return run_parameter
         if isinstance(expression, QRef):
             position = self._position(expression.quantifier.qid,
                                       expression.column)
@@ -504,7 +515,7 @@ class ExpressionCompiler:
     def _filter_comparison(self,
                            expression: ast.BinaryOp
                            ) -> Optional[BatchPredicate]:
-        """Fast path for ``column op constant`` (either side)."""
+        """Fast path for ``column op constant-or-parameter`` (either side)."""
         for this, other, op in (
                 (expression.left, expression.right, expression.op),
                 (expression.right, expression.left,
@@ -518,6 +529,20 @@ class ExpressionCompiler:
                     # Comparison with NULL is UNKNOWN: keeps nothing.
                     return lambda rows, ctx: []
                 return _comparison_filter(op, position, value)
+            if isinstance(this, QRef) and isinstance(other, ast.Parameter):
+                position = self._position(this.quantifier.qid, this.column)
+                if position is None:
+                    return None
+                key = other.key
+
+                def run_bound(rows, ctx, _op=op, _position=position,
+                              _key=key):
+                    value = ctx.parameter(_key)
+                    if value is None:
+                        return []
+                    return _comparison_filter(_op, _position, value)(
+                        rows, ctx)
+                return run_bound
         return None
 
     def _filter_is_null(self, expression: ast.IsNull

@@ -1,0 +1,445 @@
+"""Prepared statements' engine room: the auto-parameterizing plan cache.
+
+Starburst compiled a query once and stored the plan for repeated
+execution ("compile once, execute many"); our reproduction used to
+re-run the whole Fig. 2 pipeline — parse -> QGM -> rewrite -> plan —
+on every ``db.query()``.  This module adds the missing layer:
+
+* :func:`parameterize` lifts the literals of an ad-hoc statement into
+  synthetic :class:`~repro.sql.ast.Parameter` markers, so
+  ``SELECT ... WHERE id = 7`` and ``... WHERE id = 8`` normalize to the
+  same *statement fingerprint* and share one compiled plan.  The lifted
+  values are returned alongside and bound into the
+  :class:`~repro.optimizer.plan.ExecutionContext` at run time.
+* :class:`PlanCache` is a bounded LRU mapping fingerprints to compiled
+  artifacts (plans, XNF executables, DML qualification plans), each
+  entry pinned to the catalog's ``schema_version`` and the statistics
+  manager's ``epoch``.  DDL, ``ANALYZE`` and materially-drifted
+  statistics therefore invalidate stale entries on the next lookup.
+
+Literals are *not* lifted where their value shapes the plan or the
+statement's meaning rather than a runtime comparison: ORDER BY / GROUP
+BY (ordinals), LIKE patterns (pre-compiled regexes), booleans and NULL
+(3VL shortcuts), and LIMIT/OFFSET (plain ints in the AST).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional
+
+from repro.sql import ast
+from repro.storage.stats import material_drift
+
+#: ``stats_view(table) -> (table_epoch, live_cardinality)``: the live
+#: statistics state a cached entry is validated against.
+StatsView = Callable[[str], tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class ParameterizedStatement:
+    """An AST with literals lifted, plus the values to re-bind."""
+
+    statement: Any  # the normalized (hashable) AST
+    #: Synthetic bindings: positional parameter index -> lifted value.
+    values: tuple = ()
+
+    @property
+    def bindings(self) -> dict:
+        return {index: value for index, value in self.values}
+
+
+class _Lifter:
+    """One parameterization pass over a statement.
+
+    Synthetic positional indices continue after the statement's own
+    explicit ``?`` markers so user and synthetic bindings never collide.
+    """
+
+    def __init__(self, next_index: int):
+        self.next_index = next_index
+        self.values: list[tuple[int, Any]] = []
+
+    # ------------------------------------------------------------------
+    def lift(self, expression: ast.Expression) -> ast.Expression:
+        if isinstance(expression, ast.Literal):
+            value = expression.value
+            # Booleans and NULL stay inline: compile-time 3VL shortcuts
+            # (e.g. "col = NULL keeps nothing") depend on seeing them.
+            if value is None or isinstance(value, bool):
+                return expression
+            index = self.next_index
+            self.next_index += 1
+            self.values.append((index, value))
+            return ast.Parameter(index=index)
+        if isinstance(expression, ast.BinaryOp):
+            return ast.BinaryOp(expression.op, self.lift(expression.left),
+                                self.lift(expression.right))
+        if isinstance(expression, ast.UnaryOp):
+            return ast.UnaryOp(expression.op, self.lift(expression.operand))
+        if isinstance(expression, ast.FunctionCall):
+            return ast.FunctionCall(
+                expression.name,
+                tuple(self.lift(a) for a in expression.args),
+                expression.distinct,
+            )
+        if isinstance(expression, ast.IsNull):
+            return ast.IsNull(self.lift(expression.operand),
+                              expression.negated)
+        if isinstance(expression, ast.Between):
+            return ast.Between(self.lift(expression.operand),
+                               self.lift(expression.low),
+                               self.lift(expression.high),
+                               expression.negated)
+        if isinstance(expression, ast.Like):
+            # Keep the pattern literal: the compiler pre-builds its
+            # regex, and patterns rarely vary in hot loops.
+            return ast.Like(self.lift(expression.operand),
+                            expression.pattern, expression.negated)
+        if isinstance(expression, ast.InList):
+            return ast.InList(
+                self.lift(expression.operand),
+                tuple(self.lift(i) for i in expression.items),
+                expression.negated,
+            )
+        if isinstance(expression, ast.InSubquery):
+            return ast.InSubquery(self.lift(expression.operand),
+                                  self.lift_select(expression.subquery),
+                                  expression.negated)
+        if isinstance(expression, ast.Exists):
+            return ast.Exists(self.lift_select(expression.subquery),
+                              expression.negated)
+        if isinstance(expression, ast.ScalarSubquery):
+            return ast.ScalarSubquery(self.lift_select(expression.subquery))
+        if isinstance(expression, ast.CaseWhen):
+            return ast.CaseWhen(
+                tuple((self.lift(c), self.lift(r))
+                      for c, r in expression.whens),
+                None if expression.default is None
+                else self.lift(expression.default),
+            )
+        # Leaves (ColumnRef, Star, Parameter, QRef after resolution, ...)
+        return expression
+
+    # ------------------------------------------------------------------
+    def lift_select(self, statement: ast.SelectStatement
+                    ) -> ast.SelectStatement:
+        # Grouped/aggregating blocks structurally match select items
+        # (and HAVING) against the GROUP BY keys during QGM build, and
+        # GROUP BY literals stay inline — so the head and HAVING must
+        # stay inline too or the match breaks.
+        grouped = bool(statement.group_by) \
+            or statement.having is not None \
+            or any(ast.contains_aggregate(item.expression)
+                   for item in statement.select_items)
+        if grouped:
+            select_items = statement.select_items
+            having = statement.having
+        else:
+            select_items = tuple(
+                ast.SelectItem(self.lift(item.expression), item.alias)
+                for item in statement.select_items
+            )
+            having = None
+        from_items = tuple(self._lift_from(f) for f in statement.from_items)
+        where = None if statement.where is None else self.lift(
+            statement.where)
+        set_operation = statement.set_operation
+        if set_operation is not None:
+            set_operation = ast.SetOperation(
+                set_operation.operator, set_operation.all,
+                self.lift_select(set_operation.right),
+            )
+        # ORDER BY and GROUP BY keep their literals: a bare integer
+        # there is a positional ordinal, not a value.
+        return ast.SelectStatement(
+            select_items=select_items,
+            from_items=from_items,
+            where=where,
+            group_by=statement.group_by,
+            having=having,
+            order_by=statement.order_by,
+            distinct=statement.distinct,
+            limit=statement.limit,
+            offset=statement.offset,
+            set_operation=set_operation,
+        )
+
+    def _lift_from(self, item: ast.FromItem) -> ast.FromItem:
+        if isinstance(item, ast.Join):
+            return ast.Join(
+                self._lift_from(item.left), self._lift_from(item.right),
+                item.kind,
+                None if item.condition is None else self.lift(item.condition),
+            )
+        if isinstance(item, ast.SubqueryRef):
+            return ast.SubqueryRef(self.lift_select(item.query), item.alias)
+        return item
+
+
+def max_positional_index(statement: ast.SelectStatement) -> int:
+    """Highest explicit ``?`` index in the statement, or -1."""
+    highest = -1
+
+    def scan_expr(expression: Optional[ast.Expression]) -> None:
+        nonlocal highest
+        if expression is None:
+            return
+        for node in ast.walk_expression(expression):
+            if isinstance(node, ast.Parameter) and node.index is not None:
+                highest = max(highest, node.index)
+            elif isinstance(node, (ast.Exists, ast.InSubquery)):
+                scan_select(node.subquery)
+            elif isinstance(node, ast.ScalarSubquery):
+                scan_select(node.subquery)
+
+    def scan_from(item: ast.FromItem) -> None:
+        if isinstance(item, ast.Join):
+            scan_from(item.left)
+            scan_from(item.right)
+            scan_expr(item.condition)
+        elif isinstance(item, ast.SubqueryRef):
+            scan_select(item.query)
+
+    def scan_select(statement: ast.SelectStatement) -> None:
+        for item in statement.select_items:
+            scan_expr(item.expression)
+        for item in statement.from_items:
+            scan_from(item)
+        scan_expr(statement.where)
+        for expression in statement.group_by:
+            scan_expr(expression)
+        scan_expr(statement.having)
+        for order in statement.order_by:
+            scan_expr(order.expression)
+        if statement.set_operation is not None:
+            scan_select(statement.set_operation.right)
+
+    scan_select(statement)
+    return highest
+
+
+def max_positional_in_expressions(
+        expressions: list[Optional[ast.Expression]]) -> int:
+    """Highest explicit ``?`` index across standalone expressions."""
+    highest = -1
+    for expression in expressions:
+        if expression is None:
+            continue
+        for node in ast.walk_expression(expression):
+            if isinstance(node, ast.Parameter) and node.index is not None:
+                highest = max(highest, node.index)
+            elif isinstance(node, (ast.Exists, ast.InSubquery,
+                                   ast.ScalarSubquery)):
+                highest = max(highest,
+                              max_positional_index(node.subquery))
+    return highest
+
+
+def parameterize_select(statement: ast.SelectStatement
+                        ) -> ParameterizedStatement:
+    """Lift an ad-hoc SELECT's literals into synthetic parameters."""
+    lifter = _Lifter(max_positional_index(statement) + 1)
+    normalized = lifter.lift_select(statement)
+    return ParameterizedStatement(normalized, tuple(lifter.values))
+
+
+def parameterize_expressions(expressions: list[Optional[ast.Expression]],
+                             next_index: int = 0) -> ParameterizedStatement:
+    """Lift literals from a bag of expressions (the DML qualification
+    path: a WHERE predicate plus SET value expressions)."""
+    lifter = _Lifter(next_index)
+    lifted = tuple(
+        None if expression is None else lifter.lift(expression)
+        for expression in expressions
+    )
+    return ParameterizedStatement(lifted, tuple(lifter.values))
+
+
+# ----------------------------------------------------------------------
+# The cache proper
+# ----------------------------------------------------------------------
+@dataclass
+class CacheEntry:
+    value: Any
+    schema_version: int
+    fingerprint: str
+    #: Per-table validation snapshots for the tables the plan reads:
+    #: ``(table, table_epoch_at_store, cardinality_at_store)``.  Drift
+    #: on an *unrelated* table therefore never invalidates this entry.
+    stats_keys: tuple[tuple[str, int, int], ...] = ()
+    hits: int = 0
+
+
+@dataclass
+class CacheInfo:
+    """What the last lookup did — surfaced by ``db.explain``."""
+
+    status: str  # 'hit' | 'miss' | 'bypass'
+    fingerprint: str = ""
+    reason: str = ""
+    schema_version: int = 0
+    stats_epoch: int = 0
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    evictions: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits, "misses": self.misses,
+            "invalidations": self.invalidations,
+            "evictions": self.evictions, "stores": self.stores,
+        }
+
+
+def fingerprint_of(key: Any) -> str:
+    """A short stable digest of a cache key, for EXPLAIN output.
+
+    Keys are (tuples of) frozen-dataclass ASTs whose ``repr`` is
+    deterministic within a process, which is all EXPLAIN needs.
+    """
+    digest = hashlib.sha256(repr(key).encode()).hexdigest()
+    return digest[:12]
+
+
+class PlanCache:
+    """A bounded LRU of compiled statements for one database.
+
+    Keys are normalized statement ASTs (plus a kind tag); entries are
+    validated at lookup — lazily, no sweeps — against the current
+    catalog ``schema_version`` and, **per table the plan reads**, the
+    statistics manager's table epoch and the table's live cardinality.
+    DDL invalidates everything; ANALYZE / material statistics drift
+    invalidate only the plans over the affected tables; direct-storage
+    writes that bypass the DML layer are caught by the cardinality
+    check.  ``capacity <= 0`` disables the cache entirely (every
+    lookup is a bypass).
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = capacity
+        self._entries: "OrderedDict[Any, CacheEntry]" = OrderedDict()
+        self.stats = CacheStats()
+        self.last_info = CacheInfo(status="bypass")
+
+    @property
+    def enabled(self) -> bool:
+        return self.capacity > 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # ------------------------------------------------------------------
+    def _validate_stats(self, entry: CacheEntry,
+                        stats_view: Optional[StatsView],
+                        on_drift) -> Optional[str]:
+        """None when the entry's statistics snapshots still hold,
+        else the invalidation reason."""
+        if stats_view is None:
+            return None
+        for table, epoch, cardinality in entry.stats_keys:
+            current_epoch, live = stats_view(table)
+            if current_epoch != epoch:
+                return ("statistics changed (ANALYZE or material "
+                        f"drift on {table})")
+            if live >= 0 and material_drift(abs(live - cardinality),
+                                            cardinality):
+                # Direct-storage drift (rows added/removed without DML
+                # deltas): tell the owner so the table's epoch moves
+                # and sibling entries fall too.
+                if on_drift is not None:
+                    on_drift(table)
+                return f"statistics drifted ({table} changed size " \
+                       f"materially)"
+        return None
+
+    def lookup(self, key: Any, schema_version: int,
+               stats_view: Optional[StatsView] = None,
+               on_drift=None) -> Optional[CacheEntry]:
+        """The cached entry for ``key`` if still valid, else None."""
+        if not self.enabled:
+            self.last_info = CacheInfo(status="bypass",
+                                       reason="plan cache disabled")
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            self.last_info = CacheInfo(
+                status="miss", fingerprint=fingerprint_of(key),
+                reason="not cached", schema_version=schema_version,
+            )
+            return None
+        if entry.schema_version != schema_version:
+            reason = "schema changed (DDL)"
+        else:
+            reason = self._validate_stats(entry, stats_view, on_drift)
+        if reason is None:
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.stats.hits += 1
+            self.last_info = CacheInfo(
+                status="hit", fingerprint=entry.fingerprint,
+                schema_version=schema_version,
+            )
+            return entry
+        del self._entries[key]
+        self.stats.misses += 1
+        self.stats.invalidations += 1
+        self.last_info = CacheInfo(
+            status="miss", fingerprint=fingerprint_of(key), reason=reason,
+            schema_version=schema_version,
+        )
+        return None
+
+    def store(self, key: Any, value: Any, schema_version: int,
+              stats_keys: tuple = ()) -> Optional[CacheEntry]:
+        if not self.enabled:
+            return None
+        entry = CacheEntry(value=value, schema_version=schema_version,
+                           fingerprint=fingerprint_of(key),
+                           stats_keys=tuple(stats_keys))
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        return entry
+
+    def get_or_compile(self, key: Any, schema_version: int,
+                       stats_view: Optional[StatsView], compile_fn,
+                       tables_of: Optional[
+                           Callable[[Any], Iterable[str]]] = None,
+                       on_drift=None) -> Any:
+        """Read-through: return the cached value or compile and store.
+
+        ``tables_of(value)`` names the base tables the compiled
+        artifact reads; their epoch/cardinality snapshots become the
+        entry's statistics validation keys.
+        """
+        entry = self.lookup(key, schema_version, stats_view, on_drift)
+        if entry is not None:
+            return entry.value
+        value = compile_fn()
+        stats_keys: tuple = ()
+        if tables_of is not None and stats_view is not None:
+            stats_keys = tuple(
+                (name.upper(),) + tuple(stats_view(name))
+                for name in tables_of(value)
+            )
+        self.store(key, value, schema_version, stats_keys)
+        return value
+
+    def clear(self, reason: str = "explicit clear") -> None:
+        if self._entries:
+            self.stats.invalidations += len(self._entries)
+        self._entries.clear()
+        self.last_info = CacheInfo(status="bypass", reason=reason)

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.executor.plan_cache import CacheInfo, PlanCache, parameterize_select
 from repro.optimizer.optimizer import (ExecutablePlan, Planner,
                                        PlannerOptions)
 from repro.optimizer.plan import ExecutionContext
@@ -73,6 +74,9 @@ class PipelineOptions:
 
     apply_nf_rewrite: bool = True
     prune_columns: bool = True
+    #: Capacity of the parameterized plan cache (entries); 0 disables
+    #: caching, so every statement recompiles through the full pipeline.
+    plan_cache_size: int = 256
     planner: PlannerOptions = field(default_factory=PlannerOptions)
 
     @property
@@ -93,9 +97,12 @@ class QueryPipeline:
                  xnf_component_resolver: Optional[
                      Callable[[str, str], Box]] = None):
         self.catalog = catalog
-        self.stats = stats or StatisticsManager(catalog)
+        # A self-created manager subscribes to the delta protocol so DML
+        # through this pipeline invalidates statistics automatically.
+        self.stats = stats or StatisticsManager(catalog, subscribe=True)
         self.options = options or PipelineOptions()
         self.xnf_component_resolver = xnf_component_resolver
+        self.plan_cache = PlanCache(self.options.plan_cache_size)
 
     # ------------------------------------------------------------------
     def builder(self) -> QGMBuilder:
@@ -127,9 +134,103 @@ class QueryPipeline:
                              pruned_columns=pruned)
 
     # ------------------------------------------------------------------
+    # Plan-cache integration
+    # ------------------------------------------------------------------
+    def _options_signature(self) -> tuple:
+        """The option values a compiled plan depends on; part of the
+        cache key so toggling a knob never serves a stale plan."""
+        planner = self.options.planner
+        return (self.options.apply_nf_rewrite, self.options.prune_columns,
+                planner.use_indexes, planner.share_common_subexpressions,
+                planner.batch_execution, planner.batch_size)
+
+    def _stats_view(self, table_name: str) -> tuple[int, int]:
+        """(table epoch, live cardinality) — what cached entries over
+        this table are validated against.  Cardinality -1 when the
+        table is gone (the schema version catches that anyway)."""
+        name = table_name.upper()
+        live = len(self.catalog.table(name)) \
+            if self.catalog.has_table(name) else -1
+        return self.stats.table_epoch(name), live
+
+    def _on_stats_drift(self, table_name: str) -> None:
+        """Lookup detected direct-storage drift the delta protocol
+        never saw: invalidate the table's statistics (bumping its
+        epoch, so sibling cached plans fall too)."""
+        self.stats.invalidate(table_name)
+
+    @staticmethod
+    def graph_tables(graph: QGMGraph) -> list[str]:
+        """The base tables a compiled graph reads (for cache
+        validation keys)."""
+        from repro.qgm.model import BaseBox
+        return sorted({box.table.name for box in graph.all_boxes()
+                       if isinstance(box, BaseBox)})
+
+    def compile_parameterized(self, parameterized) -> CompiledQuery:
+        """Compile a pre-parameterized SELECT through the plan cache.
+
+        Single source of truth for the SELECT cache key shape — both
+        the ad-hoc path (:meth:`compile_select_cached`) and prepared
+        statements go through here.
+        """
+        key = ("select", parameterized.statement,
+               self._options_signature())
+        return self.cached_compile(
+            key,
+            lambda: self.compile_select(parameterized.statement),
+            tables_of=lambda compiled: self.graph_tables(compiled.graph),
+        )
+
+    def compile_select_cached(self, statement: ast.SelectStatement
+                              ) -> tuple[CompiledQuery, dict]:
+        """Compile through the plan cache.
+
+        The statement is auto-parameterized (literals lifted into
+        synthetic parameters) to form the cache key; returns the
+        compiled query plus the synthetic bindings to install in the
+        execution context.  With the cache disabled this falls through
+        to a plain compile with no lifting.
+        """
+        if not self.plan_cache.enabled:
+            self.plan_cache.last_info = CacheInfo(
+                status="bypass", reason="plan cache disabled")
+            return self.compile_select(statement), {}
+        parameterized = parameterize_select(statement)
+        return self.compile_parameterized(parameterized), \
+            parameterized.bindings
+
+    def cached_compile(self, key: tuple, compile_fn,
+                       tables_of=None) -> object:
+        """Generic read-through for compiled artifacts (SELECT plans,
+        XNF executables, DML qualification plans) sharing this
+        pipeline's cache and invalidation rules.  ``tables_of(value)``
+        names the base tables the artifact reads, for per-table
+        statistics validation."""
+        if not self.plan_cache.enabled:
+            self.plan_cache.last_info = CacheInfo(
+                status="bypass", reason="plan cache disabled")
+            return compile_fn()
+        value = self.plan_cache.get_or_compile(
+            key, self.catalog.schema_version, self._stats_view,
+            compile_fn, tables_of=tables_of,
+            on_drift=self._on_stats_drift,
+        )
+        # Display-only: EXPLAIN's cache section reports the manager's
+        # total epoch alongside the schema version.
+        self.plan_cache.last_info.stats_epoch = self.stats.epoch
+        return value
+
+    # ------------------------------------------------------------------
     def run_select(self, statement: ast.SelectStatement,
-                   ctx: Optional[ExecutionContext] = None) -> QueryResult:
-        compiled = self.compile_select(statement)
+                   ctx: Optional[ExecutionContext] = None,
+                   params=None) -> QueryResult:
+        compiled, bindings = self.compile_select_cached(statement)
+        if ctx is None:
+            ctx = compiled.plan.new_context()
+        ctx.bind_parameters(params)
+        if bindings:
+            ctx.parameters.update(bindings)
         return self.run_compiled(compiled, ctx)
 
     @staticmethod

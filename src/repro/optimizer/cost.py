@@ -122,7 +122,9 @@ class CostModel:
                 return float(stats.column(expression.column).distinct
                              or DEFAULT_DISTINCT)
             return float(DEFAULT_DISTINCT)
-        if isinstance(expression, ast.Literal):
+        if isinstance(expression, (ast.Literal, ast.Parameter)):
+            # A parameter is a single (as yet unknown) constant: same
+            # cardinality contribution as a literal.
             return 1.0
         return float(DEFAULT_DISTINCT)
 

@@ -57,9 +57,10 @@ class ExecutablePlan:
     batch_execution: bool = True
     batch_size: int = DEFAULT_BATCH_SIZE
 
-    def new_context(self) -> ExecutionContext:
+    def new_context(self, params=None) -> ExecutionContext:
         ctx = ExecutionContext()
         ctx.scalar_plans.update(self.scalar_plans)
+        ctx.bind_parameters(params)
         return ctx
 
     def single_output(self) -> tuple[OutputStream, PlanNode]:

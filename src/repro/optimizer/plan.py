@@ -43,13 +43,20 @@ DEFAULT_BATCH_SIZE = 1024
 
 
 class ExecutionContext:
-    """Per-execution state: spool materializations, scalar subquery
-    results, and instrumentation counters used by the benchmarks."""
+    """Per-execution state: statement parameters, spool
+    materializations, scalar subquery results, and instrumentation
+    counters used by the benchmarks."""
 
     def __init__(self) -> None:
         self.spool_cache: dict[int, list[Row]] = {}
         self.scalar_plans: dict[int, "PlanNode"] = {}
         self._scalar_values: dict[int, Any] = {}
+        #: Parameter bindings for this execution: positional markers are
+        #: keyed by int index (0-based), named markers by upper-cased
+        #: name.  Compiled :class:`~repro.sql.ast.Parameter` expressions
+        #: resolve through :meth:`parameter` at run time, which is what
+        #: lets one cached plan serve many literal bindings.
+        self.parameters: dict = {}
         self.counters: dict[str, int] = {
             "rows_scanned": 0,
             "index_lookups": 0,
@@ -60,6 +67,39 @@ class ExecutionContext:
 
     def bump(self, counter: str, amount: int = 1) -> None:
         self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def parameter(self, key) -> Any:
+        try:
+            return self.parameters[key]
+        except KeyError:
+            label = f":{key}" if isinstance(key, str) else f"?{key + 1}"
+            raise ExecutionError(
+                f"statement parameter {label} has no bound value"
+            ) from None
+
+    def bind_parameters(self, params) -> None:
+        """Merge user-supplied parameter values into this context.
+
+        A list/tuple binds positional ``?`` markers in order; a mapping
+        binds ``:name`` markers case-insensitively (int keys are taken
+        as positional indices).
+        """
+        if params is None:
+            return
+        if isinstance(params, dict):
+            for key, value in params.items():
+                if isinstance(key, str):
+                    self.parameters[key.upper()] = value
+                else:
+                    self.parameters[int(key)] = value
+        elif isinstance(params, (list, tuple)):
+            for index, value in enumerate(params):
+                self.parameters[index] = value
+        else:
+            raise ExecutionError(
+                "parameters must be a sequence (positional) or a "
+                f"mapping (named), not {type(params).__name__}"
+            )
 
     def scalar_value(self, qid: int) -> Any:
         if qid in self._scalar_values:

@@ -751,7 +751,7 @@ class QGMBuilder:
                  box: SelectBox) -> ast.Expression:
         if isinstance(expression, (QRef, RidRef)):
             return expression
-        if isinstance(expression, ast.Literal):
+        if isinstance(expression, (ast.Literal, ast.Parameter)):
             return expression
         if isinstance(expression, ast.ColumnRef):
             if expression.table is not None:

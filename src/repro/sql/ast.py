@@ -36,6 +36,31 @@ class Literal(Expression):
 
 
 @dataclass(frozen=True)
+class Parameter(Expression):
+    """A statement parameter marker: ``?`` (positional) or ``:name``.
+
+    Positional markers are numbered left to right from 0 by the parser;
+    named markers carry their upper-cased name.  The auto-parameterizing
+    plan cache also synthesizes these nodes when it lifts literals out
+    of ad-hoc statements, so two queries differing only in constants
+    share one compiled plan.  Values bind at execution time through the
+    :class:`~repro.optimizer.plan.ExecutionContext`.
+    """
+
+    index: Optional[int] = None
+    name: Optional[str] = None
+
+    @property
+    def key(self) -> Union[int, str]:
+        return self.index if self.name is None else self.name
+
+    def __str__(self) -> str:
+        if self.name is not None:
+            return f":{self.name}"
+        return f"?{(self.index or 0) + 1}"
+
+
+@dataclass(frozen=True)
 class ColumnRef(Expression):
     """A possibly-qualified column reference: ``table.column`` or ``column``."""
 
@@ -374,6 +399,18 @@ class DropStatement:
     name: str
 
 
+@dataclass(frozen=True)
+class AnalyzeStatement:
+    """``ANALYZE [table]``: recompute optimizer statistics eagerly.
+
+    Without a table name, every base table is re-analyzed.  The refresh
+    always advances the statistics epoch, so cached plans built against
+    the old distributions are invalidated.
+    """
+
+    table: Optional[str] = None
+
+
 # ----------------------------------------------------------------------
 # XNF extension (Sect. 2 of the paper)
 # ----------------------------------------------------------------------
@@ -447,7 +484,7 @@ Statement = Union[
     SelectStatement, InsertStatement, UpdateStatement, DeleteStatement,
     CreateTableStatement, CreateIndexStatement, CreateViewStatement,
     CreateMaterializedViewStatement, RefreshStatement,
-    DropStatement, XNFQuery,
+    DropStatement, AnalyzeStatement, XNFQuery,
 ]
 
 

@@ -21,6 +21,9 @@ class TokenType(Enum):
     STRING = auto()
     OPERATOR = auto()
     PUNCTUATION = auto()
+    #: A statement parameter marker: ``?`` (value is "?") or ``:name``
+    #: (value is the bare name, colon stripped).
+    PARAMETER = auto()
     EOF = auto()
 
 
@@ -34,7 +37,7 @@ SQL_KEYWORDS = frozenset({
     "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE",
     "CREATE", "TABLE", "VIEW", "INDEX", "UNIQUE", "DROP", "PRIMARY",
     "KEY", "FOREIGN", "REFERENCES", "CONSTRAINT",
-    "MATERIALIZED", "REFRESH",
+    "MATERIALIZED", "REFRESH", "ANALYZE",
     "TRUE", "FALSE", "CASE", "WHEN", "THEN", "ELSE", "END", "WITH",
     "LIMIT", "OFFSET", "COUNT", "SUM", "AVG", "MIN", "MAX",
 })
@@ -112,6 +115,12 @@ class Lexer:
             return self._string()
         if char == '"':
             return self._quoted_identifier()
+        if char == "?":
+            token = self._token(TokenType.PARAMETER, "?")
+            self._advance()
+            return token
+        if char == ":":
+            return self._named_parameter()
         for op in OPERATORS:
             if self.text.startswith(op, self.position):
                 token = self._token(TokenType.OPERATOR, op)
@@ -137,6 +146,22 @@ class Lexer:
         if upper in KEYWORDS:
             return Token(TokenType.KEYWORD, upper, start, start_line, start_col)
         return Token(TokenType.IDENTIFIER, word, start, start_line, start_col)
+
+    def _named_parameter(self) -> Token:
+        start = self.position
+        start_line, start_col = self.line, self.column
+        self._advance()  # the colon
+        name_start = self.position
+        while (self.position < len(self.text)
+               and (self.text[self.position].isalnum()
+                    or self.text[self.position] == "_")):
+            self._advance()
+        name = self.text[name_start:self.position]
+        if not name or name[0].isdigit():
+            raise LexerError("expected a parameter name after ':'",
+                             start, start_line, start_col)
+        return Token(TokenType.PARAMETER, name, start, start_line,
+                     start_col)
 
     def _quoted_identifier(self) -> Token:
         start = self.position

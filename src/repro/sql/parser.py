@@ -36,6 +36,8 @@ class Parser:
         self.text = text
         self.tokens = tokenize(text)
         self.position = 0
+        #: Positional ``?`` markers seen so far; numbers them 0, 1, ...
+        self._positional_parameters = 0
 
     # ------------------------------------------------------------------
     # Token plumbing
@@ -121,6 +123,9 @@ class Parser:
         return statements
 
     def _parse_statement_body(self) -> ast.Statement:
+        # Positional markers number per statement, so each statement in
+        # a script binds its own params list starting at 0.
+        self._positional_parameters = 0
         token = self.current
         if token.is_keyword("SELECT"):
             return self.parse_select()
@@ -138,6 +143,8 @@ class Parser:
             return self._parse_drop()
         if token.is_keyword("REFRESH"):
             return self._parse_refresh()
+        if token.is_keyword("ANALYZE"):
+            return self._parse_analyze()
         raise self._error("expected a statement")
 
     # ------------------------------------------------------------------
@@ -431,6 +438,13 @@ class Parser:
 
     def _parse_primary(self) -> ast.Expression:
         token = self.current
+        if token.type is TokenType.PARAMETER:
+            self._advance()
+            if token.value == "?":
+                index = self._positional_parameters
+                self._positional_parameters += 1
+                return ast.Parameter(index=index)
+            return ast.Parameter(name=token.value.upper())
         if token.type is TokenType.NUMBER:
             self._advance()
             value = float(token.value) if "." in token.value else int(token.value)
@@ -708,6 +722,14 @@ class Parser:
             self._advance()
             full = True
         return ast.RefreshStatement(name, full)
+
+    def _parse_analyze(self) -> ast.AnalyzeStatement:
+        self._expect_keyword("ANALYZE")
+        table = None
+        if self.current.type is TokenType.IDENTIFIER \
+                or self.current.is_keyword(*AGGREGATE_KEYWORDS):
+            table = self._expect_identifier("table name")
+        return ast.AnalyzeStatement(table)
 
     def _parse_drop(self) -> ast.DropStatement:
         self._expect_keyword("DROP")

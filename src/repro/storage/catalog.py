@@ -127,6 +127,13 @@ class Catalog:
         #: registry).  DML and cache write-back publish one
         #: :class:`TableDelta` per touched table per statement.
         self.delta_listeners: list[Callable[[TableDelta], None]] = []
+        #: Monotonic DDL counter.  Every schema mutation (tables,
+        #: indexes, views, foreign keys) bumps it; the plan cache keys
+        #: compiled plans on it so any DDL invalidates them wholesale.
+        self.schema_version: int = 0
+
+    def _bump_schema_version(self) -> None:
+        self.schema_version += 1
 
     # ------------------------------------------------------------------
     # Delta protocol
@@ -162,6 +169,7 @@ class Catalog:
         self._check_fresh(name)
         table = Table(self._key(name), columns)
         self._tables[self._key(name)] = table
+        self._bump_schema_version()
         return table
 
     def drop_table(self, name: str) -> None:
@@ -186,6 +194,7 @@ class Catalog:
             fname: fk for fname, fk in self._foreign_keys.items()
             if self._key(fk.child_table) != key
         }
+        self._bump_schema_version()
 
     def table(self, name: str) -> Table:
         try:
@@ -213,6 +222,7 @@ class Catalog:
         index = cls(key, table, [c for c in column_names], unique=unique)
         table.attach_index(index)
         self._indexes[key] = index
+        self._bump_schema_version()
         return index
 
     def drop_index(self, name: str) -> None:
@@ -221,6 +231,7 @@ class Catalog:
         if index is None:
             raise CatalogError(f"no index named {name!r}")
         self.table(index.table_name).detach_index(index)
+        self._bump_schema_version()
 
     def index(self, name: str) -> Index:
         try:
@@ -267,6 +278,7 @@ class Catalog:
         fk = ForeignKey(key, child.name, tuple(c.upper() for c in child_columns),
                         parent.name, tuple(c.upper() for c in parent_columns))
         self._foreign_keys[key] = fk
+        self._bump_schema_version()
         return fk
 
     def foreign_keys(self) -> list[ForeignKey]:
@@ -364,12 +376,14 @@ class Catalog:
             materialized=view.materialized,
         )
         self._views[stored.name] = stored
+        self._bump_schema_version()
         return stored
 
     def drop_view(self, name: str) -> None:
         if self._key(name) not in self._views:
             raise CatalogError(f"no view named {name!r}")
         del self._views[self._key(name)]
+        self._bump_schema_version()
 
     def view(self, name: str) -> ViewDefinition:
         try:

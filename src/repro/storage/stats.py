@@ -3,16 +3,48 @@
 Starburst's plan optimization chooses strategies "based on estimated
 execution costs" (Sect. 3.1).  We keep the classic System R statistics:
 table cardinality, per-column distinct-value counts, and min/max for
-numeric columns.  Statistics are computed on demand (``ANALYZE``-style)
-and cached until the table's row count changes materially.
+numeric columns.  Statistics are computed on demand (or eagerly via the
+``ANALYZE`` statement) and cached until invalidated.
+
+Invalidation has two triggers:
+
+* the row-count staleness heuristic (``_is_stale``), which catches
+  direct ``Table.insert`` traffic that bypasses the DML layer when a
+  snapshot is next read, and
+* the catalog's delta protocol: a subscribed manager drops a table's
+  snapshot the moment DML (or cache write-back) publishes a delta for
+  it, so stats never lag a statement.
+
+The manager also maintains **per-table statistics epochs** for the
+plan cache.  A table's epoch only advances when its distribution has
+*materially* changed — an explicit ``ANALYZE``/``invalidate``, or
+accumulated DML drift past the staleness threshold — so cached plans
+survive ordinary write traffic, and drift on one table never
+invalidates plans over others.  (Direct-storage drift that no delta
+ever reports is caught by the plan cache itself, which also snapshots
+each table's cardinality per entry and revalidates at lookup.)
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.storage.catalog import Catalog
+from repro.storage.catalog import Catalog, TableDelta
 from repro.storage.table import Table
+
+#: Material-drift thresholds shared by the staleness heuristic and the
+#: epoch logic: at least this many changed rows *and* this fraction of
+#: the previous cardinality.
+DRIFT_MIN_ROWS = 16
+DRIFT_FRACTION = 0.2
+
+
+def material_drift(drift: int, baseline: int) -> bool:
+    """The one definition of "materially changed" — shared by the
+    staleness heuristic, the epoch logic, and the plan cache's
+    per-entry cardinality validation."""
+    return drift >= DRIFT_MIN_ROWS \
+        and drift > DRIFT_FRACTION * max(baseline, 1)
 
 
 @dataclass
@@ -77,17 +109,55 @@ def analyze_table(table: Table) -> TableStats:
 
 
 class StatisticsManager:
-    """Caches per-table statistics, invalidating on row-count drift.
+    """Caches per-table statistics and tracks a material-change epoch.
 
     A snapshot is considered stale when the live row count differs from
     the snapshot's by more than 20% (and at least 16 rows), mimicking how
     real systems tolerate moderate drift between ANALYZE runs.
+
+    With ``subscribe=True`` the manager registers itself on the
+    catalog's ``delta_listeners`` so every DML statement invalidates the
+    touched table's snapshot automatically (instead of waiting for the
+    drift heuristic).  The plan-cache epoch still only advances on
+    *material* drift, explicit :meth:`invalidate`, or :meth:`analyze`.
     """
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog, subscribe: bool = False):
         self._catalog = catalog
         self._snapshots: dict[str, TableStats] = {}
+        #: Rows changed by DML per table since the last epoch-relevant
+        #: refresh, and the cardinality that drift is measured against.
+        self._pending_changes: dict[str, int] = {}
+        self._baseline_cardinality: dict[str, int] = {}
+        #: Material-change counters for the plan cache, tracked **per
+        #: table** so drift on one table only invalidates plans that
+        #: read it.  ``_global_epoch`` covers whole-manager events
+        #: (``invalidate()`` with no table).
+        self._table_epochs: dict[str, int] = {}
+        self._global_epoch: int = 0
+        if subscribe:
+            self.subscribe()
 
+    # ------------------------------------------------------------------
+    # Epochs
+    # ------------------------------------------------------------------
+    @property
+    def epoch(self) -> int:
+        """Total material-change counter (sum over all tables plus the
+        global component) — monotonic, any material change bumps it."""
+        return self._global_epoch + sum(self._table_epochs.values())
+
+    def table_epoch(self, table_name: str) -> int:
+        """The material-change counter one table's cached plans key on."""
+        return self._global_epoch \
+            + self._table_epochs.get(table_name.upper(), 0)
+
+    def _bump_table_epoch(self, key: str) -> None:
+        self._table_epochs[key] = self._table_epochs.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
     def stats_for(self, table_name: str) -> TableStats:
         table = self._catalog.table(table_name)
         key = table.name
@@ -95,16 +165,102 @@ class StatisticsManager:
         if snapshot is None or self._is_stale(snapshot, table):
             snapshot = analyze_table(table)
             self._snapshots[key] = snapshot
+            self._note_refresh(key, snapshot)
         return snapshot
 
+    # ------------------------------------------------------------------
+    # Invalidation and refresh
+    # ------------------------------------------------------------------
     def invalidate(self, table_name: str | None = None) -> None:
+        """Drop cached snapshot(s) and advance the statistics epoch.
+
+        Explicit invalidation (DDL, ANALYZE-adjacent maintenance) is
+        always material: callers use it when the old distributions must
+        not be trusted, so dependent plan caches go stale too.
+        """
         if table_name is None:
             self._snapshots.clear()
+            self._pending_changes.clear()
+            self._baseline_cardinality.clear()
+            self._global_epoch += 1
         else:
-            self._snapshots.pop(table_name.upper(), None)
+            key = table_name.upper()
+            self._snapshots.pop(key, None)
+            self._pending_changes.pop(key, None)
+            self._baseline_cardinality.pop(key, None)
+            self._bump_table_epoch(key)
+
+    def analyze(self, table_name: str | None = None) -> int:
+        """Recompute statistics eagerly (the ``ANALYZE`` statement).
+
+        Returns the number of tables analyzed.  Always advances the
+        epoch: an explicit ANALYZE is a declaration that plans should
+        see fresh distributions.
+        """
+        if table_name is None:
+            tables = self._catalog.tables()
+        else:
+            tables = [self._catalog.table(table_name)]
+        for table in tables:
+            snapshot = analyze_table(table)
+            self._snapshots[table.name] = snapshot
+            self._pending_changes.pop(table.name, None)
+            self._baseline_cardinality[table.name] = snapshot.cardinality
+            self._bump_table_epoch(table.name)
+        return len(tables)
+
+    # ------------------------------------------------------------------
+    # Delta protocol wiring
+    # ------------------------------------------------------------------
+    def subscribe(self) -> None:
+        """Register on the catalog's delta listeners (idempotent)."""
+        if self._on_table_delta not in self._catalog.delta_listeners:
+            self._catalog.delta_listeners.append(self._on_table_delta)
+
+    def _on_table_delta(self, delta: TableDelta) -> None:
+        key = delta.table.upper()
+        changed = len(delta.inserted) + len(delta.deleted)
+        if not changed:
+            return
+        # The snapshot is stale the moment DML lands; drop it so the
+        # next compile re-analyzes.  (Cheap: stats are computed lazily.)
+        self._snapshots.pop(key, None)
+        pending = self._pending_changes.get(key, 0) + changed
+        baseline = self._baseline_cardinality.get(key)
+        if baseline is None:
+            baseline = self._live_cardinality(key, default=changed)
+            self._baseline_cardinality[key] = baseline
+        if material_drift(pending, baseline):
+            # Material drift: advance this table's epoch (invalidates
+            # plans reading it) and restart drift accounting from the
+            # new size.
+            self._bump_table_epoch(key)
+            self._pending_changes.pop(key, None)
+            self._baseline_cardinality[key] = self._live_cardinality(
+                key, default=baseline)
+        else:
+            self._pending_changes[key] = pending
+
+    def _live_cardinality(self, key: str, default: int) -> int:
+        if self._catalog.has_table(key):
+            return len(self._catalog.table(key))
+        return default
+
+    def _note_refresh(self, key: str, snapshot: TableStats) -> None:
+        """A lazy re-analysis ran; reset drift accounting for the table.
+
+        If the refresh was triggered by the drift heuristic (direct
+        storage writes bypassing DML), the distributions changed
+        materially, so the epoch advances too.
+        """
+        baseline = self._baseline_cardinality.get(key)
+        if baseline is not None and material_drift(
+                abs(snapshot.cardinality - baseline), baseline):
+            self._bump_table_epoch(key)
+        self._pending_changes.pop(key, None)
+        self._baseline_cardinality[key] = snapshot.cardinality
 
     @staticmethod
     def _is_stale(snapshot: TableStats, table: Table) -> bool:
-        current = len(table)
-        drift = abs(current - snapshot.cardinality)
-        return drift >= 16 and drift > 0.2 * max(snapshot.cardinality, 1)
+        return material_drift(abs(len(table) - snapshot.cardinality),
+                              snapshot.cardinality)

@@ -103,7 +103,7 @@ class TestPositions:
 
     def test_error_carries_position(self):
         with pytest.raises(LexerError) as info:
-            tokenize("ok ?")
+            tokenize("ok @")
         assert info.value.line == 1
         assert info.value.column == 4
 
