@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import make_org_db, print_table
+from benchmarks.conftest import print_table
 from repro.api.transport import TransportSimulator
 from repro.sql import ast
 

@@ -18,16 +18,17 @@ from collections import OrderedDict
 from typing import Optional, Union
 
 from repro.api.prepared import PreparedStatement
+from repro.compiler.pipeline import CompilationTrace
 from repro.errors import CatalogError, SemanticError
 from repro.executor.dml import DMLExecutor
+from repro.executor.plan_cache import CacheInfo
 from repro.executor.runtime import (PipelineOptions, QueryPipeline,
                                     QueryResult)
 from repro.cache.manager import XNFCache
 from repro.cache.matview import (MaterializedView,
                                  MaterializedViewRegistry)
-from repro.qgm.builder import QGMBuilder
 from repro.qgm.dump import dump_graph
-from repro.qgm.model import Box, QGMGraph
+from repro.qgm.model import Box
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.storage.catalog import Catalog, ViewDefinition
@@ -37,7 +38,7 @@ from repro.storage.transactions import TransactionManager
 from repro.storage.types import Column, type_from_name
 from repro.xnf.naive import NaiveXNFEvaluator
 from repro.xnf.result import COResult, XNFExecutable
-from repro.xnf.translate import TranslatedXNF, XNFOptions, XNFTranslator
+from repro.xnf.translate import XNFOptions, XNFTranslator
 
 ExecuteResult = Union[QueryResult, COResult, int, None]
 
@@ -214,15 +215,12 @@ class Database:
             is_xnf=statement.is_xnf,
             column_names=tuple(c.upper() for c in statement.column_names),
         )
+        # Validate eagerly: building the QGM catches bad references.
         if not statement.is_xnf:
-            # Validate eagerly: building the QGM catches bad references.
-            QGMBuilder(self.catalog,
-                       self._resolve_xnf_component).build_select(
-                statement.query)
+            self.pipeline.compiler.build_select(statement.query)
         else:
-            QGMBuilder(self.catalog,
-                       self._resolve_xnf_component).build_xnf(
-                statement.query, view_name=statement.name)
+            self.pipeline.compiler.build_xnf(statement.query,
+                                             view_name=statement.name)
         self.catalog.create_view(view)
 
     def _drop(self, statement: ast.DropStatement) -> None:
@@ -286,9 +284,10 @@ class Database:
 
     def _compile_xnf_fresh(self, query: ast.XNFQuery, view_name: str,
                            options: XNFOptions) -> XNFExecutable:
-        builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
-        graph = builder.build_xnf(query, view_name=view_name)
-        translator = XNFTranslator(self.catalog, options)
+        graph = self.pipeline.compiler.build_xnf(query,
+                                                 view_name=view_name)
+        translator = XNFTranslator(self.catalog, options,
+                                   compiler=self.pipeline.compiler)
         translated = translator.translate(graph)
         return XNFExecutable(translated, self.catalog, self.stats,
                              self.pipeline_options.planner)
@@ -310,8 +309,8 @@ class Database:
     def xnf_naive(self, source: Union[str, ast.XNFQuery]) -> COResult:
         """Evaluate with the reference (unoptimized) evaluator."""
         query, view_name = self._xnf_query_of(source)
-        builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
-        graph = builder.build_xnf(query, view_name=view_name)
+        graph = self.pipeline.compiler.build_xnf(query,
+                                                 view_name=view_name)
         return NaiveXNFEvaluator(self.catalog, self.stats).evaluate(graph)
 
     # ------------------------------------------------------------------
@@ -387,10 +386,11 @@ class Database:
         view = self.catalog.view(view_name)
         if not view.is_xnf:
             raise SemanticError(f"{view_name!r} is not an XNF view")
-        builder = QGMBuilder(self.catalog, self._resolve_xnf_component)
-        graph = builder.build_xnf(view.definition, view_name=view.name)
-        translated = XNFTranslator(self.catalog,
-                                   self.xnf_options).translate(graph)
+        graph = self.pipeline.compiler.build_xnf(view.definition,
+                                                 view_name=view.name)
+        translated = XNFTranslator(
+            self.catalog, self.xnf_options,
+            compiler=self.pipeline.compiler).translate(graph)
         key = component.upper()
         info = translated.components.get(key)
         if info is None:
@@ -407,18 +407,31 @@ class Database:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
-    def explain(self, sql: str) -> str:
+    def explain(self, sql: str, rewrite_trace: bool = False) -> str:
         """QGM graph, physical plan, and plan-cache status for a SELECT
         or XNF query.
 
         The plan-cache section reports whether this compile hit or
         missed, the normalized statement fingerprint, and — on a miss —
         why the cached entry (if any) was invalidated.
+
+        With ``rewrite_trace=True`` (SELECT only) the output also
+        carries the compiler pipeline's per-stage QGM dumps and the
+        ordered list of rewrite rules that fired; the compile bypasses
+        the plan cache, since a cache hit has no rewrite to trace.
         """
         statement = parse_statement(sql)
         if isinstance(statement, ast.SelectStatement):
-            compiled, _bindings = self.pipeline.compile_select_cached(
-                statement)
+            trace = None
+            if rewrite_trace:
+                trace = CompilationTrace()
+                compiled = self.pipeline.compile_select(statement,
+                                                        trace=trace)
+                self.pipeline.plan_cache.last_info = CacheInfo(
+                    status="bypass", reason="rewrite trace requested")
+            else:
+                compiled, _bindings = self.pipeline.compile_select_cached(
+                    statement)
             parts = ["-- QGM (after rewrite) --",
                      dump_graph(compiled.graph),
                      "-- plan --", compiled.plan.explain()]
@@ -426,6 +439,8 @@ class Database:
                 parts.append(
                     f"-- rewrites: {compiled.rewrite_context.applications}"
                 )
+            if trace is not None:
+                parts.append(trace.render())
             parts.append(self._explain_cache_section())
             return "\n".join(parts)
         if isinstance(statement, ast.XNFQuery):

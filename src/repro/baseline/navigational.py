@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from repro.errors import XNFError
 from repro.executor.runtime import QueryPipeline
 from repro.qgm.builder import QGMBuilder
-from repro.qgm.model import (QRef, Quantifier, RidRef, XNFBox,
+from repro.qgm.model import (QRef, RidRef, XNFBox,
                              XNFRelationship, replace_qrefs)
 from repro.sql import ast
 from repro.xnf.schema_graph import SchemaGraph

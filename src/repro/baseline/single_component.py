@@ -28,7 +28,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.errors import XNFError
 from repro.optimizer.optimizer import Planner, PlannerOptions
 from repro.qgm.builder import QGMBuilder
 from repro.qgm.model import (HeadColumn, OutputStream, QGMGraph, QRef,

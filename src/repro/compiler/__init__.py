@@ -1,0 +1,18 @@
+"""The unified compile pipeline (Fig. 2 as one pass manager).
+
+Every consumer of compiled artifacts — ad-hoc SELECTs, DML
+qualification, XNF/materialized-view translation, and the plan cache's
+read-through — drives the same :class:`CompilationPipeline`, so the
+stage sequence (parse -> build -> normalize -> rewrite-to-fixpoint ->
+prune -> plan), the rule catalog, the fixpoint budget, and the cache
+keying exist in exactly one place.
+"""
+
+from repro.compiler.pipeline import (CompilationPipeline, CompilationTrace,
+                                     CompiledQuery, PipelineOptions,
+                                     StageRecord, rewrite_fixpoint)
+
+__all__ = [
+    "CompilationPipeline", "CompilationTrace", "CompiledQuery",
+    "PipelineOptions", "StageRecord", "rewrite_fixpoint",
+]

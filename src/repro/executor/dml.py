@@ -18,18 +18,16 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import ExecutionError, SemanticError
+from repro.errors import SemanticError
 from repro.executor.expressions import ExpressionCompiler
 from repro.executor.plan_cache import (max_positional_in_expressions,
                                        parameterize_expressions)
 from repro.executor.runtime import QueryPipeline
-from repro.optimizer.optimizer import ExecutablePlan, Planner
+from repro.optimizer.optimizer import ExecutablePlan
 from repro.optimizer.plan import ExecutionContext
-from repro.qgm.builder import QGMBuilder, Scope, validate_subquery_positions
+from repro.qgm.builder import Scope, validate_subquery_positions
 from repro.qgm.model import (BaseBox, HeadColumn, OutputStream, QGMGraph,
-                             QRef, Quantifier, RidRef, SelectBox, TopBox)
-from repro.rewrite.engine import RuleEngine
-from repro.rewrite.nf_rules import DEFAULT_NF_RULES
+                             Quantifier, RidRef, SelectBox, TopBox)
 from repro.sql import ast
 from repro.storage.catalog import Catalog, TableDelta
 from repro.storage.table import Table
@@ -199,8 +197,10 @@ class DMLExecutor:
                                where: Optional[ast.Expression],
                                value_expressions: list[ast.Expression]
                                ) -> ExecutablePlan:
-        builder = QGMBuilder(self.catalog,
-                             self.pipeline.xnf_component_resolver)
+        """Build the qualification QGM, then compile it through the
+        shared CompilationPipeline (normalize/rewrite/prune/plan) like
+        any other statement."""
+        builder = self.pipeline.builder()
         box = SelectBox(label=f"dml_{table.name}")
         base = BaseBox(table)
         quantifier = box.add_quantifier(
@@ -223,7 +223,4 @@ class DMLExecutor:
         top = TopBox()
         top.outputs.append(OutputStream(name="DML", box=box))
         graph = QGMGraph(top=top, statement_kind="select")
-        RuleEngine(DEFAULT_NF_RULES).run(graph, self.catalog)
-        planner = Planner(self.catalog, self.pipeline.stats,
-                          self.pipeline.options.planner)
-        return planner.plan(graph)
+        return self.pipeline.compile_graph(graph).plan

@@ -336,8 +336,28 @@ class ExpressionCompiler:
                 return lambda row, ctx: row[position]
             # Not in the layout: a scalar-subquery quantifier, resolved
             # through the execution context at run time.
-            qid = expression.quantifier.qid
-            return lambda row, ctx: ctx.scalar_value(qid)
+            quantifier = expression.quantifier
+            if quantifier.qtype != "S":
+                raise ExecutionError(
+                    f"column {quantifier.name}.{expression.column} is "
+                    f"not available in this plan"
+                )
+            qid = quantifier.qid
+            correlation = quantifier.correlation
+            if not correlation:
+                return lambda row, ctx: ctx.scalar_value(qid)
+            # Correlated: evaluate the outer-side expressions against
+            # the current row, then run the subquery plan with those
+            # values bound to its correlation slots (memoized per
+            # distinct binding).
+            slots = tuple(slot for slot, _leaf in correlation)
+            leaf_fns = tuple(self._compile(leaf)
+                             for _slot, leaf in correlation)
+
+            def run_correlated(row, ctx):
+                values = tuple(fn(row, ctx) for fn in leaf_fns)
+                return ctx.correlated_scalar(qid, slots, values)
+            return run_correlated
         if isinstance(expression, RidRef):
             position = self._position(expression.quantifier.qid, RID_COLUMN)
             if position is None:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import hashlib
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
 
 from repro.sql import ast
@@ -360,6 +360,28 @@ class PlanCache:
                 return f"statistics drifted ({table} changed size " \
                        f"materially)"
         return None
+
+    def probe(self, key: Any, schema_version: int,
+              stats_view: Optional[StatsView] = None,
+              on_drift=None) -> Optional[CacheEntry]:
+        """Validated lookup with no statistics or last-info side
+        effects — the pipeline's second-level (canonical-form) probe,
+        so one compile still counts as exactly one hit or miss."""
+        if not self.enabled:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            return None
+        if entry.schema_version != schema_version:
+            reason = "schema changed (DDL)"
+        else:
+            reason = self._validate_stats(entry, stats_view, on_drift)
+        if reason is not None:
+            del self._entries[key]
+            return None
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        return entry
 
     def lookup(self, key: Any, schema_version: int,
                stats_view: Optional[StatsView] = None,

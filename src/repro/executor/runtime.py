@@ -1,27 +1,32 @@
-"""The compile-and-run pipeline for NF (plain SQL) queries.
+"""Execution front-end for NF (plain SQL) queries.
 
-Wires the Fig. 2 stages together: AST -> QGM (builder) -> query rewrite
-(rule engine) -> plan optimization (planner) -> execution (plan
-iterators).  The Database facade and the XNF translator both drive their
-SQL-shaped work through this class.
+Compilation lives in :mod:`repro.compiler.pipeline` — the one
+CompilationPipeline all entry points share.  This module keeps the
+execution half (running compiled plans, shaping results) and re-exports
+the pipeline types under their historical names so existing callers and
+tests keep working: ``QueryPipeline`` is now a thin facade that owns a
+:class:`~repro.compiler.pipeline.CompilationPipeline` and delegates all
+compile work to it.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.executor.plan_cache import CacheInfo, PlanCache, parameterize_select
-from repro.optimizer.optimizer import (ExecutablePlan, Planner,
-                                       PlannerOptions)
+from repro.compiler.pipeline import (CompilationPipeline, CompilationTrace,
+                                     CompiledQuery, PipelineOptions)
 from repro.optimizer.plan import ExecutionContext
 from repro.qgm.builder import QGMBuilder
 from repro.qgm.model import Box, QGMGraph
-from repro.rewrite.engine import RewriteContext, RuleEngine
-from repro.rewrite.nf_rules import DEFAULT_NF_RULES, prune_unused_columns
+from repro.rewrite.engine import RewriteContext
 from repro.sql import ast
 from repro.storage.catalog import Catalog
 from repro.storage.stats import StatisticsManager
+
+__all__ = [
+    "CompiledQuery", "PipelineOptions", "QueryPipeline", "QueryResult",
+]
 
 
 @dataclass
@@ -52,176 +57,83 @@ class QueryResult:
         return [dict(zip(self.columns, row)) for row in self.rows]
 
 
-@dataclass
-class CompiledQuery:
-    """Everything the pipeline produced for one statement."""
-
-    graph: QGMGraph
-    plan: ExecutablePlan
-    rewrite_context: Optional[RewriteContext] = None
-    pruned_columns: int = 0
-
-
-@dataclass
-class PipelineOptions:
-    """Stage toggles, exposed so benchmarks can ablate the rewrites.
-
-    Batch-at-a-time execution is controlled through the nested planner
-    options: ``PipelineOptions(planner=PlannerOptions(
-    batch_execution=False))`` falls back to row-at-a-time Volcano
-    iteration; ``PlannerOptions(batch_size=...)`` tunes the batch width.
-    """
-
-    apply_nf_rewrite: bool = True
-    prune_columns: bool = True
-    #: Capacity of the parameterized plan cache (entries); 0 disables
-    #: caching, so every statement recompiles through the full pipeline.
-    plan_cache_size: int = 256
-    planner: PlannerOptions = field(default_factory=PlannerOptions)
-
-    @property
-    def batch_execution(self) -> bool:
-        return self.planner.batch_execution
-
-    @batch_execution.setter
-    def batch_execution(self, enabled: bool) -> None:
-        self.planner.batch_execution = enabled
-
-
 class QueryPipeline:
-    """AST -> result, reusing one catalog/statistics pair."""
+    """AST -> result, reusing one catalog/statistics pair.
+
+    Compilation delegates to the owned :attr:`compiler`
+    (CompilationPipeline); this class adds plan execution and result
+    shaping.
+    """
 
     def __init__(self, catalog: Catalog,
                  stats: Optional[StatisticsManager] = None,
                  options: Optional[PipelineOptions] = None,
                  xnf_component_resolver: Optional[
                      Callable[[str, str], Box]] = None):
-        self.catalog = catalog
-        # A self-created manager subscribes to the delta protocol so DML
-        # through this pipeline invalidates statistics automatically.
-        self.stats = stats or StatisticsManager(catalog, subscribe=True)
-        self.options = options or PipelineOptions()
-        self.xnf_component_resolver = xnf_component_resolver
-        self.plan_cache = PlanCache(self.options.plan_cache_size)
+        self.compiler = CompilationPipeline(
+            catalog, stats=stats, options=options,
+            xnf_component_resolver=xnf_component_resolver,
+        )
 
-    # ------------------------------------------------------------------
+    # -- shared state (delegated) --------------------------------------
+    @property
+    def catalog(self) -> Catalog:
+        return self.compiler.catalog
+
+    @property
+    def stats(self) -> StatisticsManager:
+        return self.compiler.stats
+
+    @property
+    def options(self) -> PipelineOptions:
+        return self.compiler.options
+
+    @property
+    def xnf_component_resolver(self):
+        return self.compiler.xnf_component_resolver
+
+    @property
+    def plan_cache(self):
+        return self.compiler.plan_cache
+
+    # -- compile stages (delegated) ------------------------------------
     def builder(self) -> QGMBuilder:
-        return QGMBuilder(self.catalog, self.xnf_component_resolver)
+        return self.compiler.builder()
 
     def build(self, statement: ast.SelectStatement) -> QGMGraph:
-        return self.builder().build_select(statement)
+        return self.compiler.build_select(statement)
 
     def rewrite(self, graph: QGMGraph) -> RewriteContext:
-        engine = RuleEngine(DEFAULT_NF_RULES)
-        return engine.run(graph, self.catalog)
+        return self.compiler.rewrite_graph(graph)
 
-    def compile_select(self, statement: ast.SelectStatement
+    def compile_select(self, statement: ast.SelectStatement,
+                       trace: Optional[CompilationTrace] = None
                        ) -> CompiledQuery:
-        graph = self.build(statement)
-        return self.compile_graph(graph)
+        return self.compiler.compile_select(statement, trace=trace)
 
     def compile_graph(self, graph: QGMGraph) -> CompiledQuery:
-        rewrite_context = None
-        if self.options.apply_nf_rewrite:
-            rewrite_context = self.rewrite(graph)
-        pruned = 0
-        if self.options.prune_columns:
-            pruned = prune_unused_columns(graph)
-        planner = Planner(self.catalog, self.stats, self.options.planner)
-        plan = planner.plan(graph)
-        return CompiledQuery(graph=graph, plan=plan,
-                             rewrite_context=rewrite_context,
-                             pruned_columns=pruned)
-
-    # ------------------------------------------------------------------
-    # Plan-cache integration
-    # ------------------------------------------------------------------
-    def _options_signature(self) -> tuple:
-        """The option values a compiled plan depends on; part of the
-        cache key so toggling a knob never serves a stale plan."""
-        planner = self.options.planner
-        return (self.options.apply_nf_rewrite, self.options.prune_columns,
-                planner.use_indexes, planner.share_common_subexpressions,
-                planner.batch_execution, planner.batch_size)
-
-    def _stats_view(self, table_name: str) -> tuple[int, int]:
-        """(table epoch, live cardinality) — what cached entries over
-        this table are validated against.  Cardinality -1 when the
-        table is gone (the schema version catches that anyway)."""
-        name = table_name.upper()
-        live = len(self.catalog.table(name)) \
-            if self.catalog.has_table(name) else -1
-        return self.stats.table_epoch(name), live
-
-    def _on_stats_drift(self, table_name: str) -> None:
-        """Lookup detected direct-storage drift the delta protocol
-        never saw: invalidate the table's statistics (bumping its
-        epoch, so sibling cached plans fall too)."""
-        self.stats.invalidate(table_name)
-
-    @staticmethod
-    def graph_tables(graph: QGMGraph) -> list[str]:
-        """The base tables a compiled graph reads (for cache
-        validation keys)."""
-        from repro.qgm.model import BaseBox
-        return sorted({box.table.name for box in graph.all_boxes()
-                       if isinstance(box, BaseBox)})
+        return self.compiler.compile_qgm(graph)
 
     def compile_parameterized(self, parameterized) -> CompiledQuery:
-        """Compile a pre-parameterized SELECT through the plan cache.
-
-        Single source of truth for the SELECT cache key shape — both
-        the ad-hoc path (:meth:`compile_select_cached`) and prepared
-        statements go through here.
-        """
-        key = ("select", parameterized.statement,
-               self._options_signature())
-        return self.cached_compile(
-            key,
-            lambda: self.compile_select(parameterized.statement),
-            tables_of=lambda compiled: self.graph_tables(compiled.graph),
-        )
+        return self.compiler.compile_parameterized(parameterized)
 
     def compile_select_cached(self, statement: ast.SelectStatement
                               ) -> tuple[CompiledQuery, dict]:
-        """Compile through the plan cache.
-
-        The statement is auto-parameterized (literals lifted into
-        synthetic parameters) to form the cache key; returns the
-        compiled query plus the synthetic bindings to install in the
-        execution context.  With the cache disabled this falls through
-        to a plain compile with no lifting.
-        """
-        if not self.plan_cache.enabled:
-            self.plan_cache.last_info = CacheInfo(
-                status="bypass", reason="plan cache disabled")
-            return self.compile_select(statement), {}
-        parameterized = parameterize_select(statement)
-        return self.compile_parameterized(parameterized), \
-            parameterized.bindings
+        return self.compiler.compile_select_cached(statement)
 
     def cached_compile(self, key: tuple, compile_fn,
                        tables_of=None) -> object:
-        """Generic read-through for compiled artifacts (SELECT plans,
-        XNF executables, DML qualification plans) sharing this
-        pipeline's cache and invalidation rules.  ``tables_of(value)``
-        names the base tables the artifact reads, for per-table
-        statistics validation."""
-        if not self.plan_cache.enabled:
-            self.plan_cache.last_info = CacheInfo(
-                status="bypass", reason="plan cache disabled")
-            return compile_fn()
-        value = self.plan_cache.get_or_compile(
-            key, self.catalog.schema_version, self._stats_view,
-            compile_fn, tables_of=tables_of,
-            on_drift=self._on_stats_drift,
-        )
-        # Display-only: EXPLAIN's cache section reports the manager's
-        # total epoch alongside the schema version.
-        self.plan_cache.last_info.stats_epoch = self.stats.epoch
-        return value
+        return self.compiler.cached_compile(key, compile_fn,
+                                            tables_of=tables_of)
 
-    # ------------------------------------------------------------------
+    def _options_signature(self) -> tuple:
+        return self.compiler._options_signature()
+
+    @staticmethod
+    def graph_tables(graph: QGMGraph) -> list[str]:
+        return CompilationPipeline.graph_tables(graph)
+
+    # -- execution -----------------------------------------------------
     def run_select(self, statement: ast.SelectStatement,
                    ctx: Optional[ExecutionContext] = None,
                    params=None) -> QueryResult:

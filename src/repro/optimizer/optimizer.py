@@ -28,7 +28,8 @@ from repro.optimizer.plan import (DEFAULT_BATCH_SIZE, Aggregate, Dedup,
                                   SingleRow, Sort, Spool, TableScan)
 from repro.qgm.model import (BaseBox, Box, GroupByBox, OuterJoinBox,
                              OutputStream, QGMGraph, QRef, Quantifier, RidRef,
-                             SelectBox, SetOpBox, XNFBox,
+                             SelectBox, SetOpBox, XNFBox, replace_qrefs,
+                             rewrite_box_expressions, subgraph_outer_leaves,
                              walk_qgm_expression)
 from repro.sql import ast
 from repro.storage.catalog import Catalog
@@ -45,6 +46,10 @@ class PlannerOptions:
     #: through the original row-at-a-time Volcano iterators.
     batch_execution: bool = True
     batch_size: int = DEFAULT_BATCH_SIZE
+    #: Total rule firings the rewrite fixpoint may spend on one graph
+    #: before raising RewriteError (naming the last-fired rule and the
+    #: per-rule counts).  Raise it for pathologically deep view stacks.
+    rewrite_budget: int = 10_000
 
 
 @dataclass
@@ -141,12 +146,18 @@ class Planner:
         self._memo: dict[int, PlanNode] = {}
         self._shared: set[int] = set()
         self.scalar_plans: dict[int, PlanNode] = {}
+        #: Correlated scalar quantifier -> the outer quantifiers its
+        #: subquery reads; predicates using the scalar must wait until
+        #: these are bound in the join order.
+        self._scalar_deps: dict[int, set[Quantifier]] = {}
+        self._correlation_slots = 0
 
     # ------------------------------------------------------------------
     def plan(self, graph: QGMGraph) -> ExecutablePlan:
         self.cost.invalidate()
         self._memo.clear()
         self.scalar_plans.clear()
+        self._scalar_deps.clear()
         counts = graph.reference_counts()
         self._shared = {box_id for box_id, count in counts.items()
                         if count > 1}
@@ -198,17 +209,20 @@ class Planner:
         anti = [q for q in box.body_quantifiers if q.qtype == "A"]
         scalar = [q for q in box.body_quantifiers if q.qtype == "S"]
         for quantifier in scalar:
-            self.scalar_plans[quantifier.qid] = self.plan_box(quantifier.box)
+            self._register_scalar(box, quantifier)
         scalar_set = set(scalar)
 
         rid_needed = self._rid_quantifiers(box)
 
         # Classify predicates by the non-scalar quantifiers they touch.
+        # A correlated scalar counts as a reference to the outer
+        # quantifiers its subquery reads: the predicate can only run
+        # once those provide values for the correlation slots.
         local: dict[int, list[ast.Expression]] = {}
         constant: list[ast.Expression] = []
         multi: list[ast.Expression] = []
         for predicate in box.predicates:
-            refs = _referenced_quantifiers(predicate) - scalar_set
+            refs = self._placement_refs(predicate)
             if not refs:
                 constant.append(predicate)
             elif len(refs) == 1:
@@ -226,8 +240,7 @@ class Planner:
             ]
             foreach_set = set(foreach)
             join_preds = [p for p in multi
-                          if (_referenced_quantifiers(p) - scalar_set)
-                          <= foreach_set]
+                          if self._placement_refs(p) <= foreach_set]
             node, layout = self._join_sources(sources, join_preds)
         else:
             node, layout = SingleRow(), {}
@@ -240,8 +253,7 @@ class Planner:
         # Existential components (jointly existential quantifiers).
         remaining_preds = [
             p for p in multi
-            if not ((_referenced_quantifiers(p) - scalar_set)
-                    <= set(foreach))
+            if not self._placement_refs(p) <= set(foreach)
         ]
         used: set[int] = set()
         for component in self._existential_components(existential,
@@ -279,6 +291,83 @@ class Planner:
         if box.limit is not None or box.offset is not None:
             node = Limit(node, box.limit, box.offset)
         return node
+
+    # ------------------------------------------------------------------
+    # Scalar subqueries (uncorrelated and correlated)
+    # ------------------------------------------------------------------
+    def _register_scalar(self, box: SelectBox,
+                         quantifier: Quantifier) -> None:
+        """Compile an S quantifier's subquery once.
+
+        Uncorrelated subqueries evaluate once per execution (cached in
+        the context).  Correlated ones get their outer references
+        rewritten into named parameter slots; at run time the outer row
+        binds the slots and the plan re-executes per distinct binding
+        (memoized).  The rewrite layer decorrelates the common aggregate
+        shape before it ever reaches this fallback.
+        """
+        if quantifier.qid in self.scalar_plans:
+            return
+        leaves = subgraph_outer_leaves(quantifier.box)
+        if leaves:
+            outside = [leaf for leaf in leaves
+                       if leaf.quantifier not in box.body_quantifiers]
+            if outside:
+                raise PlanningError(
+                    "correlated scalar subquery references quantifiers "
+                    "outside its enclosing block: "
+                    f"{[str(leaf) for leaf in outside]}"
+                )
+            pairs = []
+            for leaf in leaves:
+                slot = f"$CORR{quantifier.qid}_{self._correlation_slots}$"
+                self._correlation_slots += 1
+                pairs.append((slot, leaf))
+            self._parameterize_subgraph(quantifier.box, pairs)
+            quantifier.correlation = tuple(pairs)
+        self.scalar_plans[quantifier.qid] = self.plan_box(quantifier.box)
+        self._scalar_deps[quantifier.qid] = {
+            leaf.quantifier for _slot, leaf in quantifier.correlation
+        }
+
+    @staticmethod
+    def _parameterize_subgraph(box: Box, pairs: list) -> None:
+        """Replace the given outer leaves with named Parameter slots,
+        throughout the subgraph (in place)."""
+        replacements = {
+            (leaf.quantifier.qid, getattr(leaf, "column", "$RID$")):
+                ast.Parameter(name=slot)
+            for slot, leaf in pairs
+        }
+
+        def mapping(leaf):
+            key = (leaf.quantifier.qid, getattr(leaf, "column", "$RID$"))
+            return replacements.get(key, leaf)
+
+        seen: set[int] = set()
+        stack = [box]
+        while stack:
+            current = stack.pop()
+            if current.box_id in seen:
+                continue
+            seen.add(current.box_id)
+            stack.extend(q.box for q in current.quantifiers())
+            rewrite_box_expressions(
+                current,
+                lambda expression: replace_qrefs(expression, mapping))
+
+    def _placement_refs(self, expression: ast.Expression
+                        ) -> set[Quantifier]:
+        """Quantifiers a predicate needs bound before it can run: its
+        direct non-scalar references plus, for each correlated scalar it
+        uses, the outer quantifiers feeding the correlation slots."""
+        refs: set[Quantifier] = set()
+        for quantifier in _referenced_quantifiers(expression):
+            if quantifier.qtype == Quantifier.S:
+                refs |= self._scalar_deps.get(quantifier.qid, set())
+            else:
+                refs.add(quantifier)
+        return refs
 
     def _rid_quantifiers(self, box: SelectBox) -> set[Quantifier]:
         found: set[Quantifier] = set()
@@ -423,7 +512,7 @@ class Planner:
                      pending: list[ast.Expression]):
         """Filter with predicates whose quantifiers are all bound."""
         ready = [p for p in pending
-                 if self._non_scalar_refs(p) <= bound]
+                 if self._placement_refs(p) <= bound]
         if ready:
             compiler = ExpressionCompiler(layout)
             for predicate in ready:
@@ -447,14 +536,14 @@ class Planner:
             if not isinstance(predicate, ast.BinaryOp) \
                     or predicate.op != "=":
                 continue
-            refs = self._non_scalar_refs(predicate)
+            refs = self._placement_refs(predicate)
             if candidate not in refs or not refs <= bound | {candidate}:
                 continue
             for this, other in ((predicate.left, predicate.right),
                                 (predicate.right, predicate.left)):
-                this_refs = self._non_scalar_refs(this) if isinstance(
+                this_refs = self._placement_refs(this) if isinstance(
                     this, ast.Expression) else set()
-                other_refs = self._non_scalar_refs(other)
+                other_refs = self._placement_refs(other)
                 if this_refs <= bound and other_refs == {candidate}:
                     result.append((predicate, (this, other)))
                     break
@@ -575,7 +664,7 @@ class Planner:
         intra: list[ast.Expression] = []
         cross: list[tuple[int, ast.Expression]] = []
         for position, predicate in enumerate(predicates):
-            refs = self._non_scalar_refs(predicate)
+            refs = self._placement_refs(predicate)
             if not refs & member_set:
                 continue
             if refs <= member_set:
@@ -623,8 +712,8 @@ class Planner:
             return None
         for this, other in ((predicate.left, predicate.right),
                             (predicate.right, predicate.left)):
-            this_refs = self._non_scalar_refs(this)
-            other_refs = self._non_scalar_refs(other)
+            this_refs = self._placement_refs(this)
+            other_refs = self._placement_refs(other)
             if this_refs and not this_refs & member_set \
                     and other_refs <= member_set and other_refs:
                 return this, other

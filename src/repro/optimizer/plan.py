@@ -29,7 +29,7 @@ counter trace is identical to row mode.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterator, Optional, Sequence
+from typing import Any, Iterator, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.executor.expressions import BatchPredicate, CompiledExpression
@@ -51,6 +51,8 @@ class ExecutionContext:
         self.spool_cache: dict[int, list[Row]] = {}
         self.scalar_plans: dict[int, "PlanNode"] = {}
         self._scalar_values: dict[int, Any] = {}
+        #: Correlated scalar results memoized per (qid, binding values).
+        self._correlated_values: dict[int, dict[tuple, Any]] = {}
         #: Parameter bindings for this execution: positional markers are
         #: keyed by int index (0-based), named markers by upper-cased
         #: name.  Compiled :class:`~repro.sql.ast.Parameter` expressions
@@ -114,10 +116,42 @@ class ExecutionContext:
         self._scalar_values[qid] = value
         return value
 
+    def correlated_scalar(self, qid: int, slots: tuple,
+                          values: tuple) -> Any:
+        """Evaluate a correlated scalar subquery for one outer binding.
+
+        The subquery plan runs in a *child* context (fresh spool and
+        scalar caches — a spool materialized under one binding must not
+        leak into the next) with ``values`` bound to the correlation
+        slots.  Results are memoized per distinct binding, so repeated
+        outer values cost one execution; this is the nested re-execution
+        the ScalarAggToJoin rewrite exists to avoid.
+        """
+        memo = self._correlated_values.setdefault(qid, {})
+        if values in memo:
+            return memo[values]
+        plan = self.scalar_plans.get(qid)
+        if plan is None:
+            raise ExecutionError(f"no scalar subquery registered for {qid}")
+        child = ExecutionContext()
+        child.scalar_plans.update(self.scalar_plans)
+        child.parameters.update(self.parameters)
+        for slot, value in zip(slots, values):
+            child.parameters[slot] = value
+        rows = list(plan.execute(child))
+        for counter, amount in child.counters.items():
+            self.bump(counter, amount)
+        if len(rows) > 1:
+            raise ExecutionError("scalar subquery returned more than one row")
+        value = rows[0][0] if rows else None
+        memo[values] = value
+        return value
+
     def reset_volatile(self) -> None:
         """Clear per-run caches so a plan can be executed again."""
         self.spool_cache.clear()
         self._scalar_values.clear()
+        self._correlated_values.clear()
 
 
 class PlanNode:

@@ -25,7 +25,8 @@ from repro.qgm.model import (AggregateSpec, BaseBox, Box, GroupByBox,
                              HeadColumn, OuterJoinBox, OutputStream, QGMGraph,
                              QRef, Quantifier, RidRef, SelectBox, SetOpBox,
                              TopBox, XNFBox, XNFComponent, XNFRelationship,
-                             quantifiers_in, replace_qrefs)
+                             quantifiers_in, replace_qrefs,
+                             subgraph_outer_refs)
 from repro.sql import ast
 from repro.storage.catalog import Catalog, ViewDefinition
 
@@ -584,6 +585,10 @@ class QGMBuilder:
             for column, new_name in zip(box.head, view.column_names):
                 column.name = new_name
         box.label = view.name
+        if isinstance(box, SelectBox):
+            # Mark for the ViewMerge rule: shared references to a SQL
+            # view may be cloned apart so each consumer specializes.
+            box.from_view = view.name
         return box
 
     # ------------------------------------------------------------------
@@ -881,22 +886,22 @@ class QGMBuilder:
             raise SemanticError(
                 "scalar subquery must produce exactly one column"
             )
-        owned = subgraph_quantifiers(inner)
-        for sub in QGMGraph(top=self._as_top(inner)).all_boxes():
-            for predicate in getattr(sub, "predicates", []):
-                if not quantifiers_in(predicate) <= owned:
-                    raise SemanticError(
-                        "correlated scalar subqueries are not supported"
-                    )
+        # Correlation is allowed against the immediately enclosing query
+        # block only: the ScalarAggToJoin rule decorrelates the common
+        # aggregate shape into a group-by join, and anything it cannot
+        # handle falls back to per-binding nested re-execution in the
+        # planner — both assume the outer references resolve in the
+        # block that owns the S quantifier.
+        outer_refs = subgraph_outer_refs(inner)
+        local = {binding.quantifier for binding in scope.local_bindings()}
+        if any(ref not in local for ref in outer_refs):
+            raise SemanticError(
+                "correlated scalar subqueries may only reference the "
+                "immediately enclosing query block"
+            )
         quantifier = box.add_quantifier(Quantifier(inner, Quantifier.S,
                                                    name="ssq"))
         return QRef(quantifier, inner.head[0].name)
-
-    @staticmethod
-    def _as_top(box: Box) -> TopBox:
-        top = TopBox()
-        top.outputs.append(OutputStream(name="RESULT", box=box))
-        return top
 
     @staticmethod
     def _split_conjuncts(predicate: ast.Expression) -> list[ast.Expression]:

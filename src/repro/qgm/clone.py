@@ -1,0 +1,133 @@
+"""Deep-copying QGM subgraphs.
+
+The ViewMerge rewrite rule gives each consumer of a multiply-referenced
+view its *own* copy of the view's derivation so SelectMerge and
+predicate pushdown can specialize it per consumer — trading the shared
+evaluation of a common subexpression for per-consumer simplification,
+which is the right trade for SQL views (the XNF translator's shared
+connection boxes are deliberately *not* cloned; they carry identity
+columns and are shared by design).
+
+Cloning preserves internal sharing: a box referenced twice inside the
+cloned subgraph is cloned once.  Base-table boxes are shared, not
+cloned — they carry no rewritable state and the planner treats each
+``BaseBox`` as a plain scan.  References to quantifiers *outside* the
+cloned subgraph (correlation) are left untouched.
+"""
+
+from __future__ import annotations
+
+from repro.errors import RewriteError
+from repro.qgm.model import (BaseBox, Box, GroupByBox, HeadColumn,
+                             OuterJoinBox, Quantifier, SelectBox, SetOpBox,
+                             replace_qrefs)
+
+
+class _Cloner:
+    def __init__(self) -> None:
+        self.boxes: dict[int, Box] = {}
+        self.quantifiers: dict[int, Quantifier] = {}
+
+    # ------------------------------------------------------------------
+    def clone_box(self, box: Box) -> Box:
+        if isinstance(box, BaseBox):
+            return box  # shared: nothing to specialize on a base table
+        cloned = self.boxes.get(box.box_id)
+        if cloned is not None:
+            return cloned
+        if isinstance(box, SelectBox):
+            cloned = self._clone_select(box)
+        elif isinstance(box, GroupByBox):
+            cloned = self._clone_groupby(box)
+        elif isinstance(box, SetOpBox):
+            cloned = self._clone_setop(box)
+        elif isinstance(box, OuterJoinBox):
+            cloned = self._clone_outer_join(box)
+        else:
+            raise RewriteError(f"cannot clone box kind {box.kind!r}")
+        return cloned
+
+    def clone_quantifier(self, quantifier: Quantifier) -> Quantifier:
+        cloned = self.quantifiers.get(quantifier.qid)
+        if cloned is not None:
+            return cloned
+        cloned = Quantifier(self.clone_box(quantifier.box),
+                            quantifier.qtype, name=quantifier.name)
+        cloned.null_poison = quantifier.null_poison
+        self.quantifiers[quantifier.qid] = cloned
+        return cloned
+
+    def remap(self, expression):
+        def mapping(leaf):
+            replacement = self.quantifiers.get(leaf.quantifier.qid)
+            if replacement is None:
+                return leaf  # outside the cloned subgraph: keep as-is
+            return type(leaf)(replacement, leaf.column) \
+                if hasattr(leaf, "column") else type(leaf)(replacement)
+        return replace_qrefs(expression, mapping)
+
+    def _clone_head(self, box: Box, cloned: Box) -> None:
+        cloned.head = [
+            HeadColumn(c.name, None if c.expression is None
+                       else self.remap(c.expression))
+            for c in box.head
+        ]
+
+    # ------------------------------------------------------------------
+    def _clone_select(self, box: SelectBox) -> SelectBox:
+        cloned = SelectBox(label=box.label)
+        self.boxes[box.box_id] = cloned
+        cloned.from_view = getattr(box, "from_view", None)
+        for quantifier in box.body_quantifiers:
+            cloned.add_quantifier(self.clone_quantifier(quantifier))
+        self._clone_head(box, cloned)
+        cloned.predicates = [self.remap(p) for p in box.predicates]
+        cloned.distinct = box.distinct
+        cloned.order_by = [(self.remap(e), d) for e, d in box.order_by]
+        cloned.limit = box.limit
+        cloned.offset = box.offset
+        return cloned
+
+    def _clone_groupby(self, box: GroupByBox) -> GroupByBox:
+        from repro.qgm.model import AggregateSpec
+        cloned = GroupByBox(label=box.label)
+        self.boxes[box.box_id] = cloned
+        if box.input is not None:
+            cloned.input = self.clone_quantifier(box.input)
+        self._clone_head(box, cloned)
+        cloned.group_keys = [self.remap(k) for k in box.group_keys]
+        cloned.aggregates = {
+            name: AggregateSpec(
+                spec.function,
+                None if spec.argument is None else self.remap(spec.argument),
+                spec.distinct,
+            )
+            for name, spec in box.aggregates.items()
+        }
+        return cloned
+
+    def _clone_setop(self, box: SetOpBox) -> SetOpBox:
+        cloned = SetOpBox(box.operator, box.all_rows, label=box.label)
+        self.boxes[box.box_id] = cloned
+        cloned.inputs = [self.clone_quantifier(q) for q in box.inputs]
+        self._clone_head(box, cloned)
+        return cloned
+
+    def _clone_outer_join(self, box: OuterJoinBox) -> OuterJoinBox:
+        left = self.clone_quantifier(box.left)
+        right = self.clone_quantifier(box.right)
+        condition = None if box.condition is None \
+            else self.remap(box.condition)
+        cloned = OuterJoinBox(left, right, condition, label=box.label)
+        self.boxes[box.box_id] = cloned
+        self._clone_head(box, cloned)
+        return cloned
+
+
+def clone_subgraph(box: Box) -> Box:
+    """A private deep copy of ``box`` and everything below it.
+
+    Base-table boxes are shared; every derived box and quantifier is
+    fresh, with expressions remapped onto the cloned quantifiers.
+    """
+    return _Cloner().clone_box(box)

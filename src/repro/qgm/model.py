@@ -30,8 +30,8 @@ give composite-object tuples stable identities).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from dataclasses import dataclass
+from typing import Iterator, Optional
 
 from repro.errors import RewriteError, SemanticError
 from repro.sql import ast
@@ -110,6 +110,113 @@ def quantifiers_in(expr: ast.Expression) -> set["Quantifier"]:
     return found
 
 
+def box_expressions(box: "Box") -> Iterator[ast.Expression]:
+    """Every expression a box owns: head, predicates, keys, conditions.
+
+    The traversal the planner and rewrite rules use to find stray
+    references (correlation, substitution targets) without knowing each
+    box kind's slots.
+    """
+    for column in box.head:
+        if column.expression is not None:
+            yield column.expression
+    if isinstance(box, SelectBox):
+        yield from box.predicates
+        for expression, _desc in box.order_by:
+            yield expression
+    elif isinstance(box, GroupByBox):
+        yield from box.group_keys
+        for spec in box.aggregates.values():
+            if spec.argument is not None:
+                yield spec.argument
+    elif isinstance(box, OuterJoinBox):
+        if box.condition is not None:
+            yield box.condition
+    elif isinstance(box, XNFBox):
+        for relationship in box.relationships.values():
+            if relationship.predicate is not None:
+                yield relationship.predicate
+            for _name, expression in relationship.attributes:
+                yield expression
+
+
+def rewrite_box_expressions(box: "Box", transform) -> None:
+    """Apply ``transform(expression) -> expression`` to every
+    expression slot of ``box``, in place.
+
+    The write-side counterpart of :func:`box_expressions`: rewrite
+    rules and the planner use it to substitute or parameterize
+    references without each re-enumerating the box kinds (and missing
+    one — OuterJoinBox conditions, say).
+    """
+    for column in box.head:
+        if column.expression is not None:
+            column.expression = transform(column.expression)
+    if isinstance(box, SelectBox):
+        box.predicates = [transform(p) for p in box.predicates]
+        box.order_by = [(transform(e), d) for e, d in box.order_by]
+    elif isinstance(box, GroupByBox):
+        box.group_keys = [transform(k) for k in box.group_keys]
+        for spec in box.aggregates.values():
+            if spec.argument is not None:
+                spec.argument = transform(spec.argument)
+    elif isinstance(box, OuterJoinBox):
+        if box.condition is not None:
+            box.condition = transform(box.condition)
+    elif isinstance(box, XNFBox):
+        for relationship in box.relationships.values():
+            if relationship.predicate is not None:
+                relationship.predicate = transform(relationship.predicate)
+            relationship.attributes = tuple(
+                (name, transform(expression))
+                for name, expression in relationship.attributes
+            )
+
+
+def subgraph_outer_leaves(box: "Box") -> list[ast.Expression]:
+    """Ordered, de-duplicated QRef/RidRef leaves below ``box`` whose
+    quantifier is bound outside the subgraph — the correlation leaves
+    of a subquery.  One traversal shared by builder validation,
+    decorrelation, and the planner's nested-execution fallback, so
+    correlation detection cannot drift between them."""
+    owned: set[Quantifier] = set()
+    boxes: list[Box] = []
+    seen: set[int] = set()
+
+    def visit(current: Box) -> None:
+        if current.box_id in seen:
+            return
+        seen.add(current.box_id)
+        boxes.append(current)
+        for quantifier in current.quantifiers():
+            owned.add(quantifier)
+            visit(quantifier.box)
+
+    visit(box)
+    leaves: list[ast.Expression] = []
+    keyed: set = set()
+    for current in boxes:
+        for expression in box_expressions(current):
+            for node in walk_qgm_expression(expression):
+                if not isinstance(node, (QRef, RidRef)):
+                    continue
+                if node.quantifier in owned:
+                    continue
+                key = (node.quantifier.qid,
+                       getattr(node, "column", "$RID$"))
+                if key in keyed:
+                    continue
+                keyed.add(key)
+                leaves.append(node)
+    return leaves
+
+
+def subgraph_outer_refs(box: "Box") -> set["Quantifier"]:
+    """Quantifiers referenced below ``box`` but quantified elsewhere —
+    the correlation set of a subquery subgraph."""
+    return {leaf.quantifier for leaf in subgraph_outer_leaves(box)}
+
+
 def replace_qrefs(expr: ast.Expression, mapping) -> ast.Expression:
     """Rebuild ``expr`` with each QRef/RidRef passed through ``mapping``.
 
@@ -186,6 +293,12 @@ class Quantifier:
         #: NOT IN semantics: an UNKNOWN match poisons the anti-join
         #: (row rejected), unlike NOT EXISTS where UNKNOWN is a non-match.
         self.null_poison = False
+        #: For correlated scalar (S) quantifiers the planner could not
+        #: decorrelate: ``((slot_name, outer_expression), ...)`` pairs.
+        #: At run time the outer expressions are evaluated against the
+        #: current row and bound to the named parameter slots before the
+        #: subquery plan executes (see ExecutionContext.correlated_scalar).
+        self.correlation: tuple = ()
 
     def ref(self, column: str) -> QRef:
         """Build a QRef to one of this quantifier's box head columns."""
@@ -276,6 +389,10 @@ class SelectBox(Box):
         self.order_by: list[tuple[ast.Expression, bool]] = []  # (expr, desc)
         self.limit: Optional[int] = None
         self.offset: Optional[int] = None
+        #: Name of the SQL view this box was inlined from (set by the
+        #: QGM builder); the ViewMerge rule clones shared view boxes so
+        #: each consumer can merge and specialize its own copy.
+        self.from_view: Optional[str] = None
 
     def quantifiers(self) -> list[Quantifier]:
         return list(self.body_quantifiers)

@@ -1,16 +1,23 @@
 """Rule-based query rewrite: shared engine, NF rules, XNF rules."""
 
-from repro.rewrite.engine import RewriteContext, Rule, RuleEngine
-from repro.rewrite.nf_rules import (DEFAULT_NF_RULES, ExistentialToJoin,
-                                    PredicatePushdown, SelectMerge,
-                                    SetOpPushdown,
+from repro.rewrite.decorrelate import ScalarAggToJoin
+from repro.rewrite.engine import (DEFAULT_REWRITE_BUDGET, RewriteContext,
+                                  Rule, RuleEngine)
+from repro.rewrite.nf_rules import (DEFAULT_NF_RULES, ConstantPropagation,
+                                    ExistentialToJoin, PredicatePushdown,
+                                    PruneColumns, RedundantJoinElimination,
+                                    SelectMerge, SetOpPushdown,
                                     TrivialPredicateElimination,
-                                    columns_unique_in, equated_columns,
-                                    prune_unused_columns)
+                                    columns_unique_in, default_nf_rules,
+                                    equated_columns, prune_unused_columns)
+from repro.rewrite.view_merge import ViewMerge
 
 __all__ = [
-    "RewriteContext", "Rule", "RuleEngine",
-    "DEFAULT_NF_RULES", "ExistentialToJoin", "PredicatePushdown",
-    "SelectMerge", "SetOpPushdown", "TrivialPredicateElimination",
-    "columns_unique_in", "equated_columns", "prune_unused_columns",
+    "DEFAULT_REWRITE_BUDGET", "RewriteContext", "Rule", "RuleEngine",
+    "DEFAULT_NF_RULES", "ConstantPropagation", "ExistentialToJoin",
+    "PredicatePushdown", "PruneColumns", "RedundantJoinElimination",
+    "ScalarAggToJoin", "SelectMerge", "SetOpPushdown",
+    "TrivialPredicateElimination", "ViewMerge",
+    "columns_unique_in", "default_nf_rules", "equated_columns",
+    "prune_unused_columns",
 ]

@@ -1,0 +1,239 @@
+"""Decorrelation of scalar aggregate subqueries into group-by joins.
+
+The builder keeps correlated scalar subqueries as S quantifiers whose
+inner boxes still reference the outer block; without rewriting, the
+executor re-runs the subquery plan for every distinct outer binding
+(nested re-execution).  :class:`ScalarAggToJoin` is the classic "magic"
+decorrelation for the common shape
+
+    SELECT ... FROM outer o
+    WHERE o.x < (SELECT AGG(...) FROM inner i WHERE i.k = o.k)
+
+which becomes a join against ``SELECT i.k, AGG(...) FROM inner i GROUP
+BY i.k`` — one pass over the inner table instead of one per outer row.
+
+Soundness conditions (all checked, each a documented no-fire case):
+
+* the correlation predicates are plain equalities between an inner-side
+  expression and an outer-side expression, and they all live in the
+  aggregate's input box (no deeper correlation);
+* the referenced aggregate is MIN/MAX/SUM/AVG — never COUNT, whose
+  empty-group value is 0 (a joinable value) while the join form drops
+  the row;
+* the scalar's value is consumed only by null-rejecting comparison
+  conjuncts of the outer box (never the head, ORDER BY, IS NULL,
+  COALESCE, OR, ...): an empty group yields scalar NULL, the comparison
+  is then UNKNOWN and the row is dropped — exactly what the join form
+  does when the group row is absent.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.builder import (Exporter, subgraph_quantifiers,
+                               unique_head_name)
+from repro.qgm.model import (Box, GroupByBox, HeadColumn, QRef, Quantifier,
+                             SelectBox, box_expressions, quantifiers_in,
+                             walk_qgm_expression)
+from repro.rewrite.engine import Rule, RewriteContext
+from repro.sql import ast
+
+_COMPARISONS = {"=", "<", ">", "<=", ">=", "<>", "!="}
+_NULL_PROPAGATING_OPS = _COMPARISONS | {"+", "-", "*", "/"}
+_DECORRELATABLE_AGGREGATES = {"MIN", "MAX", "SUM", "AVG"}
+
+
+def _null_rejecting_on(conjunct: ast.Expression, quantifier) -> bool:
+    """True when a NULL value of ``quantifier``'s scalar can never make
+    the conjunct TRUE.  Conservative whitelist: the conjunct must be a
+    comparison whose whole tree is built from NULL-propagating
+    operators and plain leaves."""
+    if not isinstance(conjunct, ast.BinaryOp) \
+            or conjunct.op not in _COMPARISONS:
+        return False
+    for node in walk_qgm_expression(conjunct):
+        if isinstance(node, ast.BinaryOp):
+            if node.op not in _NULL_PROPAGATING_OPS:
+                return False
+        elif isinstance(node, ast.UnaryOp):
+            if node.op != "-":
+                return False
+        elif not isinstance(node, (ast.Literal, ast.Parameter, QRef)):
+            return False
+    return True
+
+
+class ScalarAggToJoin(Rule):
+    """Correlated scalar aggregate subquery -> join with a grouped box."""
+
+    name = "ScalarAggToJoin"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            self._candidate(box, context) is not None
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        found = self._candidate(box, context)
+        if found is None:
+            return False
+        quantifier, inner, groupby, lower, correlated = found
+
+        exporter = Exporter(lower, groupby.input)
+        inner_quantifier = inner.body_quantifiers[0]
+        key_names: list[str] = []
+        outer_sides: list[ast.Expression] = []
+        for position, (_predicate, inner_side, outer_side) in \
+                enumerate(correlated):
+            exported = exporter.export(inner_side)
+            name = unique_head_name(groupby, f"CK{position + 1}")
+            # Group keys must precede aggregate columns in the head.
+            groupby.head.insert(position, HeadColumn(name, exported))
+            groupby.group_keys.append(exported)
+            inner.head.append(HeadColumn(name, QRef(inner_quantifier,
+                                                    name)))
+            key_names.append(name)
+            outer_sides.append(outer_side)
+        removed = {id(predicate) for predicate, _i, _o in correlated}
+        lower.predicates = [p for p in lower.predicates
+                            if id(p) not in removed]
+        quantifier.qtype = Quantifier.F
+        for name, outer_side in zip(key_names, outer_sides):
+            box.predicates.append(
+                ast.BinaryOp("=", outer_side, QRef(quantifier, name))
+            )
+        return True
+
+    # ------------------------------------------------------------------
+    def _candidate(self, box: SelectBox, context: RewriteContext):
+        counts = context.reference_counts()
+        for quantifier in box.body_quantifiers:
+            if quantifier.qtype != Quantifier.S:
+                continue
+            shape = self._subquery_shape(quantifier.box, counts)
+            if shape is None:
+                continue
+            inner, groupby, lower = shape
+            correlated = self._correlated_equalities(inner, lower)
+            if correlated is None or not correlated:
+                continue
+            if not self._usage_allows_join(box, quantifier):
+                continue
+            # The join predicates move into this box: their outer side
+            # must be placeable here.
+            local = set(box.body_quantifiers)
+            if any(not quantifiers_in(outer_side) <= local
+                   for _p, _i, outer_side in correlated):
+                continue
+            return quantifier, inner, groupby, lower, correlated
+        return None
+
+    @staticmethod
+    def _subquery_shape(inner: Box, counts: dict[int, int]):
+        """Match SelectBox(head=[agg]) -> GroupByBox(no keys) ->
+        SelectBox, each unshared and presentation-free."""
+        if not isinstance(inner, SelectBox) or counts.get(
+                inner.box_id, 0) != 1:
+            return None
+        if inner.distinct or inner.predicates or inner.order_by \
+                or inner.limit is not None or inner.offset is not None:
+            return None
+        if len(inner.body_quantifiers) != 1 or len(inner.head) != 1:
+            return None
+        input_q = inner.body_quantifiers[0]
+        head_expr = inner.head[0].expression
+        groupby = input_q.box
+        if input_q.qtype != Quantifier.F \
+                or not isinstance(groupby, GroupByBox) \
+                or counts.get(groupby.box_id, 0) != 1:
+            return None
+        if groupby.group_keys:
+            return None  # an explicit GROUP BY inside the scalar: punt
+        if not (isinstance(head_expr, QRef)
+                and head_expr.quantifier is input_q):
+            return None
+        spec = groupby.aggregates.get(head_expr.column.upper())
+        if spec is None or spec.function not in _DECORRELATABLE_AGGREGATES:
+            return None
+        if groupby.input is None:
+            return None
+        lower = groupby.input.box
+        if not isinstance(lower, SelectBox) \
+                or counts.get(lower.box_id, 0) != 1:
+            return None
+        if lower.distinct or lower.order_by or lower.limit is not None \
+                or lower.offset is not None:
+            return None
+        if not lower.foreach_quantifiers():
+            return None
+        return inner, groupby, lower
+
+    @staticmethod
+    def _correlated_equalities(inner: SelectBox, lower: SelectBox):
+        """(predicate, inner_side, outer_side) triples for every
+        correlated conjunct of ``lower`` — or None when correlation is
+        not confined to equality conjuncts of ``lower``."""
+        owned = subgraph_quantifiers(inner)
+        # Correlation anywhere else in the subgraph disqualifies: the
+        # extraction below only relocates lower's predicates.
+        boxes: list[Box] = []
+        stack: list[Box] = [inner]
+        seen: set[int] = set()
+        while stack:
+            current = stack.pop()
+            if current.box_id in seen:
+                continue
+            seen.add(current.box_id)
+            boxes.append(current)
+            stack.extend(q.box for q in current.quantifiers())
+        lower_predicates = {id(p) for p in lower.predicates}
+        for current in boxes:
+            for expression in box_expressions(current):
+                if current is lower and id(expression) in lower_predicates:
+                    continue
+                if any(q not in owned
+                       for q in quantifiers_in(expression)):
+                    return None
+        triples: list[tuple[ast.Expression, ast.Expression,
+                            ast.Expression]] = []
+        for predicate in lower.predicates:
+            refs = quantifiers_in(predicate)
+            if refs <= owned:
+                continue  # purely local
+            if not isinstance(predicate, ast.BinaryOp) \
+                    or predicate.op != "=":
+                return None
+            for inner_side, outer_side in (
+                    (predicate.left, predicate.right),
+                    (predicate.right, predicate.left)):
+                inner_refs = quantifiers_in(inner_side)
+                outer_refs = quantifiers_in(outer_side)
+                if inner_refs and inner_refs <= owned \
+                        and outer_refs and not outer_refs & owned:
+                    triples.append((predicate, inner_side, outer_side))
+                    break
+            else:
+                return None
+        return triples
+
+    @staticmethod
+    def _usage_allows_join(box: SelectBox, quantifier: Quantifier) -> bool:
+        """The scalar may appear only in null-rejecting predicate
+        conjuncts of the outer box."""
+
+        def references(expression: ast.Expression) -> bool:
+            return quantifier in quantifiers_in(expression)
+
+        for column in box.head:
+            if column.expression is not None \
+                    and references(column.expression):
+                return False
+        for expression, _desc in box.order_by:
+            if references(expression):
+                return False
+        found = False
+        for predicate in box.predicates:
+            if not references(predicate):
+                continue
+            if not _null_rejecting_on(predicate, quantifier):
+                return False
+            found = True
+        return found

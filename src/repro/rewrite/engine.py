@@ -5,15 +5,26 @@ rule-based rewriting, and both use the same rule representation mechanism
 as well as the same rule engine."  Rules are condition/action pairs over
 QGM boxes; the engine drives them to a fixpoint with a budget so a buggy
 rule cannot loop forever.
+
+The budget is configurable through
+:class:`~repro.optimizer.optimizer.PlannerOptions` (``rewrite_budget``);
+exhausting it raises :class:`~repro.errors.RewriteError` naming the
+last-fired rule and the per-rule application counts, so a runaway
+rule is identifiable from the error alone.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import RewriteError
 from repro.qgm.model import Box, QGMGraph
 from repro.storage.catalog import Catalog
+
+#: Default fixpoint budget (total rule firings per graph); see
+#: ``PlannerOptions.rewrite_budget`` for the configurable knob.
+DEFAULT_REWRITE_BUDGET = 10_000
 
 
 @dataclass
@@ -24,12 +35,30 @@ class RewriteContext:
     catalog: Catalog
     #: rule name -> number of successful applications (for EXPLAIN/tests)
     applications: dict[str, int] = field(default_factory=dict)
+    #: Every rule firing in order — the rewrite trace EXPLAIN renders.
+    fired: list[str] = field(default_factory=list)
+    #: Head columns removed by the PruneColumns rule (all firings).
+    pruned_columns: int = 0
+    #: Per-rule scratch state for the duration of one fixpoint run
+    #: (e.g. ConstProp's already-derived facts, so a derived predicate
+    #: that another rule relocates is not derived again forever).
+    scratch: dict = field(default_factory=dict)
+    _reference_counts: Optional[dict[int, int]] = field(default=None,
+                                                        repr=False)
 
     def reference_counts(self) -> dict[int, int]:
-        return self.graph.reference_counts()
+        """Reference counts of the current graph, memoized between
+        firings: ``matches`` probes never mutate, so the counts stay
+        valid until the next successful ``apply`` (``record`` drops
+        the memo)."""
+        if self._reference_counts is None:
+            self._reference_counts = self.graph.reference_counts()
+        return self._reference_counts
 
     def record(self, rule_name: str) -> None:
         self.applications[rule_name] = self.applications.get(rule_name, 0) + 1
+        self.fired.append(rule_name)
+        self._reference_counts = None
 
 
 class Rule:
@@ -51,7 +80,8 @@ class Rule:
 class RuleEngine:
     """Fixpoint driver: apply rules to boxes until nothing fires."""
 
-    def __init__(self, rules: list[Rule], budget: int = 10_000):
+    def __init__(self, rules: list[Rule],
+                 budget: int = DEFAULT_REWRITE_BUDGET):
         self.rules = list(rules)
         self.budget = budget
 
@@ -71,8 +101,9 @@ class RuleEngine:
                         remaining -= 1
                         if remaining <= 0:
                             raise RewriteError(
-                                f"rewrite budget exhausted; last rule: "
-                                f"{rule.name}"
+                                f"rewrite budget ({self.budget}) "
+                                f"exhausted; last rule: {rule.name}; "
+                                f"applications: {context.applications}"
                             )
                         break  # graph changed: rescan boxes
                 if changed:

@@ -20,7 +20,8 @@ from __future__ import annotations
 
 from repro.qgm.model import (BaseBox, Box, GroupByBox, QGMGraph, QRef,
                              Quantifier, RidRef, SelectBox, SetOpBox, TopBox,
-                             XNFBox, quantifiers_in, replace_qrefs,
+                             XNFBox, box_expressions, quantifiers_in,
+                             replace_qrefs, rewrite_box_expressions,
                              walk_qgm_expression)
 from repro.rewrite.engine import Rule, RewriteContext
 from repro.sql import ast
@@ -340,13 +341,361 @@ class TrivialPredicateElimination(Rule):
         return len(box.predicates) != before
 
 
-DEFAULT_NF_RULES: list[Rule] = [
-    TrivialPredicateElimination(),
-    ExistentialToJoin(),
-    SelectMerge(),
-    PredicatePushdown(),
-    SetOpPushdown(),
-]
+def _is_constant(expression: ast.Expression) -> bool:
+    """Literal or parameter: a value fixed for one execution."""
+    if isinstance(expression, ast.Parameter):
+        return True
+    return isinstance(expression, ast.Literal) and \
+        expression.value is not None and \
+        not isinstance(expression.value, bool)
+
+
+class ConstantPropagation(Rule):
+    """Propagate constants across equated columns (transitive equality).
+
+    From conjuncts ``a.x = b.y`` and ``a.x = 5`` derive ``b.y = 5``:
+    the implied restriction is redundant logically but not physically —
+    it unlocks index access paths on *both* sides of the join and
+    tightens cardinality estimates.  Parameters count as constants
+    (their value is fixed for one execution), so cached parameterized
+    plans benefit too.
+    """
+
+    name = "ConstProp"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            self._candidate(box, context) is not None
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        found = self._candidate(box, context)
+        if found is None:
+            return False
+        reference, constant = found
+        self._derived_facts(context).add(self._fact(reference, constant))
+        box.predicates.append(ast.BinaryOp("=", reference, constant))
+        return True
+
+    @staticmethod
+    def _derived_facts(context: RewriteContext) -> set:
+        return context.scratch.setdefault("constprop_derived", set())
+
+    @staticmethod
+    def _fact(reference: QRef, constant: ast.Expression) -> tuple:
+        return (reference.quantifier.qid, reference.column.upper(),
+                repr(constant))
+
+    @classmethod
+    def _candidate(cls, box: SelectBox, context: RewriteContext):
+        """A (QRef, constant) pair implied by the conjuncts but not yet
+        present as its own equality conjunct.
+
+        Facts derived earlier in this fixpoint run are never derived
+        again (``context.scratch``): Pushdown may legitimately *move* a
+        derived equality into a lower DISTINCT/UNION box, and
+        re-deriving it here would ping-pong until the budget blows.
+        """
+        # Union-find over column references joined by equality conjuncts.
+        parent: dict[QRef, QRef] = {}
+
+        def find(ref: QRef) -> QRef:
+            parent.setdefault(ref, ref)
+            while parent[ref] is not ref:
+                parent[ref] = parent[parent[ref]]
+                ref = parent[ref]
+            return ref
+
+        constants: dict[QRef, ast.Expression] = {}
+        for predicate in box.predicates:
+            if not isinstance(predicate, ast.BinaryOp) \
+                    or predicate.op != "=":
+                continue
+            left, right = predicate.left, predicate.right
+            if isinstance(left, QRef) and isinstance(right, QRef):
+                parent[find(left)] = find(right)
+            for ref, value in ((left, right), (right, left)):
+                if isinstance(ref, QRef) and _is_constant(value):
+                    constants.setdefault(find(ref), value)
+        if not constants:
+            return None
+        # Normalize constants to class roots after all unions.
+        by_root: dict[QRef, ast.Expression] = {}
+        for ref, value in constants.items():
+            by_root.setdefault(find(ref), value)
+        present = set()
+        for predicate in box.predicates:
+            if isinstance(predicate, ast.BinaryOp) and predicate.op == "=":
+                for ref, value in ((predicate.left, predicate.right),
+                                   (predicate.right, predicate.left)):
+                    if isinstance(ref, QRef) and _is_constant(value):
+                        present.add(ref)
+        derived = cls._derived_facts(context)
+        for ref in parent:
+            constant = by_root.get(find(ref))
+            if constant is None or ref in present:
+                continue
+            if cls._fact(ref, constant) in derived:
+                continue
+            return ref, constant
+        return None
+
+
+class RedundantJoinElimination(Rule):
+    """Remove joins that cannot change the result (Sect. 3.2 spirit).
+
+    Two sound cases over *base-table* quantifiers:
+
+    * **self-join**: two ForEach quantifiers over the same table whose
+      rows are pairwise equated on a unique key refer to the same row;
+      the second quantifier is substituted away.
+    * **parent-join**: a ForEach quantifier over a parent table that is
+      referenced *only* by foreign-key join conjuncts from a child
+      quantifier whose FK columns are non-nullable: every child row
+      matches exactly one parent row, so the join neither filters nor
+      duplicates.
+    """
+
+    name = "JoinElim"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, SelectBox) and \
+            (self._self_join_candidate(box) is not None
+             or self._parent_join_candidate(box, context) is not None)
+
+    def apply(self, box: SelectBox, context: RewriteContext) -> bool:
+        found = self._self_join_candidate(box)
+        if found is not None:
+            keep, remove, equated = found
+            self._substitute(context.graph, keep, remove)
+            box.remove_quantifier(remove)
+            self._drop_tautologies(box, keep, equated)
+            return True
+        found = self._parent_join_candidate(box, context)
+        if found is not None:
+            remove, join_predicates = found
+            for predicate in join_predicates:
+                box.predicates.remove(predicate)
+            box.remove_quantifier(remove)
+            return True
+        return False
+
+    # -- self-join ------------------------------------------------------
+    @staticmethod
+    def _self_join_candidate(box: SelectBox):
+        foreach = [q for q in box.foreach_quantifiers()
+                   if isinstance(q.box, BaseBox)]
+        for i, keep in enumerate(foreach):
+            for remove in foreach[i + 1:]:
+                if remove.box.table.name != keep.box.table.name:
+                    continue
+                equated: set[str] = set()
+                for predicate in box.predicates:
+                    column = RedundantJoinElimination._pairwise_equality(
+                        predicate, keep, remove)
+                    if column is not None:
+                        equated.add(column)
+                if equated and columns_unique_in(keep.box, equated):
+                    return keep, remove, equated
+        return None
+
+    @staticmethod
+    def _pairwise_equality(predicate: ast.Expression, keep: Quantifier,
+                           remove: Quantifier):
+        """``keep.c = remove.c`` (same column, either order) -> 'C'."""
+        if not isinstance(predicate, ast.BinaryOp) or predicate.op != "=":
+            return None
+        left, right = predicate.left, predicate.right
+        if not (isinstance(left, QRef) and isinstance(right, QRef)):
+            return None
+        if {left.quantifier, right.quantifier} != {keep, remove}:
+            return None
+        if left.column.upper() != right.column.upper():
+            return None
+        return left.column.upper()
+
+    @staticmethod
+    def _substitute(graph: QGMGraph, keep: Quantifier,
+                    remove: Quantifier) -> None:
+        """Redirect every reference to ``remove`` (anywhere in the
+        graph, including correlated subquery boxes and outer-join
+        conditions) at ``keep``."""
+
+        def mapping(leaf):
+            if isinstance(leaf, QRef) and leaf.quantifier is remove:
+                return QRef(keep, leaf.column)
+            if isinstance(leaf, RidRef) and leaf.quantifier is remove:
+                return RidRef(keep)
+            return leaf
+
+        for box in graph.all_boxes():
+            rewrite_box_expressions(
+                box, lambda expression: replace_qrefs(expression, mapping))
+
+    @staticmethod
+    def _drop_tautologies(box: SelectBox, keep: Quantifier,
+                          equated: set[str]) -> None:
+        """Drop ``keep.c = keep.c`` conjuncts for non-nullable columns.
+
+        A nullable column keeps its (now self-referential) equality:
+        ``c = c`` is UNKNOWN for NULL, which the original join predicate
+        also rejected.
+        """
+        table = keep.box.table
+        non_nullable = {
+            column.name.upper() for column in table.columns
+            if not column.nullable or column.primary_key
+        }
+        kept: list[ast.Expression] = []
+        for predicate in box.predicates:
+            column = RedundantJoinElimination._pairwise_equality(
+                predicate, keep, keep)
+            if column is not None and column in equated \
+                    and column in non_nullable:
+                continue
+            kept.append(predicate)
+        box.predicates = kept
+
+    # -- parent-join ----------------------------------------------------
+    @staticmethod
+    def _parent_join_candidate(box: SelectBox, context: RewriteContext):
+        foreach = set(box.foreach_quantifiers())
+        for remove in box.foreach_quantifiers():
+            if not isinstance(remove.box, BaseBox):
+                continue
+            parent_table = remove.box.table
+            pk = {c.upper() for c in parent_table.primary_key}
+            if not pk:
+                continue
+            usable = RedundantJoinElimination._sole_fk_usage(
+                box, context, remove, foreach, pk)
+            if usable is not None:
+                return remove, usable
+        return None
+
+    @staticmethod
+    def _sole_fk_usage(box: SelectBox, context: RewriteContext,
+                       remove: Quantifier, foreach: set[Quantifier],
+                       pk: set[str]):
+        """The FK join conjuncts referencing ``remove`` — or None when
+        any other reference exists or the FK guarantee does not hold."""
+        join_predicates: list[ast.Expression] = []
+        matched: dict[Quantifier, dict[str, str]] = {}  # child -> pk->fk
+        for predicate in box.predicates:
+            if remove not in quantifiers_in(predicate):
+                continue
+            if not isinstance(predicate, ast.BinaryOp) \
+                    or predicate.op != "=":
+                return None
+            pair = None
+            for this, other in ((predicate.left, predicate.right),
+                                (predicate.right, predicate.left)):
+                if isinstance(this, QRef) and this.quantifier is remove \
+                        and isinstance(other, QRef) \
+                        and other.quantifier is not remove:
+                    pair = (this, other)
+                    break
+            if pair is None:
+                return None
+            parent_ref, child_ref = pair
+            child = child_ref.quantifier
+            if child not in foreach or not isinstance(child.box, BaseBox):
+                return None
+            columns = matched.setdefault(child, {})
+            existing = columns.get(parent_ref.column.upper())
+            if existing is not None \
+                    and existing != child_ref.column.upper():
+                # Two different child columns equated to one parent
+                # column imply child_col_a = child_col_b; dropping the
+                # join would lose that constraint.
+                return None
+            columns[parent_ref.column.upper()] = child_ref.column.upper()
+            join_predicates.append(predicate)
+        if not join_predicates:
+            return None
+        # No other expression anywhere may reference the parent
+        # quantifier (identity comparison: a structurally identical
+        # predicate elsewhere is still a separate reference).
+        join_ids = {id(p) for p in join_predicates}
+        for other_box in context.graph.all_boxes():
+            for expression in box_expressions(other_box):
+                if id(expression) in join_ids:
+                    continue
+                for node in walk_qgm_expression(expression):
+                    if isinstance(node, (QRef, RidRef)) \
+                            and node.quantifier is remove:
+                        return None
+        # One child must cover the full primary key through a declared
+        # FK whose child columns are all non-nullable.
+        parent_name = remove.box.table.name
+        for child, columns in matched.items():
+            if set(columns) != pk:
+                continue
+            child_table = child.box.table
+            for fk in context.catalog.foreign_keys_of(child_table.name):
+                if fk.parent_table.upper() != parent_name.upper():
+                    continue
+                fk_map = dict(zip(fk.parent_columns, fk.child_columns))
+                if {k.upper() for k in fk_map} != pk:
+                    continue
+                if any(columns.get(p.upper()) != c.upper()
+                       for p, c in fk_map.items()):
+                    continue
+                nullable = {
+                    column.name.upper() for column in child_table.columns
+                    if column.nullable and not column.primary_key
+                }
+                if any(c.upper() in nullable for c in fk.child_columns):
+                    continue
+                if len(matched) == 1:
+                    return join_predicates
+        return None
+
+
+class PruneColumns(Rule):
+    """Head pruning / projection pushdown as a first-class rule.
+
+    Wraps :func:`prune_unused_columns` so pruning participates in the
+    fixpoint (merges expose new dead columns; pruning in turn shrinks
+    the boxes later rules scan) and shows up in EXPLAIN's
+    rule-application counts.  Matches the TOP box so each engine sweep
+    runs the global pass exactly once.
+    """
+
+    name = "PruneColumns"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return isinstance(box, TopBox)
+
+    def apply(self, box: TopBox, context: RewriteContext) -> bool:
+        removed = prune_unused_columns(context.graph)
+        context.pruned_columns += removed
+        return removed > 0
+
+
+def default_nf_rules(prune: bool = True) -> list[Rule]:
+    """A fresh default rule catalog (rules are stateless but listed
+    per-engine for clarity).  ``prune=False`` drops the PruneColumns
+    rule — the pipeline's ``prune_columns`` toggle."""
+    from repro.rewrite.decorrelate import ScalarAggToJoin
+    from repro.rewrite.view_merge import ViewMerge
+
+    rules: list[Rule] = [
+        TrivialPredicateElimination(),
+        ExistentialToJoin(),
+        SelectMerge(),
+        ViewMerge(),
+        ScalarAggToJoin(),
+        ConstantPropagation(),
+        RedundantJoinElimination(),
+        PredicatePushdown(),
+        SetOpPushdown(),
+    ]
+    if prune:
+        rules.append(PruneColumns())
+    return rules
+
+
+DEFAULT_NF_RULES: list[Rule] = default_nf_rules(prune=False)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,61 @@
+"""View merging: give each consumer of a shared view its own copy.
+
+The QGM builder inlines a SQL view's derivation once per statement and
+lets every reference share that box, so ``SELECT ... FROM v a, v b``
+quantifies twice over one subgraph.  Sharing is exactly right for the
+XNF translator's connection boxes (evaluated once, Sect. 4.2) but wrong
+for plain SQL views: a shared box blocks :class:`SelectMerge`, so each
+consumer's predicates cannot push into its own copy and the view plans
+as an opaque derived table.
+
+:class:`ViewMerge` breaks the sharing *only* for boxes the builder
+tagged ``from_view``: the referencing quantifier is repointed at a deep
+copy of the view subgraph, after which the ordinary merge/pushdown/
+pruning rules specialize each copy independently — XNF components over
+views end up planning as single joins.
+"""
+
+from __future__ import annotations
+
+from repro.qgm.clone import clone_subgraph
+from repro.qgm.model import Box, SelectBox
+from repro.rewrite.engine import Rule, RewriteContext
+
+
+class ViewMerge(Rule):
+    """Clone a multiply-referenced view box for one of its consumers."""
+
+    name = "ViewMerge"
+
+    def matches(self, box: Box, context: RewriteContext) -> bool:
+        return self._candidate(box, context) is not None
+
+    def apply(self, box: Box, context: RewriteContext) -> bool:
+        quantifier = self._candidate(box, context)
+        if quantifier is None:
+            return False
+        quantifier.box = clone_subgraph(quantifier.box)
+        return True
+
+    @staticmethod
+    def _candidate(box: Box, context: RewriteContext):
+        counts = context.reference_counts()
+        for quantifier in box.quantifiers():
+            lower = quantifier.box
+            if not isinstance(lower, SelectBox):
+                continue
+            if lower.from_view is None:
+                continue
+            if counts.get(lower.box_id, 0) <= 1:
+                continue  # single consumer: SelectMerge/pushdown handle it
+            # Clone only when the copy is flattenable: a DISTINCT /
+            # ORDER BY / LIMIT view body stays shared — its (deduped)
+            # evaluation is the common subexpression the Spool operator
+            # materializes once, which beats per-consumer copies.
+            if lower.distinct or lower.order_by or lower.limit is not None \
+                    or lower.offset is not None:
+                continue
+            if any(column.expression is None for column in lower.head):
+                continue
+            return quantifier
+        return None

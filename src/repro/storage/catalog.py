@@ -10,7 +10,7 @@ constraints, since only the catalog can see both sides of a foreign key.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Sequence
+from typing import Any, Callable, Sequence
 
 from repro.errors import CatalogError, UpdateError
 from repro.storage.index import HashIndex, Index, OrderedIndex

@@ -193,7 +193,6 @@ class XNFExecutable:
         for name, info in self.translated.relationships.items():
             if not info.elided:
                 continue
-            child = info.children[0]
             connections = embedded_connections.get(name.upper(), [])
             result.relationships[name.upper()] = ConnectionStream(
                 name=name.upper(), number=info.number, role=info.role,

@@ -41,9 +41,7 @@ from repro.qgm.model import (BaseBox, Box, HeadColumn, OutputStream,
                              QGMGraph, QRef, Quantifier, RidRef, SelectBox,
                              SetOpBox, TopBox, XNFBox, XNFRelationship,
                              replace_qrefs)
-from repro.rewrite.engine import RuleEngine
-from repro.rewrite.nf_rules import (DEFAULT_NF_RULES, columns_unique_in,
-                                    equated_columns, prune_unused_columns)
+from repro.rewrite.nf_rules import columns_unique_in, equated_columns
 from repro.sql import ast
 from repro.storage.catalog import Catalog
 from repro.xnf.schema_graph import SchemaGraph
@@ -107,12 +105,29 @@ class TranslatedXNF:
 
 
 class XNFTranslator:
-    """Implements XNF semantic rewrite over a built XNF QGM graph."""
+    """Implements XNF semantic rewrite over a built XNF QGM graph.
+
+    ``compiler`` (a :class:`~repro.compiler.pipeline.CompilationPipeline`,
+    installed by the Database facade) supplies the post-translation NF
+    rewrite so XNF compilation shares the one rule catalog and fixpoint
+    budget; without one, the shared :func:`rewrite_fixpoint` runs with
+    defaults.
+    """
 
     def __init__(self, catalog: Catalog,
-                 options: Optional[XNFOptions] = None):
+                 options: Optional[XNFOptions] = None,
+                 compiler=None):
         self.catalog = catalog
         self.options = options or XNFOptions()
+        self.compiler = compiler
+
+    def _nf_rewrite(self, graph: QGMGraph) -> None:
+        """The shared NF cleanup pass over a translated graph."""
+        from repro.compiler.pipeline import rewrite_fixpoint
+        if self.compiler is not None:
+            self.compiler.rewrite_graph(graph)
+        else:
+            rewrite_fixpoint(graph, self.catalog)
 
     # ------------------------------------------------------------------
     def translate(self, graph: QGMGraph) -> TranslatedXNF:
@@ -450,8 +465,7 @@ class XNFTranslator:
 
         graph = QGMGraph(top=top, statement_kind="xnf")
         if self.options.apply_nf_rewrite:
-            RuleEngine(DEFAULT_NF_RULES).run(graph, self.catalog)
-            prune_unused_columns(graph)
+            self._nf_rewrite(graph)
         return TranslatedXNF(
             graph=graph, schema=schema, components=components,
             relationships=relationships,
@@ -579,8 +593,7 @@ class XNFTranslator:
             ))
         graph = QGMGraph(top=top, statement_kind="xnf")
         if self.options.apply_nf_rewrite:
-            RuleEngine(DEFAULT_NF_RULES).run(graph, self.catalog)
-            prune_unused_columns(graph)
+            self._nf_rewrite(graph)
         return TranslatedXNF(
             graph=graph, schema=schema, components=components,
             relationships=relationships, recursive=True,

@@ -29,7 +29,7 @@ from typing import Optional
 
 from repro.errors import NotUpdatableError, UpdateError, XNFError
 from repro.executor.expressions import ExpressionCompiler
-from repro.qgm.model import (BaseBox, QRef, Quantifier, RidRef, SelectBox,
+from repro.qgm.model import (BaseBox, QRef, Quantifier, SelectBox,
                              XNFBox, XNFRelationship, quantifiers_in)
 from repro.sql import ast
 from repro.storage.catalog import Catalog, DeltaRecorder

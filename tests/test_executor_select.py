@@ -135,10 +135,30 @@ class TestSubqueries:
                       "FROM DEPT WHERE dno = 1")
         assert result == [(None,)]
 
-    def test_correlated_scalar_rejected(self, simple_db):
-        with pytest.raises(SemanticError, match="correlated scalar"):
-            simple_db.query("SELECT (SELECT d.dname FROM DEPT d "
-                            "WHERE d.dno = e.edno) FROM EMP e")
+    def test_correlated_scalar_in_select_list(self, simple_db):
+        # Non-aggregate shape: served by nested re-execution.
+        result = simple_db.query(
+            "SELECT e.ename, (SELECT d.dname FROM DEPT d "
+            "WHERE d.dno = e.edno) FROM EMP e ORDER BY e.eno")
+        assert result.rows == [
+            ("ann", "Tools"), ("bob", "Apps"), ("carl", "Tools"),
+            ("dee", "DB"), ("eve", None),
+        ]
+
+    def test_correlated_scalar_aggregate_in_where(self, simple_db):
+        result = simple_db.query(
+            "SELECT e.ename FROM EMP e WHERE e.sal > "
+            "(SELECT AVG(e2.sal) FROM EMP e2 WHERE e2.edno = e.edno) "
+            "ORDER BY e.eno")
+        assert result.rows == [("ann",)]
+
+    def test_deeply_correlated_scalar_rejected(self, simple_db):
+        # Correlation may only reach the immediately enclosing block.
+        with pytest.raises(SemanticError, match="immediately enclosing"):
+            simple_db.query(
+                "SELECT * FROM DEPT d WHERE EXISTS (SELECT 1 FROM EMP e "
+                "WHERE e.sal > (SELECT AVG(e2.sal) FROM EMP e2 "
+                "WHERE e2.edno = d.dno))")
 
     def test_exists_under_or_rejected(self, simple_db):
         with pytest.raises(SemanticError, match="UNION"):

@@ -334,7 +334,7 @@ class TestIntegration:
     def test_savepoint_rollback_invalidates(self, org_mv_db):
         # A partial rollback that undoes an emitted delta must not
         # leave the eagerly maintained view believing it.
-        view = org_mv_db.matviews.get("deps_arc")
+        org_mv_db.matviews.get("deps_arc")  # ensure registered
         org_mv_db.begin()
         org_mv_db.transactions.savepoint("s")
         org_mv_db.execute(

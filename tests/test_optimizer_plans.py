@@ -1,7 +1,5 @@
 """Plan-shape tests: access paths, join methods, spools."""
 
-import pytest
-
 from repro.executor.runtime import PipelineOptions, QueryPipeline
 from repro.optimizer.optimizer import PlannerOptions
 from repro.optimizer.plan import (HashJoin, IndexNestedLoopJoin, IndexScan,

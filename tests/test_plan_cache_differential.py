@@ -26,7 +26,6 @@ import pytest
 
 from repro.api.database import Database
 from repro.executor.plan_cache import parameterize_select
-from repro.executor.runtime import PipelineOptions
 from repro.sql.parser import parse_statement
 from tests.test_differential_sqlite import (BASE_SEED, BOM_CHAINS,
                                             BOM_JOINS, BOM_TABLES,

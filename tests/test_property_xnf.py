@@ -4,7 +4,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.api.database import Database
-from repro.sql.parser import parse_statement
 from repro.xnf.translate import XNFOptions
 
 VIEW = """

@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import SemanticError
 from repro.qgm.builder import QGMBuilder
-from repro.qgm.model import (BaseBox, GroupByBox, OuterJoinBox, Quantifier,
+from repro.qgm.model import (BaseBox, GroupByBox, OuterJoinBox,
                              SelectBox, SetOpBox, XNFBox)
 from repro.sql.parser import parse_statement
 

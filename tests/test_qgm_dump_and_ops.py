@@ -1,7 +1,5 @@
 """QGM dump rendering and operation counting."""
 
-import pytest
-
 from repro.qgm.builder import QGMBuilder
 from repro.qgm.dump import dump_graph
 from repro.qgm.ops import (box_signature, count_operations,

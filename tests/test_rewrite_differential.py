@@ -1,0 +1,158 @@
+"""Differential oracle for the rewrite layer: rewritten == unrewritten.
+
+Every query runs through two engines over identical data — one with the
+full rule catalog, one with ``apply_nf_rewrite=False`` — and the row
+multisets must match.  The generator is biased toward the new rules'
+territory: join + constant equalities (ConstProp), self-joins and FK
+parent joins (JoinElim), stacked/dual view references (ViewMerge), and
+correlated scalar aggregates (ScalarAggToJoin), so any soundness slip
+in a rule shows up as a result difference.
+
+Tier-1 runs one fixed seed; ``REPRO_DIFF_SEEDS=<n>`` sweeps ``n``
+additional seeds (the CI rewrite-bench job widens it).
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.api.database import Database
+from repro.executor.runtime import PipelineOptions
+from repro.workloads.bom import BOMScale, create_bom_schema, populate_bom
+from repro.workloads.orgdb import OrgScale, create_org_schema, populate_org
+
+VIEW_DDL = (
+    "CREATE VIEW V_EMP_DEPT AS SELECT e.eno, e.ename, e.sal, e.edno, "
+    "d.dname, d.loc FROM EMP e, DEPT d WHERE e.edno = d.dno",
+    "CREATE VIEW V_EMP_RICH AS SELECT eno, ename, sal, loc "
+    "FROM V_EMP_DEPT WHERE sal > 10",
+)
+
+BOM_VIEW_DDL = (
+    "CREATE VIEW V_ASSEMBLY AS SELECT p.pno, p.pname, p.cost, c.child, "
+    "c.qty FROM PART p, CONTAINS c WHERE c.parent = p.pno",
+)
+
+
+def build_pair(seed: int) -> tuple[Database, Database]:
+    databases = []
+    for rewrite in (True, False):
+        db = Database(PipelineOptions(apply_nf_rewrite=rewrite))
+        create_org_schema(db.catalog)
+        populate_org(db.catalog, OrgScale(
+            departments=8, employees_per_dept=4, projects_per_dept=3,
+            skills=12, skills_per_employee=2, skills_per_project=2,
+            arc_fraction=0.3, seed=seed,
+        ))
+        for ddl in VIEW_DDL:
+            db.execute(ddl)
+        databases.append(db)
+    return databases[0], databases[1]
+
+
+def build_bom_pair(seed: int) -> tuple[Database, Database]:
+    databases = []
+    for rewrite in (True, False):
+        db = Database(PipelineOptions(apply_nf_rewrite=rewrite))
+        create_bom_schema(db.catalog)
+        populate_bom(db.catalog, BOMScale(roots=2, depth=3, fanout=3,
+                                          seed=seed))
+        for ddl in BOM_VIEW_DDL:
+            db.execute(ddl)
+        databases.append(db)
+    return databases[0], databases[1]
+
+
+def org_queries(rng: random.Random) -> list[str]:
+    dno = rng.randint(1, 8)
+    sal = rng.randint(10, 120)
+    eno = rng.randint(1, 32)
+    return [
+        # ConstProp territory: join + constant equality chains.
+        f"SELECT e.ename FROM EMP e, DEPT d WHERE e.edno = d.dno "
+        f"AND d.dno = {dno}",
+        f"SELECT e.ename, p.pname FROM EMP e, DEPT d, PROJ p "
+        f"WHERE e.edno = d.dno AND p.pdno = d.dno AND d.dno = {dno}",
+        # JoinElim: self-join on the primary key.
+        f"SELECT a.ename FROM EMP a, EMP b WHERE a.eno = b.eno "
+        f"AND b.sal > {sal}",
+        # JoinElim: FK parent join (EMPSKILLS.ESENO non-nullable).
+        "SELECT es.essno FROM EMPSKILLS es, EMP e WHERE es.eseno = e.eno",
+        # ...and the guarded nullable-FK case that must NOT fire.
+        "SELECT e.ename FROM EMP e, DEPT d WHERE e.edno = d.dno",
+        # ViewMerge: dual reference plus a view stack.
+        f"SELECT a.ename FROM V_EMP_DEPT a, V_EMP_DEPT b "
+        f"WHERE a.eno = b.eno AND b.sal > {sal}",
+        f"SELECT ename, sal FROM V_EMP_RICH WHERE eno = {eno}",
+        f"SELECT loc, sal FROM V_EMP_RICH WHERE sal > {sal}",
+        # ScalarAggToJoin: correlated aggregate in a comparison.
+        "SELECT e.ename FROM EMP e WHERE e.sal > "
+        "(SELECT AVG(e2.sal) FROM EMP e2 WHERE e2.edno = e.edno)",
+        f"SELECT d.dname FROM DEPT d WHERE {sal} < "
+        f"(SELECT MAX(e.sal) FROM EMP e WHERE e.edno = d.dno)",
+        # No-fire shapes served by nested execution in both engines.
+        "SELECT d.dname, (SELECT MIN(e.sal) FROM EMP e "
+        "WHERE e.edno = d.dno) FROM DEPT d",
+        f"SELECT d.dname FROM DEPT d WHERE {rng.randint(0, 2)} < "
+        f"(SELECT COUNT(*) FROM EMP e WHERE e.edno = d.dno)",
+        # EXISTS/E2F interplay with the new rules.
+        f"SELECT s.sname FROM SKILLS s WHERE EXISTS "
+        f"(SELECT 1 FROM EMPSKILLS es, EMP e WHERE es.essno = s.sno "
+        f"AND es.eseno = e.eno AND e.edno = {dno})",
+    ]
+
+
+def bom_queries(rng: random.Random) -> list[str]:
+    cost = rng.randint(1, 80)
+    return [
+        # FK parent join over the BOM mapping table.
+        "SELECT c.child, c.qty FROM CONTAINS c, PART p "
+        "WHERE c.parent = p.pno",
+        f"SELECT p.pname FROM PART p, CONTAINS c "
+        f"WHERE c.parent = p.pno AND p.cost > {cost}",
+        # Self-join elimination on PART.
+        f"SELECT a.pname FROM PART a, PART b WHERE a.pno = b.pno "
+        f"AND b.cost > {cost}",
+        # View over the assembly join, referenced twice.
+        f"SELECT a.pname FROM V_ASSEMBLY a, V_ASSEMBLY b "
+        f"WHERE a.pno = b.pno AND a.cost > {cost}",
+        # Correlated aggregate: parts costlier than their average child.
+        "SELECT p.pname FROM PART p WHERE p.cost > "
+        "(SELECT AVG(p2.cost) FROM PART p2, CONTAINS c2 "
+        "WHERE c2.child = p2.pno AND c2.parent = p.pno)",
+    ]
+
+
+def assert_equivalent(rewritten: Database, raw: Database,
+                      queries: list[str]) -> None:
+    for sql in queries:
+        left = sorted(rewritten.query(sql).rows)
+        right = sorted(raw.query(sql).rows)
+        assert left == right, f"rewrite changed the result of: {sql}"
+
+
+def sweep(seed: int) -> None:
+    rng = random.Random(seed)
+    rewritten, raw = build_pair(seed)
+    assert_equivalent(rewritten, raw, org_queries(rng))
+    bom_rewritten, bom_raw = build_bom_pair(seed)
+    assert_equivalent(bom_rewritten, bom_raw, bom_queries(rng))
+
+
+def test_rewrite_differential_fixed_seed():
+    sweep(1994)
+
+
+def extra_seeds() -> list[int]:
+    count = int(os.environ.get("REPRO_DIFF_SEEDS", "0"))
+    return [2000 + i for i in range(count)]
+
+
+@pytest.mark.parametrize("seed", extra_seeds() or [None])
+def test_rewrite_differential_extended(seed):
+    if seed is None:
+        pytest.skip("set REPRO_DIFF_SEEDS=<n> to sweep more seeds")
+    sweep(seed)

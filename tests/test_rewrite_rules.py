@@ -5,7 +5,7 @@ import pytest
 from repro.errors import RewriteError
 from repro.qgm.builder import QGMBuilder
 from repro.qgm.model import Quantifier, SelectBox
-from repro.rewrite.engine import RewriteContext, Rule, RuleEngine
+from repro.rewrite.engine import Rule, RuleEngine
 from repro.rewrite.nf_rules import (DEFAULT_NF_RULES, columns_unique_in,
                                     prune_unused_columns)
 from repro.sql.parser import parse_statement

@@ -1,6 +1,5 @@
 """Workload generator tests: determinism, shape, referential integrity."""
 
-from repro.storage.catalog import Catalog
 from repro.workloads.bom import BOMScale, build_bom_catalog
 from repro.workloads.oo1 import OO1Scale, build_oo1_catalog
 from repro.workloads.orgdb import OrgScale, build_org_catalog

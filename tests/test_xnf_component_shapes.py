@@ -1,8 +1,6 @@
 """XNF components with richer table expressions (Sect. 2: components
 are general table expressions)."""
 
-import pytest
-
 from repro.sql.parser import parse_statement
 from repro.workloads.orgdb import DEPS_ARC_QUERY
 

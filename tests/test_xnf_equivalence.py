@@ -5,8 +5,6 @@ option combinations, the translated multi-output plans must produce the
 same composite objects as the directly-implemented semantics.
 """
 
-import pytest
-
 from repro.api.database import Database
 from repro.executor.runtime import PipelineOptions
 from repro.optimizer.optimizer import PlannerOptions

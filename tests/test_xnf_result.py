@@ -3,7 +3,6 @@
 import pytest
 
 from repro.errors import XNFError
-from repro.workloads.orgdb import DEPS_ARC_QUERY
 
 
 @pytest.fixture
