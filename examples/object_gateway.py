@@ -10,20 +10,23 @@ with properties, role-named navigation methods and extents.
 Run:  python examples/object_gateway.py
 """
 
-from repro import Database, ObjectGateway
+from repro import Engine, ObjectGateway
 from repro.workloads.orgdb import (DEPS_ARC_QUERY, OrgScale,
                                    create_org_schema, populate_org)
 
 
 def main() -> None:
-    db = Database()
-    create_org_schema(db.catalog)
-    populate_org(db.catalog, OrgScale(departments=6,
-                                      employees_per_dept=4,
-                                      projects_per_dept=2, skills=10,
-                                      arc_fraction=0.34, seed=30))
+    engine = Engine()
+    db = engine.connect(label="app-client")
+    create_org_schema(engine.catalog)
+    populate_org(engine.catalog, OrgScale(departments=6,
+                                          employees_per_dept=4,
+                                          projects_per_dept=2, skills=10,
+                                          arc_fraction=0.34, seed=30))
     db.execute(f"CREATE VIEW deps_arc AS {DEPS_ARC_QUERY}")
 
+    # The gateway rides one session: its commits apply through that
+    # session's transaction scope on the shared engine.
     gateway = ObjectGateway(db)
     org = gateway.open("deps_arc", name="org")
 

@@ -1,20 +1,22 @@
 """Quickstart: from relational tables to a navigable composite object.
 
-Builds a small department/employee database, defines an XNF view over
-it (the paper's ``OUT OF ... RELATE ... TAKE`` constructor), extracts
-the composite object and navigates it through the client-side cache.
+Builds a small department/employee database on a shared Engine, runs
+SQL through a session's streaming cursor, defines an XNF view over it
+(the paper's ``OUT OF ... RELATE ... TAKE`` constructor), extracts the
+composite object and navigates it through the client-side cache.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import Database
+from repro import Engine
 
 
 def main() -> None:
-    db = Database()
+    engine = Engine()
+    session = engine.connect(label="quickstart")
 
     # --- plain SQL: schema and data ------------------------------------
-    db.execute_script("""
+    session.execute_script("""
     CREATE TABLE DEPT (DNO INT PRIMARY KEY, DNAME VARCHAR, LOC VARCHAR);
     CREATE TABLE EMP (ENO INT PRIMARY KEY, ENAME VARCHAR, EDNO INT,
                       SAL INT,
@@ -26,12 +28,27 @@ def main() -> None:
                            (12, 'carl', 1, 90), (13, 'dee', 3, 200);
     """)
 
-    # Ordinary SQL keeps working — XNF is strictly an extension.
-    print("ARC departments:",
-          db.query("SELECT dname FROM DEPT WHERE loc = 'ARC'").rows)
+    # Ordinary SQL keeps working — XNF is strictly an extension.  A
+    # cursor streams result blocks instead of materializing everything.
+    with session.cursor() as cursor:
+        cursor.execute("SELECT dname FROM DEPT WHERE loc = ?", ["ARC"])
+        print("ARC departments:", cursor.fetchall())
+
+    # Sessions have their own transaction scope over the shared engine;
+    # a reader never observes another session's uncommitted rows.
+    with engine.connect(label="auditor") as auditor:
+        session.begin()
+        session.execute("INSERT INTO EMP VALUES (14, 'eve', 1, 150)")
+        print("\nwriter sees",
+              session.query("SELECT COUNT(*) FROM EMP").rows[0][0],
+              "employees; auditor still sees",
+              auditor.query("SELECT COUNT(*) FROM EMP").rows[0][0])
+        session.commit()
+        print("after commit the auditor sees",
+              auditor.query("SELECT COUNT(*) FROM EMP").rows[0][0])
 
     # --- the XNF view: a composite-object abstraction -------------------
-    db.execute("""
+    session.execute("""
     CREATE VIEW arc_orgs AS
     OUT OF xdept AS (SELECT * FROM DEPT WHERE loc = 'ARC'),
            xemp AS EMP,
@@ -41,13 +58,13 @@ def main() -> None:
     """)
 
     # One set-oriented extraction materializes the whole CO.
-    co = db.xnf("arc_orgs")
+    co = session.xnf("arc_orgs")
     print(f"\nextracted {co.total_tuples()} tuples "
           f"({co.shipped_tuples} shipped; employment connections were "
           f"elided and rebuilt client-side)")
 
     # --- the CO cache: pointer navigation, no server round trips --------
-    cache = db.open_cache("arc_orgs")
+    cache = session.open_cache("arc_orgs")
     for dept in cache.extent("xdept"):
         employees = [f"{e.ename} (${e.sal}k)"
                      for e in dept.children("employment")]
@@ -65,11 +82,13 @@ def main() -> None:
     ann.set("SAL", 130)
     applied = cache.write_back()
     print(f"\nwrite-back applied {applied} change(s); server now says:",
-          db.query("SELECT sal FROM EMP WHERE ename = 'ann'").rows)
+          session.query("SELECT sal FROM EMP WHERE ename = 'ann'").rows)
 
     # --- composition: CO components are tables again ---------------------
     print("\navg ARC salary:",
-          db.query("SELECT AVG(sal) FROM arc_orgs.xemp").rows)
+          session.query("SELECT AVG(sal) FROM arc_orgs.xemp").rows)
+
+    engine.close()
 
 
 if __name__ == "__main__":

@@ -27,18 +27,22 @@ Quickstart::
         print(dept.dno, [e.eno for e in dept.children("employment")])
 """
 
+from repro.api.cursor import Cursor
 from repro.api.database import Database
+from repro.api.engine import Engine
 from repro.api.gateway import ObjectGateway, ObjectView
+from repro.api.session import Session
 from repro.api.transport import TransportSimulator
 from repro.cache.manager import XNFCache
 from repro.errors import ReproError
 from repro.executor.runtime import QueryResult
 from repro.xnf.result import COResult
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Database", "ObjectGateway", "ObjectView", "TransportSimulator",
+    "Engine", "Session", "Cursor", "Database",
+    "ObjectGateway", "ObjectView", "TransportSimulator",
     "XNFCache", "ReproError", "QueryResult", "COResult",
     "__version__",
 ]

@@ -1,12 +1,18 @@
-"""Public API: database facade, transport simulation, object gateway."""
+"""Public API: engine/session surface, database facade, transport
+simulation, object gateway."""
 
+from repro.api.cursor import Cursor
 from repro.api.database import Database
+from repro.api.engine import Engine
 from repro.api.gateway import ObjectGateway, ObjectView
+from repro.api.prepared import PreparedStatement
+from repro.api.session import Session
 from repro.api.transport import (TransportSimulator, TransportStats,
                                  tuple_size, value_size)
 
 __all__ = [
-    "Database",
+    "Engine", "Session", "Cursor",
+    "Database", "PreparedStatement",
     "ObjectGateway", "ObjectView",
     "TransportSimulator", "TransportStats", "tuple_size", "value_size",
 ]

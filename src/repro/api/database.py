@@ -1,8 +1,11 @@
-"""The public database facade.
+"""The public database facade — one engine plus one default session.
 
-One object wiring the whole Fig. 2 pipeline together: parse ->
-QGM build -> (XNF semantic rewrite ->) NF rewrite -> plan -> execute,
-plus DDL, DML (atomic), transactions, XNF views, CO caches, and EXPLAIN.
+Historically this object *was* the whole public surface: a single
+client with one implicit transaction.  The engine/session split moved
+the shared state into :class:`~repro.api.engine.Engine` and the
+per-client state into :class:`~repro.api.session.Session`;
+``Database`` remains as a thin back-compat facade over an engine and
+its default session, so existing code keeps working unchanged:
 
     db = Database()
     db.execute("CREATE TABLE DEPT (DNO INT PRIMARY KEY, LOC VARCHAR)")
@@ -10,399 +13,183 @@ plus DDL, DML (atomic), transactions, XNF views, CO caches, and EXPLAIN.
     db.execute("CREATE VIEW deps AS OUT OF ... TAKE *")
     co = db.xnf("deps")              # a materialized COResult
     cache = db.open_cache("deps")    # a navigable client cache
+
+New code — and anything that needs concurrent clients, streaming
+cursors, or explicit transaction scoping — should use the engine
+surface directly:
+
+    engine = db.engine               # or Engine() standalone
+    with engine.connect() as session:
+        with session.cursor() as cur:
+            cur.execute("SELECT * FROM DEPT WHERE dno = ?", [1])
+            rows = cur.fetchall()
+
+The implicit-transaction methods (``begin``/``commit``/``rollback``)
+emit :class:`DeprecationWarning`: they operate the *default session's*
+transaction, which is ambiguous the moment a second session exists.
+Use ``session.begin()`` (or a session context manager) instead.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
+import warnings
 from typing import Optional, Union
 
-from repro.api.prepared import PreparedStatement
-from repro.compiler.pipeline import CompilationTrace
-from repro.errors import CatalogError, SemanticError
-from repro.executor.dml import DMLExecutor
-from repro.executor.plan_cache import CacheInfo
-from repro.executor.runtime import (PipelineOptions, QueryPipeline,
-                                    QueryResult)
+from repro.api.engine import Engine
+from repro.api.session import ExecuteResult, Session
+from repro.errors import InterfaceError
+from repro.executor.runtime import PipelineOptions, QueryResult
 from repro.cache.manager import XNFCache
-from repro.cache.matview import (MaterializedView,
-                                 MaterializedViewRegistry)
-from repro.qgm.dump import dump_graph
-from repro.qgm.model import Box
+from repro.cache.matview import MaterializedView
 from repro.sql import ast
-from repro.sql.parser import parse_statement
-from repro.storage.catalog import Catalog, ViewDefinition
-from repro.storage.stats import StatisticsManager
 from repro.storage.table import Table
-from repro.storage.transactions import TransactionManager
-from repro.storage.types import Column, type_from_name
-from repro.xnf.naive import NaiveXNFEvaluator
 from repro.xnf.result import COResult, XNFExecutable
-from repro.xnf.translate import XNFOptions, XNFTranslator
+from repro.xnf.translate import XNFOptions
 
-ExecuteResult = Union[QueryResult, COResult, int, None]
+__all__ = ["Database", "ExecuteResult"]
 
 
 class Database:
-    """An embedded XNF-capable relational database."""
+    """An embedded XNF-capable relational database (facade)."""
 
     def __init__(self, pipeline_options: Optional[PipelineOptions] = None,
                  xnf_options: Optional[XNFOptions] = None):
-        self.catalog = Catalog()
-        # Subscribed: DML deltas invalidate statistics (and, on material
-        # drift, the plan-cache stats epoch) automatically.
-        self.stats = StatisticsManager(self.catalog, subscribe=True)
-        self.transactions = TransactionManager(self.catalog)
-        self.pipeline_options = pipeline_options or PipelineOptions()
-        self.xnf_options = xnf_options or XNFOptions()
-        self.pipeline = QueryPipeline(
-            self.catalog, self.stats, self.pipeline_options,
-            xnf_component_resolver=self._resolve_xnf_component,
-        )
-        self.dml = DMLExecutor(self.pipeline)
-        self.matviews = MaterializedViewRegistry(
-            self.catalog, self._matview_executable)
-        self.catalog.delta_listeners.append(self._on_table_delta)
-        # Deltas emitted inside a rolled-back transaction were undone;
-        # eagerly maintained views must recompute from the base tables.
-        self.transactions.rollback_listeners.append(self._on_rollback)
-        # Statement-text cache above the plan cache: exact-text repeats
-        # skip the lexer/parser entirely.  Parsing is schema-independent
-        # (ASTs are unresolved), so entries never need invalidation;
-        # the LRU bound only caps memory.  Disabled with the plan cache
-        # so `plan_cache_size=0` measures true full-pipeline cost.
-        self._parse_cache: OrderedDict[str, ast.Statement] = OrderedDict()
-        self._parse_cache_capacity = \
-            2 * max(self.pipeline_options.plan_cache_size, 0)
-
-    def _parse(self, sql: str) -> ast.Statement:
-        if self._parse_cache_capacity <= 0:
-            return parse_statement(sql)
-        statement = self._parse_cache.get(sql)
-        if statement is not None:
-            self._parse_cache.move_to_end(sql)
-            return statement
-        statement = parse_statement(sql)
-        self._parse_cache[sql] = statement
-        while len(self._parse_cache) > self._parse_cache_capacity:
-            self._parse_cache.popitem(last=False)
-        return statement
-
-    def _on_table_delta(self, delta) -> None:
-        if self.transactions.in_transaction:
-            self.transactions.current.delta_count += 1
-        self.matviews.on_table_delta(delta)
-
-    def _on_rollback(self, _txn) -> None:
-        # The transaction manager only calls this when published deltas
-        # were actually undone (full rollback or savepoint crossing an
-        # emission).
-        self.matviews.invalidate_all()
+        self.engine = Engine(pipeline_options, xnf_options)
+        self.session: Session = self.engine.connect(label="default")
 
     # ------------------------------------------------------------------
-    # Statement execution
+    # Shared state (owned by the engine)
+    # ------------------------------------------------------------------
+    @property
+    def catalog(self):
+        return self.engine.catalog
+
+    @property
+    def stats(self):
+        return self.engine.stats
+
+    @property
+    def transactions(self):
+        return self.engine.transactions
+
+    @property
+    def pipeline(self):
+        return self.engine.pipeline
+
+    @property
+    def pipeline_options(self) -> PipelineOptions:
+        return self.engine.pipeline_options
+
+    @property
+    def xnf_options(self) -> XNFOptions:
+        return self.engine.xnf_options
+
+    @property
+    def dml(self):
+        return self.engine.dml
+
+    @property
+    def matviews(self):
+        return self.engine.matviews
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+    def connect(self, **options) -> Session:
+        """Open an additional session on this database's engine."""
+        return self.engine.connect(**options)
+
+    def close(self) -> None:
+        """Close the engine (and with it every session)."""
+        self.engine.close()
+
+    @property
+    def closed(self) -> bool:
+        return self.engine.closed
+
+    def __enter__(self) -> "Database":
+        if self.closed:
+            raise InterfaceError("operation on a closed engine")
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def cursor(self):
+        """A streaming cursor over the default session."""
+        return self.session.cursor()
+
+    # ------------------------------------------------------------------
+    # Statement execution (default session)
     # ------------------------------------------------------------------
     def execute(self, sql: str, params=None) -> ExecuteResult:
-        """Run one statement of any kind; return type depends on it.
-
-        ``params`` binds ``?`` (sequence) or ``:name`` (mapping)
-        markers for SELECT and DML statements.
-        """
-        statement = self._parse(sql)
-        return self.execute_statement(statement, params=params)
+        """Run one statement of any kind; return type depends on it."""
+        return self.session.execute(sql, params=params)
 
     def execute_statement(self, statement: ast.Statement,
                           params=None) -> ExecuteResult:
-        if isinstance(statement, ast.SelectStatement):
-            return self.pipeline.run_select(statement, params=params)
-        if isinstance(statement, ast.XNFQuery):
-            return self.run_xnf_query(statement)
-        if isinstance(statement, ast.InsertStatement):
-            return self.transactions.run_atomic(
-                lambda: self.dml.insert(statement, params))
-        if isinstance(statement, ast.UpdateStatement):
-            return self.transactions.run_atomic(
-                lambda: self.dml.update(statement, params))
-        if isinstance(statement, ast.DeleteStatement):
-            return self.transactions.run_atomic(
-                lambda: self.dml.delete(statement, params))
-        if isinstance(statement, ast.AnalyzeStatement):
-            return self.analyze(statement.table)
-        if isinstance(statement, ast.CreateTableStatement):
-            self._create_table(statement)
-            return None
-        if isinstance(statement, ast.CreateIndexStatement):
-            self.catalog.create_index(statement.name, statement.table,
-                                      list(statement.columns),
-                                      unique=statement.unique)
-            return None
-        if isinstance(statement, ast.CreateViewStatement):
-            self._create_view(statement)
-            return None
-        if isinstance(statement, ast.CreateMaterializedViewStatement):
-            self.create_materialized_view(statement.name, statement.query,
-                                          policy=statement.policy)
-            return None
-        if isinstance(statement, ast.RefreshStatement):
-            return self.refresh_materialized_view(statement.name,
-                                                  full=statement.full)
-        if isinstance(statement, ast.DropStatement):
-            self._drop(statement)
-            return None
-        raise SemanticError(f"cannot execute {type(statement).__name__}")
+        return self.session.execute_statement(statement, params=params)
 
     def query(self, sql: str, params=None) -> QueryResult:
-        """Run a SELECT and return its result.
+        """Run a SELECT and return its result (plan-cache backed)."""
+        return self.session.query(sql, params=params)
 
-        Repeated queries hit the auto-parameterizing plan cache: two
-        calls differing only in literal constants (or bound parameter
-        values) share one compiled plan.
-        """
-        statement = self._parse(sql)
-        if not isinstance(statement, ast.SelectStatement):
-            raise SemanticError("query() expects a SELECT statement")
-        return self.pipeline.run_select(statement, params=params)
-
-    def prepare(self, sql: str) -> PreparedStatement:
-        """Parse (and pre-parameterize) a statement for repeated runs.
-
-        The returned object's :meth:`~PreparedStatement.run` binds
-        parameter values and executes through the plan cache, skipping
-        parse *and* compile on every execution after the first.
-        """
-        return PreparedStatement(self, sql, parse_statement(sql))
+    def prepare(self, sql: str):
+        """Parse (and pre-parameterize) a statement for repeated runs."""
+        return self.session.prepare(sql)
 
     def analyze(self, table: Optional[str] = None) -> int:
-        """Recompute optimizer statistics (the ``ANALYZE`` statement).
-
-        Returns the number of tables analyzed.  Advances the statistics
-        epoch, so cached plans recompile against the new distributions.
-        """
-        return self.stats.analyze(table)
+        """Recompute optimizer statistics (the ``ANALYZE`` statement)."""
+        return self.session.analyze(table)
 
     def execute_script(self, sql: str) -> list[ExecuteResult]:
-        from repro.sql.parser import parse_script
-        return [self.execute_statement(s) for s in parse_script(sql)]
+        """Run a multi-statement script atomically (all-or-nothing for
+        table data; a mid-script failure rolls earlier statements
+        back)."""
+        return self.session.execute_script(sql)
 
     # ------------------------------------------------------------------
-    # DDL
-    # ------------------------------------------------------------------
-    def _create_table(self, statement: ast.CreateTableStatement) -> None:
-        pk = {c.upper() for c in statement.primary_key}
-        columns = []
-        for definition in statement.columns:
-            is_pk = definition.primary_key or definition.name.upper() in pk
-            columns.append(Column(
-                name=definition.name.upper(),
-                data_type=type_from_name(definition.type_name,
-                                         definition.type_length),
-                nullable=definition.nullable and not is_pk,
-                primary_key=is_pk,
-            ))
-        self.catalog.create_table(statement.name, columns)
-        for number, fk in enumerate(statement.foreign_keys):
-            name = fk.name or f"FK_{statement.name}_{number}".upper()
-            self.catalog.add_foreign_key(
-                name, statement.name, list(fk.columns),
-                fk.parent_table, list(fk.parent_columns),
-            )
-
-    def _create_view(self, statement: ast.CreateViewStatement) -> None:
-        view = ViewDefinition(
-            name=statement.name,
-            definition=statement.query,
-            text="",
-            is_xnf=statement.is_xnf,
-            column_names=tuple(c.upper() for c in statement.column_names),
-        )
-        # Validate eagerly: building the QGM catches bad references.
-        if not statement.is_xnf:
-            self.pipeline.compiler.build_select(statement.query)
-        else:
-            self.pipeline.compiler.build_xnf(statement.query,
-                                             view_name=statement.name)
-        self.catalog.create_view(view)
-
-    def _drop(self, statement: ast.DropStatement) -> None:
-        if statement.kind == "TABLE":
-            dependent = [view.name for view in self.matviews.views()
-                         if statement.name.upper() in view.base_tables]
-            if dependent:
-                raise CatalogError(
-                    f"cannot drop table {statement.name!r}: materialized "
-                    f"views {dependent} are defined over it"
-                )
-            self.catalog.drop_table(statement.name)
-            self.stats.invalidate(statement.name)
-        elif statement.kind == "VIEW":
-            if self.catalog.has_view(statement.name) \
-                    and self.catalog.view(statement.name).materialized:
-                raise CatalogError(
-                    f"{statement.name!r} is a materialized view; use "
-                    f"DROP MATERIALIZED VIEW"
-                )
-            self.catalog.drop_view(statement.name)
-        elif statement.kind == "MATERIALIZED VIEW":
-            self.matviews.drop(statement.name)
-            self.catalog.drop_view(statement.name)
-        elif statement.kind == "INDEX":
-            self.catalog.drop_index(statement.name)
-        else:  # pragma: no cover - parser restricts kinds
-            raise SemanticError(f"cannot drop {statement.kind}")
-
-    # ------------------------------------------------------------------
-    # XNF entry points
+    # XNF entry points (default session)
     # ------------------------------------------------------------------
     def xnf_executable(self, source: Union[str, ast.XNFQuery],
                        xnf_options: Optional[XNFOptions] = None,
                        ) -> XNFExecutable:
         """Compile an XNF query (text, view name, or AST) to plans."""
-        query, view_name = self._xnf_query_of(source)
-        return self._compile_xnf(query, view_name, xnf_options)
-
-    def _compile_xnf(self, query: ast.XNFQuery, view_name: str,
-                     xnf_options: Optional[XNFOptions] = None
-                     ) -> XNFExecutable:
-        """Compile an XNF query, read through the plan cache.
-
-        The XNF read path is hot for gateway navigation: repeated
-        ``db.xnf()`` / ``open_cache()`` calls over the same view reuse
-        the translated graph and physical plans.  Entries invalidate
-        with the catalog schema version (view/DDL changes) and the
-        statistics epoch like any cached plan.
-        """
-        options = xnf_options or self.xnf_options
-        key = ("xnf", query, view_name, options.output_optimization,
-               options.apply_nf_rewrite,
-               self.pipeline._options_signature())
-        return self.pipeline.cached_compile(
-            key,
-            lambda: self._compile_xnf_fresh(query, view_name, options),
-            tables_of=lambda executable: self.pipeline.graph_tables(
-                executable.translated.graph),
-        )
-
-    def _compile_xnf_fresh(self, query: ast.XNFQuery, view_name: str,
-                           options: XNFOptions) -> XNFExecutable:
-        graph = self.pipeline.compiler.build_xnf(query,
-                                                 view_name=view_name)
-        translator = XNFTranslator(self.catalog, options,
-                                   compiler=self.pipeline.compiler)
-        translated = translator.translate(graph)
-        return XNFExecutable(translated, self.catalog, self.stats,
-                             self.pipeline_options.planner)
+        return self.session.xnf_executable(source,
+                                           xnf_options=xnf_options)
 
     def run_xnf_query(self, source: Union[str, ast.XNFQuery]) -> COResult:
-        query, view_name = self._xnf_query_of(source)
-        # Read-through: a query structurally equal to a registered
-        # materialized view's definition is served from the
-        # materialization (refreshed per its staleness policy).
-        materialized = self.matviews.lookup_query(query)
-        if materialized is not None:
-            return materialized.read()
-        return self._compile_xnf(query, view_name).run()
+        return self.session.run_xnf_query(source)
 
     def xnf(self, source: Union[str, ast.XNFQuery]) -> COResult:
         """Materialize a CO view (alias of :meth:`run_xnf_query`)."""
-        return self.run_xnf_query(source)
+        return self.session.xnf(source)
 
     def xnf_naive(self, source: Union[str, ast.XNFQuery]) -> COResult:
         """Evaluate with the reference (unoptimized) evaluator."""
-        query, view_name = self._xnf_query_of(source)
-        graph = self.pipeline.compiler.build_xnf(query,
-                                                 view_name=view_name)
-        return NaiveXNFEvaluator(self.catalog, self.stats).evaluate(graph)
+        return self.session.xnf_naive(source)
+
+    def open_cache(self, source: Union[str, ast.XNFQuery]) -> XNFCache:
+        """Evaluate a CO view into a navigable client-side cache."""
+        return self.session.open_cache(source)
 
     # ------------------------------------------------------------------
-    # Materialized XNF views (delta-maintained; repro.cache.matview)
+    # Materialized XNF views (default session)
     # ------------------------------------------------------------------
-    def _matview_executable(self, query: ast.XNFQuery) -> XNFExecutable:
-        """Compile a materialized view's definition.
-
-        The output optimization is disabled so the stored representation
-        always carries explicit connection streams — the canonical form
-        the delta engine maintains.
-        """
-        options = XNFOptions(
-            output_optimization=False,
-            apply_nf_rewrite=self.xnf_options.apply_nf_rewrite,
-        )
-        return self.xnf_executable(query, xnf_options=options)
-
     def create_materialized_view(self, name: str,
                                  source: Union[str, ast.XNFQuery],
                                  policy: str = "eager"
                                  ) -> MaterializedView:
-        """Register, evaluate and store a materialized CO view.
-
-        The view is also entered in the catalog (so its components
-        compose into SQL like any XNF view's).  ``policy`` is 'eager'
-        or 'deferred'.
-        """
-        query, _view_name = self._xnf_query_of(source)
-        self.catalog._check_fresh(name)
-        view = self.matviews.create(name, query, policy=policy)
-        self.catalog.create_view(ViewDefinition(
-            name=name, definition=query, text="", is_xnf=True,
-            materialized=True,
-        ))
-        return view
+        return self.session.create_materialized_view(name, source,
+                                                     policy=policy)
 
     def refresh_materialized_view(self, name: str,
                                   full: bool = False) -> COResult:
-        """Apply queued deltas (or recompute with ``full=True``)."""
-        return self.matviews.get(name).refresh(full=full)
+        return self.session.refresh_materialized_view(name, full=full)
 
     def matview(self, name: str) -> COResult:
         """Read a materialized view per its staleness policy."""
-        return self.matviews.get(name).read()
-
-    def open_cache(self, source: Union[str, ast.XNFQuery]) -> XNFCache:
-        """Evaluate a CO view into a navigable client-side cache."""
-        executable = self.xnf_executable(source)
-        return XNFCache.evaluate(executable, catalog=self.catalog,
-                                 transactions=self.transactions)
-
-    def _xnf_query_of(self, source: Union[str, ast.XNFQuery]
-                      ) -> tuple[ast.XNFQuery, str]:
-        if isinstance(source, ast.XNFQuery):
-            return source, "XNF"
-        text = source.strip()
-        if " " not in text and self.catalog.has_view(text):
-            view = self.catalog.view(text)
-            if not view.is_xnf:
-                raise SemanticError(f"view {text!r} is not an XNF view")
-            return view.definition, view.name
-        statement = parse_statement(source)
-        if not isinstance(statement, ast.XNFQuery):
-            raise SemanticError("expected an XNF query (OUT OF ... TAKE)")
-        return statement, "XNF"
-
-    def _resolve_xnf_component(self, view_name: str,
-                               component: str) -> Box:
-        """FROM-clause hook: ``viewname.component`` resolves to the
-        component's reachability-restricted derivation — XNF's closure
-        under composition (Sect. 2)."""
-        view = self.catalog.view(view_name)
-        if not view.is_xnf:
-            raise SemanticError(f"{view_name!r} is not an XNF view")
-        graph = self.pipeline.compiler.build_xnf(view.definition,
-                                                 view_name=view.name)
-        translated = XNFTranslator(
-            self.catalog, self.xnf_options,
-            compiler=self.pipeline.compiler).translate(graph)
-        key = component.upper()
-        info = translated.components.get(key)
-        if info is None:
-            raise CatalogError(
-                f"XNF view {view_name!r} has no component {component!r}"
-            )
-        if translated.recursive:
-            raise SemanticError(
-                "components of recursive XNF views cannot be composed "
-                "into other queries"
-            )
-        return info.final_box
+        return self.session.matview(name)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -420,60 +207,30 @@ class Database:
         ordered list of rewrite rules that fired; the compile bypasses
         the plan cache, since a cache hit has no rewrite to trace.
         """
-        statement = parse_statement(sql)
-        if isinstance(statement, ast.SelectStatement):
-            trace = None
-            if rewrite_trace:
-                trace = CompilationTrace()
-                compiled = self.pipeline.compile_select(statement,
-                                                        trace=trace)
-                self.pipeline.plan_cache.last_info = CacheInfo(
-                    status="bypass", reason="rewrite trace requested")
-            else:
-                compiled, _bindings = self.pipeline.compile_select_cached(
-                    statement)
-            parts = ["-- QGM (after rewrite) --",
-                     dump_graph(compiled.graph),
-                     "-- plan --", compiled.plan.explain()]
-            if compiled.rewrite_context is not None:
-                parts.append(
-                    f"-- rewrites: {compiled.rewrite_context.applications}"
-                )
-            if trace is not None:
-                parts.append(trace.render())
-            parts.append(self._explain_cache_section())
-            return "\n".join(parts)
-        if isinstance(statement, ast.XNFQuery):
-            executable = self.xnf_executable(statement)
-            return "\n".join(["-- XNF QGM (after semantic rewrite) --",
-                              dump_graph(executable.translated.graph),
-                              "-- plan --", executable.explain(),
-                              self._explain_cache_section()])
-        raise SemanticError("EXPLAIN supports SELECT and XNF queries")
-
-    def _explain_cache_section(self) -> str:
-        info = self.pipeline.plan_cache.last_info
-        lines = ["-- plan cache --", f"status: {info.status}"]
-        if info.fingerprint:
-            lines.append(f"fingerprint: {info.fingerprint}")
-        if info.reason:
-            lines.append(f"reason: {info.reason}")
-        if info.status != "bypass":
-            lines.append(f"schema_version: {info.schema_version}, "
-                         f"stats_epoch: {info.stats_epoch}")
-        return "\n".join(lines)
+        return self.session.explain(sql, rewrite_trace=rewrite_trace)
 
     def table(self, name: str) -> Table:
-        return self.catalog.table(name)
+        return self.session.table(name)
 
     # ------------------------------------------------------------------
-    # Transactions
+    # Transactions (deprecated: implicitly the default session's)
     # ------------------------------------------------------------------
+    def _warn_implicit(self, method: str) -> None:
+        warnings.warn(
+            f"Database.{method}() drives the default session's "
+            f"transaction implicitly; use engine.connect() and "
+            f"session.{method}() for explicit per-client scoping",
+            DeprecationWarning, stacklevel=3,
+        )
+
     def begin(self) -> None:
-        self.transactions.begin()
+        self._warn_implicit("begin")
+        self.session.begin()
 
     def commit(self) -> None:
-        self.transactions.commit()
+        self._warn_implicit("commit")
+        self.session.commit()
 
     def rollback(self) -> None:
-        self.transactions.rollback()
+        self._warn_implicit("rollback")
+        self.session.rollback()

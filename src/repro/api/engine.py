@@ -1,0 +1,555 @@
+"""The shared engine behind every session.
+
+The paper positions composite-object views as a *server-side* facility
+that many application clients consume through cursors and shipped
+result blocks (Sect. 2, Sect. 7).  This module is that server side:
+one :class:`Engine` owns everything shared — catalog, storage,
+statistics, the auto-parameterizing plan cache, the materialized-view
+registry and the XNF compile cache — and hands out
+:class:`~repro.api.session.Session` objects (``engine.connect()``),
+each with its own transaction scope, statement cache and options.
+
+Concurrency model (read-committed, serialized writers)
+======================================================
+
+* **Writer latch** — at most one session holds uncommitted writes.  A
+  session acquires the latch on its first mutating statement and keeps
+  it until its transaction commits or rolls back (auto-commit
+  statements release it at statement end).  A second writer blocks (in
+  another thread) or fails fast with :class:`TransactionError` (same
+  thread, where blocking would self-deadlock).
+* **Statement latch** — a reader/writer lock scoped to single
+  statements: mutations and commit/rollback run exclusive, reads run
+  shared.  It only guards physical structures (slot lists, indexes);
+  it is never held across user code, so open transactions do not block
+  readers.
+* **Committed-state read views** — a reader overlapping another
+  session's open write transaction sees the *committed* database: the
+  writer's undo log is distilled into per-table overlays
+  (:class:`~repro.storage.table.TableReadView`) installed around the
+  read.  The writing session itself reads without overlays and thus
+  sees its own uncommitted changes.
+
+Deltas feeding derived state (statistics, materialized views) are
+buffered on the emitting session's transaction and published at its
+commit — see :mod:`repro.storage.transactions`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Optional, Union
+
+from repro.errors import (CatalogError, InterfaceError, SemanticError,
+                          TransactionError)
+from repro.executor.dml import DMLExecutor
+from repro.executor.runtime import PipelineOptions, QueryPipeline
+from repro.cache.matview import MaterializedViewRegistry
+from repro.qgm.model import Box
+from repro.sql import ast
+from repro.storage.catalog import Catalog
+from repro.storage.stats import StatisticsManager
+from repro.storage.table import TableReadView, read_views
+from repro.storage.transactions import (DEFAULT_SCOPE, Transaction,
+                                        TransactionManager)
+from repro.xnf.result import XNFExecutable
+from repro.xnf.translate import XNFOptions, XNFTranslator
+
+
+class StatementTextCache:
+    """A bounded LRU of statement text -> parsed (immutable) AST.
+
+    Parsing is schema-independent, so entries never invalidate; the
+    bound only caps memory.  Capacity <= 0 disables the cache.  Used at
+    two levels: one shared (locked) instance on the engine, one small
+    lock-free instance per session in front of it.
+    """
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, ast.Statement]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, sql: str):
+        statement = self._entries.get(sql)
+        if statement is not None:
+            self._entries.move_to_end(sql)
+        return statement
+
+    def put(self, sql: str, statement) -> None:
+        self._entries[sql] = statement
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class _StatementLatch:
+    """A reentrant reader/writer lock for statement execution.
+
+    Shared for reads, exclusive for mutations.  The exclusive holder's
+    thread may re-enter in either mode (a DML statement runs SELECT
+    internally); plain readers may nest shared acquisitions.  Lock
+    *upgrades* (shared holder requesting exclusive) are a programming
+    error and raise instead of deadlocking.
+    """
+
+    def __init__(self, timeout: float):
+        self._cond = threading.Condition()
+        self._timeout = timeout
+        self._readers: dict[int, int] = {}
+        self._writer: Optional[int] = None
+        self._writer_depth = 0
+
+    def _wait(self, predicate, what: str) -> None:
+        if not self._cond.wait_for(predicate, timeout=self._timeout):
+            raise TransactionError(
+                f"timed out after {self._timeout}s waiting for {what}")
+
+    @contextmanager
+    def shared(self):
+        tid = threading.get_ident()
+        with self._cond:
+            if self._writer != tid:
+                self._wait(lambda: self._writer is None,
+                           "a concurrent statement to finish")
+            self._readers[tid] = self._readers.get(tid, 0) + 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers[tid] -= 1
+                if not self._readers[tid]:
+                    del self._readers[tid]
+                self._cond.notify_all()
+
+    @contextmanager
+    def exclusive(self):
+        tid = threading.get_ident()
+        with self._cond:
+            if self._writer == tid:
+                self._writer_depth += 1
+            else:
+                if self._readers.get(tid):
+                    raise TransactionError(
+                        "cannot start a mutating statement from inside "
+                        "a read (lock upgrade)")
+                self._wait(
+                    lambda: self._writer is None and not any(
+                        t != tid for t in self._readers),
+                    "concurrent readers to finish",
+                )
+                self._writer = tid
+                self._writer_depth = 1
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer_depth -= 1
+                if not self._writer_depth:
+                    self._writer = None
+                self._cond.notify_all()
+
+
+class _WriterLatch:
+    """Serializes *write transactions*: one uncommitted writer at most.
+
+    Held by a session from its first write until its transaction ends.
+    Waiting is only meaningful across threads; a conflict between two
+    sessions driven by the same thread raises immediately (blocking
+    would deadlock the thread against itself).
+    """
+
+    def __init__(self, timeout: float):
+        self._cond = threading.Condition()
+        self._timeout = timeout
+        self.owner = None  # the Session holding uncommitted writes
+        self._owner_thread: Optional[int] = None
+
+    def acquire(self, session) -> None:
+        tid = threading.get_ident()
+        with self._cond:
+            while self.owner is not None and self.owner is not session:
+                if self._owner_thread == tid:
+                    raise TransactionError(
+                        f"session {self.owner.label!r} holds uncommitted "
+                        f"writes on this thread; commit or roll back "
+                        f"before writing through {session.label!r}"
+                    )
+                if not self._cond.wait(timeout=self._timeout):
+                    raise TransactionError(
+                        f"timed out after {self._timeout}s waiting for "
+                        f"the writer latch (held by "
+                        f"{self.owner.label!r})"
+                    )
+            self.owner = session
+            self._owner_thread = tid
+
+    def release(self, session) -> None:
+        with self._cond:
+            if self.owner is session:
+                self.owner = None
+                self._owner_thread = None
+                self._cond.notify_all()
+
+
+class Engine:
+    """Shared state of one database, serving any number of sessions."""
+
+    def __init__(self, pipeline_options: Optional[PipelineOptions] = None,
+                 xnf_options: Optional[XNFOptions] = None,
+                 lock_timeout: float = 30.0):
+        self.catalog = Catalog()
+        # Subscribed: committed DML deltas invalidate statistics (and,
+        # on material drift, the plan-cache stats epoch) automatically.
+        self.stats = StatisticsManager(self.catalog, subscribe=True)
+        self.transactions = TransactionManager(self.catalog)
+        self.pipeline_options = pipeline_options or PipelineOptions()
+        self.xnf_options = xnf_options or XNFOptions()
+        self.pipeline = QueryPipeline(
+            self.catalog, self.stats, self.pipeline_options,
+            xnf_component_resolver=self.resolve_xnf_component,
+        )
+        self.dml = DMLExecutor(self.pipeline)
+        self.matviews = MaterializedViewRegistry(
+            self.catalog, self._matview_executable)
+        self.catalog.delta_listeners.append(self.matviews.on_table_delta)
+        # A rolled-back transaction that wrote may have been observed by
+        # a concurrent materialized-view refresh (which reads committed
+        # state, but conservatism is cheap and rollbacks are rare).
+        self.transactions.rollback_listeners.append(self._on_rollback)
+        self._statement_latch = _StatementLatch(lock_timeout)
+        self._writer_latch = _WriterLatch(lock_timeout)
+        self._sessions: list = []
+        self._session_counter = itertools.count()
+        self._overlay_cache: Optional[tuple] = None
+        # Shared statement-text parse cache: one client's parse serves
+        # every session (sessions layer a small lock-free LRU of their
+        # own on top).  Sized with the plan cache and disabled with it.
+        self.parse_cache_capacity = \
+            2 * max(self.pipeline_options.plan_cache_size, 0)
+        self._parse_cache = StatementTextCache(self.parse_cache_capacity)
+        self._parse_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def connect(self, label: Optional[str] = None,
+                arraysize: Optional[int] = None,
+                batch_size: Optional[int] = None,
+                xnf_options: Optional[XNFOptions] = None):
+        """Open a new session (its own transaction scope and options).
+
+        ``arraysize`` seeds cursors' default fetchmany size;
+        ``batch_size`` overrides the executor's batch width for this
+        session's streams; ``xnf_options`` override the engine default
+        for this session's XNF compiles.
+        """
+        from repro.api.session import Session
+        self._check_open()
+        number = next(self._session_counter)
+        # The first session takes the manager's default scope, so the
+        # legacy no-argument transaction API (db.transactions.begin()
+        # and friends) and the facade's default session agree on which
+        # transaction they drive.
+        scope = DEFAULT_SCOPE if number == 0 else f"session-{number}"
+        session = Session(
+            self, scope=scope,
+            label=label or f"session-{number}",
+            arraysize=arraysize, batch_size=batch_size,
+            xnf_options=xnf_options,
+        )
+        self._sessions.append(session)
+        return session
+
+    def sessions(self) -> list:
+        """The currently open sessions."""
+        return list(self._sessions)
+
+    def close(self) -> None:
+        """Close every open session (rolling back their transactions),
+        then the engine itself.  Idempotent."""
+        if self._closed:
+            return
+        for session in list(self._sessions):
+            session.close()
+        self._closed = True
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("operation on a closed engine")
+
+    def _forget(self, session) -> None:
+        if session in self._sessions:
+            self._sessions.remove(session)
+
+    def __enter__(self) -> "Engine":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # The concurrency protocol
+    # ------------------------------------------------------------------
+    @contextmanager
+    def reading(self, session):
+        """Execute a read on behalf of ``session``: shared statement
+        latch plus, when another session holds uncommitted writes, the
+        committed-state read views."""
+        self._check_open()
+        with self._statement_latch.shared():
+            with read_views(self._read_views_for(session)):
+                yield
+
+    def read(self, session, thunk):
+        with self.reading(session):
+            return thunk()
+
+    def write(self, session, thunk, committed_views: bool = False):
+        """Execute a mutating operation on behalf of ``session``.
+
+        Acquires the writer latch (kept until the session's transaction
+        ends) and runs the thunk under the exclusive statement latch.
+        With ``committed_views=True`` the thunk reads through
+        committed-state overlays even against the session's *own*
+        uncommitted writes — the materialized-view paths need this so a
+        refresh never ingests rows whose deltas are still buffered on
+        an open transaction (they would be applied again at commit).
+        """
+        self._check_open()
+        self._writer_latch.acquire(session)
+        try:
+            with self._statement_latch.exclusive():
+                views = self._read_views_for(None) if committed_views \
+                    else None
+                with read_views(views):
+                    return thunk()
+        finally:
+            self._release_writer_if_done(session)
+
+    def matview_read(self, session, thunk):
+        """Read a materialized view per its staleness policy.
+
+        Runs exclusive (a deferred read applies queued deltas, mutating
+        the registry) but does *not* take the writer latch, so reads
+        proceed while other sessions hold open write transactions; a
+        full refresh triggered here reads the committed state through
+        overlays, whoever the uncommitted writer is.
+        """
+        self._check_open()
+        with self._statement_latch.exclusive():
+            with read_views(self._read_views_for(None)):
+                return thunk()
+
+    def end_transaction(self, session, commit: bool) -> None:
+        """Commit or roll back the session's open transaction."""
+        self._check_open()
+        try:
+            with self._statement_latch.exclusive():
+                if commit:
+                    self.transactions.commit(session.scope)
+                else:
+                    self.transactions.rollback(session.scope)
+        finally:
+            self._release_writer_if_done(session)
+
+    def _release_writer_if_done(self, session) -> None:
+        try:
+            txn = self.transactions.transaction_for(session.scope)
+        except TransactionError:
+            self._writer_latch.release(session)
+            return
+        # An open transaction with no undo records and no buffered
+        # deltas has no uncommitted state anyone could observe (e.g. a
+        # savepoint rollback undid everything); holding the latch for
+        # it would block writers for nothing.
+        if not txn.log and not txn.pending_deltas:
+            self._writer_latch.release(session)
+
+    def _read_views_for(self, session
+                        ) -> Optional[dict[str, TableReadView]]:
+        """Committed-state overlays for a read by ``session``.
+
+        ``None`` (no overlays needed) when nobody holds uncommitted
+        writes, or when the writer is the reading session itself — a
+        session always sees its own writes.  Pass ``session=None`` to
+        get overlays against *any* uncommitted writer (the
+        materialized-view paths, which must read committed state
+        unconditionally).
+        """
+        writer = self._writer_latch.owner
+        if writer is None or writer is session:
+            return None
+        try:
+            txn = self.transactions.transaction_for(writer.scope)
+        except TransactionError:
+            return None
+        if not txn.log:
+            return None
+        return self._build_read_views(txn)
+
+    def _build_read_views(self, txn: Transaction
+                          ) -> dict[str, TableReadView]:
+        """Distill an undo log into per-table committed-state overlays.
+
+        Stable while the shared statement latch is held (the writer
+        needs the exclusive latch to grow its log), and cached on
+        ``(txn, len(log))`` so streaming readers pay the distillation
+        once per observed log state.
+        """
+        key = (txn.txn_id, len(txn.log))
+        cached = self._overlay_cache
+        if cached is not None and cached[0] == key:
+            return cached[1]
+        per_table: dict[str, dict[int, tuple]] = {}
+        for record in txn.log:
+            touched = per_table.setdefault(record.table_name, {})
+            if record.rid not in touched:
+                # First touch: ``before`` is the committed image
+                # (None for an uncommitted insert).
+                touched[record.rid] = record.before
+        views: dict[str, TableReadView] = {}
+        for name, rows in per_table.items():
+            if not self.catalog.has_table(name):
+                continue  # dropped mid-transaction; nothing to overlay
+            table = self.catalog.table(name)
+            pk_map: dict[tuple, int] = {}
+            live_delta = 0
+            for rid, image in rows.items():
+                committed_live = image is not None
+                live_delta += (int(committed_live)
+                               - int(table.is_live_physical(rid)))
+                if committed_live and table.primary_key:
+                    pk_map[table._pk_key(image)] = rid
+            views[name] = TableReadView(rows, pk_map, live_delta)
+        self._overlay_cache = (key, views)
+        return views
+
+    # ------------------------------------------------------------------
+    # Shared parsing
+    # ------------------------------------------------------------------
+    def parse(self, sql: str) -> ast.Statement:
+        """Parse through the engine-wide statement-text cache."""
+        from repro.sql.parser import parse_statement
+        if self.parse_cache_capacity <= 0:
+            return parse_statement(sql)
+        with self._parse_lock:
+            statement = self._parse_cache.get(sql)
+        if statement is not None:
+            return statement
+        statement = parse_statement(sql)
+        with self._parse_lock:
+            self._parse_cache.put(sql, statement)
+        return statement
+
+    # ------------------------------------------------------------------
+    # Delta / rollback wiring
+    # ------------------------------------------------------------------
+    def _on_rollback(self, _txn) -> None:
+        # Buffered deltas were discarded, so views never *applied*
+        # anything from this transaction — but a full refresh that ran
+        # while it was open may have snapshotted through its overlay
+        # (correct) or, in non-engine code paths, without one.  Eagerly
+        # invalidating keeps rollback a correctness-preserving
+        # operation regardless of the read path used.
+        self.matviews.invalidate_all()
+
+    # ------------------------------------------------------------------
+    # Shared XNF compilation (plan-cache read-through)
+    # ------------------------------------------------------------------
+    def compile_xnf(self, query: ast.XNFQuery, view_name: str,
+                    xnf_options: Optional[XNFOptions] = None
+                    ) -> XNFExecutable:
+        """Compile an XNF query, read through the shared plan cache.
+
+        The XNF read path is hot for gateway navigation: repeated
+        ``xnf()`` / ``open_cache()`` calls over the same view reuse the
+        translated graph and physical plans across *all* sessions.
+        Entries invalidate with the catalog schema version (view/DDL
+        changes) and the statistics epoch like any cached plan.
+        """
+        options = xnf_options or self.xnf_options
+        key = ("xnf", query, view_name, options.output_optimization,
+               options.apply_nf_rewrite,
+               self.pipeline._options_signature())
+        return self.pipeline.cached_compile(
+            key,
+            lambda: self._compile_xnf_fresh(query, view_name, options),
+            tables_of=lambda executable: self.pipeline.graph_tables(
+                executable.translated.graph),
+        )
+
+    def _compile_xnf_fresh(self, query: ast.XNFQuery, view_name: str,
+                           options: XNFOptions) -> XNFExecutable:
+        graph = self.pipeline.compiler.build_xnf(query,
+                                                 view_name=view_name)
+        translator = XNFTranslator(self.catalog, options,
+                                   compiler=self.pipeline.compiler)
+        translated = translator.translate(graph)
+        return XNFExecutable(translated, self.catalog, self.stats,
+                             self.pipeline_options.planner)
+
+    def _matview_executable(self, query: ast.XNFQuery) -> XNFExecutable:
+        """Compile a materialized view's definition.
+
+        The output optimization is disabled so the stored representation
+        always carries explicit connection streams — the canonical form
+        the delta engine maintains.
+        """
+        options = XNFOptions(
+            output_optimization=False,
+            apply_nf_rewrite=self.xnf_options.apply_nf_rewrite,
+        )
+        return self.compile_xnf(query, "XNF", xnf_options=options)
+
+    def resolve_xnf_component(self, view_name: str,
+                              component: str) -> Box:
+        """FROM-clause hook: ``viewname.component`` resolves to the
+        component's reachability-restricted derivation — XNF's closure
+        under composition (Sect. 2)."""
+        view = self.catalog.view(view_name)
+        if not view.is_xnf:
+            raise SemanticError(f"{view_name!r} is not an XNF view")
+        graph = self.pipeline.compiler.build_xnf(view.definition,
+                                                 view_name=view.name)
+        translated = XNFTranslator(
+            self.catalog, self.xnf_options,
+            compiler=self.pipeline.compiler).translate(graph)
+        key = component.upper()
+        info = translated.components.get(key)
+        if info is None:
+            raise CatalogError(
+                f"XNF view {view_name!r} has no component {component!r}"
+            )
+        if translated.recursive:
+            raise SemanticError(
+                "components of recursive XNF views cannot be composed "
+                "into other queries"
+            )
+        return info.final_box
+
+    def xnf_query_of(self, source: Union[str, ast.XNFQuery]
+                     ) -> tuple[ast.XNFQuery, str]:
+        from repro.sql.parser import parse_statement
+        if isinstance(source, ast.XNFQuery):
+            return source, "XNF"
+        text = source.strip()
+        if " " not in text and self.catalog.has_view(text):
+            view = self.catalog.view(text)
+            if not view.is_xnf:
+                raise SemanticError(f"view {text!r} is not an XNF view")
+            return view.definition, view.name
+        statement = parse_statement(source)
+        if not isinstance(statement, ast.XNFQuery):
+            raise SemanticError("expected an XNF query (OUT OF ... TAKE)")
+        return statement, "XNF"

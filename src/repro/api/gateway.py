@@ -11,26 +11,57 @@ classes (via :mod:`repro.cache.objects`), extents, navigation, local
 updates, and a ``commit`` that writes changes back through the view's
 updatability analysis — the Persistence-DBMS/ObjectStore bridging role
 the paper's introduction motivates.
+
+The gateway rides the session surface: construct it over a
+:class:`~repro.api.session.Session` (one application client), an
+:class:`~repro.api.engine.Engine` (a private session is opened), or a
+legacy :class:`~repro.api.database.Database` (its default session is
+used).  View commits apply through that session's transaction scope.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Union
 
 from repro.api.database import Database
+from repro.api.engine import Engine
+from repro.api.session import Session
 from repro.errors import CacheError
 from repro.cache.manager import XNFCache
 from repro.cache.objects import bind_classes
 
 
+def _session_of(target: Union[Session, Engine, Database]
+                ) -> tuple[Session, bool]:
+    """Resolve to a session, reporting whether we opened it (and thus
+    own closing it)."""
+    if isinstance(target, Session):
+        return target, False
+    if isinstance(target, Engine):
+        return target.connect(label="gateway"), True
+    if isinstance(target, Database):
+        return target.session, False
+    raise TypeError(
+        f"ObjectGateway expects a Session, Engine or Database, "
+        f"not {type(target).__name__}"
+    )
+
+
 class ObjectView:
     """One opened CO view: classes, extents, and a unit of work."""
 
-    def __init__(self, database: Database, source: str):
-        self.database = database
+    def __init__(self, session: Union[Session, Engine, Database],
+                 source: str):
+        self.session, self._owns_session = _session_of(session)
         self.source = source
-        self.cache: XNFCache = database.open_cache(source)
+        self.cache: XNFCache = self.session.open_cache(source)
         self.classes = bind_classes(self.cache)
+
+    def close(self) -> None:
+        """Release the view (closes its session if this view opened
+        one, i.e. it was constructed over a bare Engine)."""
+        if self._owns_session:
+            self.session.close()
 
     # -- schema-ish access -------------------------------------------------
     def __getattr__(self, name: str):
@@ -57,19 +88,27 @@ class ObjectView:
 
     def refresh(self) -> None:
         """Re-extract the view (discarding local state)."""
-        self.cache = self.database.open_cache(self.source)
+        self.cache = self.session.open_cache(self.source)
         self.classes = bind_classes(self.cache)
 
 
 class ObjectGateway:
-    """Factory of object views over one database."""
+    """Factory of object views over one session.
 
-    def __init__(self, database: Database):
-        self.database = database
+    Constructed over a bare ``Engine`` it opens a private session; call
+    :meth:`close` (or use it as a context manager) to release it.
+    """
+
+    def __init__(self, session: Union[Session, Engine, Database]):
+        self.session, self._owns_session = _session_of(session)
         self._views: dict[str, ObjectView] = {}
 
+    @property
+    def database(self):  # pragma: no cover - legacy accessor
+        return self.session
+
     def open(self, source: str, name: Optional[str] = None) -> ObjectView:
-        view = ObjectView(self.database, source)
+        view = ObjectView(self.session, source)
         self._views[(name or source).upper()] = view
         return view
 
@@ -78,3 +117,16 @@ class ObjectGateway:
             return self._views[name.upper()]
         except KeyError:
             raise CacheError(f"no open object view {name!r}") from None
+
+    def close(self) -> None:
+        """Drop all open views; close the private session if the
+        gateway opened one."""
+        self._views.clear()
+        if self._owns_session:
+            self.session.close()
+
+    def __enter__(self) -> "ObjectGateway":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

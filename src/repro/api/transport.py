@@ -117,6 +117,28 @@ class TransportSimulator:
             stats.payload_bytes += tuple_size(tagged.values) + 6
         return stats
 
+    def cursor_stream(self, cursor, block_rows: int = 0) -> TransportStats:
+        """Charge a streaming :class:`~repro.api.cursor.Cursor`'s
+        delivery: one request, then one message per ``fetchmany``
+        block — the paper's "shipped result blocks" discipline applied
+        to the session API's cursors.
+
+        ``block_rows`` defaults to the cursor's ``arraysize``.  The
+        cursor must hold an un-fetched result set; it is drained.
+        """
+        stats = TransportStats(mode="cursor-block")
+        stats.messages += 1  # the single request
+        size = block_rows or cursor.arraysize
+        while True:
+            block = cursor.fetchmany(size)
+            if not block:
+                break
+            stats.messages += 1
+            stats.tuples += len(block)
+            stats.payload_bytes += sum(tuple_size(row) for row in block)
+        stats.messages += 1  # end-of-stream reply
+        return stats
+
     def page_shipping(self, result: COResult,
                       page_fill: float = 0.5) -> TransportStats:
         """OODB-style page server: whole pages cross; only ``page_fill``

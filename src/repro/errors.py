@@ -28,6 +28,11 @@ class TransactionError(ReproError):
     """Misuse of the transaction API (commit without begin, etc.)."""
 
 
+class InterfaceError(ReproError):
+    """Operation on a closed handle (engine, session, or cursor), or a
+    cursor misused against the DB-API-flavored contract."""
+
+
 class LexerError(ReproError):
     """The tokenizer hit an unrecognized character sequence."""
 

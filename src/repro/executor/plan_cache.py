@@ -26,6 +26,7 @@ BY (ordinals), LIKE patterns (pre-compiled regexes), booleans and NULL
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Optional
@@ -329,6 +330,12 @@ class PlanCache:
         self._entries: "OrderedDict[Any, CacheEntry]" = OrderedDict()
         self.stats = CacheStats()
         self.last_info = CacheInfo(status="bypass")
+        # One cache is shared by every session of an engine; concurrent
+        # readers compile through it from multiple threads.  The lock
+        # only guards the entry map's structure — compilation itself
+        # runs outside it (a racing duplicate compile is benign, the
+        # second store simply overwrites the first).
+        self._lock = threading.RLock()
 
     @property
     def enabled(self) -> bool:
@@ -369,19 +376,20 @@ class PlanCache:
         so one compile still counts as exactly one hit or miss."""
         if not self.enabled:
             return None
-        entry = self._entries.get(key)
-        if entry is None:
-            return None
-        if entry.schema_version != schema_version:
-            reason = "schema changed (DDL)"
-        else:
-            reason = self._validate_stats(entry, stats_view, on_drift)
-        if reason is not None:
-            del self._entries[key]
-            return None
-        self._entries.move_to_end(key)
-        entry.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            if entry.schema_version != schema_version:
+                reason = "schema changed (DDL)"
+            else:
+                reason = self._validate_stats(entry, stats_view, on_drift)
+            if reason is not None:
+                del self._entries[key]
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            return entry
 
     def lookup(self, key: Any, schema_version: int,
                stats_view: Optional[StatsView] = None,
@@ -391,35 +399,36 @@ class PlanCache:
             self.last_info = CacheInfo(status="bypass",
                                        reason="plan cache disabled")
             return None
-        entry = self._entries.get(key)
-        if entry is None:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                self.last_info = CacheInfo(
+                    status="miss", fingerprint=fingerprint_of(key),
+                    reason="not cached", schema_version=schema_version,
+                )
+                return None
+            if entry.schema_version != schema_version:
+                reason = "schema changed (DDL)"
+            else:
+                reason = self._validate_stats(entry, stats_view, on_drift)
+            if reason is None:
+                self._entries.move_to_end(key)
+                entry.hits += 1
+                self.stats.hits += 1
+                self.last_info = CacheInfo(
+                    status="hit", fingerprint=entry.fingerprint,
+                    schema_version=schema_version,
+                )
+                return entry
+            del self._entries[key]
             self.stats.misses += 1
+            self.stats.invalidations += 1
             self.last_info = CacheInfo(
                 status="miss", fingerprint=fingerprint_of(key),
-                reason="not cached", schema_version=schema_version,
+                reason=reason, schema_version=schema_version,
             )
             return None
-        if entry.schema_version != schema_version:
-            reason = "schema changed (DDL)"
-        else:
-            reason = self._validate_stats(entry, stats_view, on_drift)
-        if reason is None:
-            self._entries.move_to_end(key)
-            entry.hits += 1
-            self.stats.hits += 1
-            self.last_info = CacheInfo(
-                status="hit", fingerprint=entry.fingerprint,
-                schema_version=schema_version,
-            )
-            return entry
-        del self._entries[key]
-        self.stats.misses += 1
-        self.stats.invalidations += 1
-        self.last_info = CacheInfo(
-            status="miss", fingerprint=fingerprint_of(key), reason=reason,
-            schema_version=schema_version,
-        )
-        return None
 
     def store(self, key: Any, value: Any, schema_version: int,
               stats_keys: tuple = ()) -> Optional[CacheEntry]:
@@ -428,12 +437,13 @@ class PlanCache:
         entry = CacheEntry(value=value, schema_version=schema_version,
                            fingerprint=fingerprint_of(key),
                            stats_keys=tuple(stats_keys))
-        self._entries[key] = entry
-        self._entries.move_to_end(key)
-        self.stats.stores += 1
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            self._entries[key] = entry
+            self._entries.move_to_end(key)
+            self.stats.stores += 1
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
         return entry
 
     def get_or_compile(self, key: Any, schema_version: int,
@@ -461,7 +471,8 @@ class PlanCache:
         return value
 
     def clear(self, reason: str = "explicit clear") -> None:
-        if self._entries:
-            self.stats.invalidations += len(self._entries)
-        self._entries.clear()
-        self.last_info = CacheInfo(status="bypass", reason=reason)
+        with self._lock:
+            if self._entries:
+                self.stats.invalidations += len(self._entries)
+            self._entries.clear()
+            self.last_info = CacheInfo(status="bypass", reason=reason)

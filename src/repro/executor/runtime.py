@@ -26,6 +26,7 @@ from repro.storage.stats import StatisticsManager
 
 __all__ = [
     "CompiledQuery", "PipelineOptions", "QueryPipeline", "QueryResult",
+    "QueryStream",
 ]
 
 
@@ -55,6 +56,38 @@ class QueryResult:
 
     def as_dicts(self) -> list[dict]:
         return [dict(zip(self.columns, row)) for row in self.rows]
+
+
+class QueryStream:
+    """A lazily-evaluated SELECT: batches are produced on demand.
+
+    This is the cursor protocol's engine-side half — nothing executes
+    until the first :meth:`next_batch` call, and each call advances the
+    underlying batch executor by exactly one batch.  ``ctx`` is exposed
+    so callers can read the instrumentation counters mid-stream (the
+    easiest way to *prove* no full materialization happened before the
+    first fetch).
+    """
+
+    def __init__(self, columns: list[str], batches, ctx: ExecutionContext):
+        self.columns = list(columns)
+        self.ctx = ctx
+        self._batches = batches
+        self._exhausted = False
+
+    def next_batch(self) -> Optional[list[tuple]]:
+        """The next non-empty batch of rows, or None when exhausted."""
+        if self._exhausted:
+            return None
+        batch = next(self._batches, None)
+        if batch is None:
+            self._exhausted = True
+        return batch
+
+    def close(self) -> None:
+        """Abandon the stream (the underlying generator is dropped)."""
+        self._exhausted = True
+        self._batches = iter(())
 
 
 class QueryPipeline:
@@ -153,3 +186,47 @@ class QueryPipeline:
         _stream, node = compiled.plan.single_output()
         rows = compiled.plan.run_node(node, ctx)
         return QueryResult(columns=list(node.columns), rows=rows)
+
+    # -- streaming execution (the session/cursor surface) --------------
+    def stream_select(self, statement: ast.SelectStatement,
+                      params=None,
+                      batch_size: Optional[int] = None) -> QueryStream:
+        """Compile a SELECT and return a lazy batch stream.
+
+        Unlike :meth:`run_select` nothing is executed here; the caller
+        pulls batches one at a time (``Cursor.fetchmany`` rides this).
+        ``batch_size`` overrides the planner's default batch width for
+        this stream only — a per-session execution option.
+        """
+        compiled, bindings = self.compile_select_cached(statement)
+        ctx = compiled.plan.new_context()
+        ctx.bind_parameters(params)
+        if bindings:
+            ctx.parameters.update(bindings)
+        return self.stream_compiled(compiled, ctx, batch_size=batch_size)
+
+    @staticmethod
+    def stream_compiled(compiled: CompiledQuery, ctx: ExecutionContext,
+                        batch_size: Optional[int] = None) -> QueryStream:
+        plan = compiled.plan
+        _stream, node = plan.single_output()
+        if batch_size is None:
+            batch_size = plan.batch_size
+        batch_size = batch_size if batch_size >= 1 else 1
+        if plan.batch_execution:
+            batches = node.execute_batches(ctx, batch_size)
+        else:
+            batches = _chunk_rows(node.execute(ctx), batch_size)
+        return QueryStream(list(node.columns), batches, ctx)
+
+
+def _chunk_rows(rows, batch_size: int):
+    """Adapt a row-at-a-time iterator to the batch protocol."""
+    chunk: list[tuple] = []
+    for row in rows:
+        chunk.append(row)
+        if len(chunk) >= batch_size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk

@@ -34,7 +34,8 @@ from typing import Any, Iterator, Optional, Sequence
 from repro.errors import ExecutionError
 from repro.executor.expressions import BatchPredicate, CompiledExpression
 from repro.storage.index import Index
-from repro.storage.table import Table
+from repro.storage.table import (Table, active_read_view,
+                                 visible_index_lookup)
 
 Row = tuple
 
@@ -269,8 +270,7 @@ class IndexScan(PlanNode):
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         key = tuple(fn((), ctx) for fn in self.key_fns)
         ctx.bump("index_lookups")
-        for rid in self.index.lookup(key):
-            row = self.table.fetch(rid)
+        for rid, row in visible_index_lookup(self.table, self.index, key):
             ctx.bump("rows_scanned")
             yield row + (rid,) if self.with_rid else row
 
@@ -279,10 +279,8 @@ class IndexScan(PlanNode):
                         ) -> Iterator[list[Row]]:
         key = tuple(fn((), ctx) for fn in self.key_fns)
         ctx.bump("index_lookups")
-        fetch = self.table.fetch
         batch: list[Row] = []
-        for rid in self.index.lookup(key):
-            row = fetch(rid)
+        for rid, row in visible_index_lookup(self.table, self.index, key):
             ctx.bump("rows_scanned")
             batch.append(row + (rid,) if self.with_rid else row)
             if len(batch) >= batch_size:
@@ -491,8 +489,8 @@ class IndexNestedLoopJoin(PlanNode):
         for left_row in self.left.execute(ctx):
             key = tuple(fn(left_row, ctx) for fn in self.key_fns)
             ctx.bump("index_lookups")
-            for rid in self.index.lookup(key):
-                inner = self.table.fetch(rid)
+            for rid, inner in visible_index_lookup(self.table, self.index,
+                                                   key):
                 if self.with_rid:
                     inner = inner + (rid,)
                 joined = left_row + inner
@@ -512,12 +510,20 @@ class IndexNestedLoopJoin(PlanNode):
         with_rid = self.with_rid
         out: list[Row] = []
         for batch in self.left.execute_batches(ctx, batch_size):
+            # Re-checked per input batch: a streaming cursor's pulls may
+            # install (or drop) a committed-state read view between
+            # batches as foreign writers come and go.
+            overlaid = active_read_view(self.table.name) is not None
             for left_row in batch:
                 key = ((key_fn(left_row, ctx),) if single
                        else tuple(fn(left_row, ctx) for fn in key_fns))
                 ctx.bump("index_lookups")
-                for rid in lookup(key):
-                    inner = fetch(rid)
+                if overlaid:
+                    pairs = visible_index_lookup(self.table, self.index,
+                                                 key)
+                else:
+                    pairs = [(rid, fetch(rid)) for rid in lookup(key)]
+                for rid, inner in pairs:
                     if with_rid:
                         inner = inner + (rid,)
                     joined = left_row + inner

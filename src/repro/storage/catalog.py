@@ -127,6 +127,17 @@ class Catalog:
         #: registry).  DML and cache write-back publish one
         #: :class:`TableDelta` per touched table per statement.
         self.delta_listeners: list[Callable[[TableDelta], None]] = []
+        #: Delta *interceptors* run before the listeners and may consume
+        #: a delta by returning True.  The transaction manager registers
+        #: one so deltas emitted inside an open transaction are buffered
+        #: on that transaction and only reach the listeners when the
+        #: emitting session commits (session-scoped publication).
+        self.delta_interceptors: list[Callable[[TableDelta], bool]] = []
+        #: Called with each newly created table.  The transaction
+        #: manager uses this to install its undo hook on tables created
+        #: while a transaction is open, so a mid-transaction CREATE
+        #: TABLE + INSERT rolls back its rows like any other mutation.
+        self.table_created_listeners: list[Callable[[Table], None]] = []
         #: Monotonic DDL counter.  Every schema mutation (tables,
         #: indexes, views, foreign keys) bumps it; the plan cache keys
         #: compiled plans on it so any DDL invalidates them wholesale.
@@ -145,6 +156,17 @@ class Catalog:
         return bool(self.delta_listeners)
 
     def emit_table_delta(self, delta: TableDelta) -> None:
+        if not delta:
+            return
+        for interceptor in list(self.delta_interceptors):
+            if interceptor(delta):
+                return
+        self.publish_delta(delta)
+
+    def publish_delta(self, delta: TableDelta) -> None:
+        """Deliver a delta straight to the listeners, bypassing the
+        interceptors — the commit path uses this to flush a
+        transaction's buffered deltas exactly once."""
         if not delta:
             return
         for listener in list(self.delta_listeners):
@@ -170,6 +192,8 @@ class Catalog:
         table = Table(self._key(name), columns)
         self._tables[self._key(name)] = table
         self._bump_schema_version()
+        for listener in list(self.table_created_listeners):
+            listener(table)
         return table
 
     def drop_table(self, name: str) -> None:

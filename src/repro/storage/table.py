@@ -10,6 +10,8 @@ by :mod:`repro.storage.transactions`).
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError, TypeCheckError
@@ -20,6 +22,101 @@ Row = tuple
 
 #: RID: stable identifier of a row within its table.
 Rid = int
+
+
+# ----------------------------------------------------------------------
+# Committed-state read views
+# ----------------------------------------------------------------------
+# A session reading while *another* session holds uncommitted writes
+# must see the committed state (read-committed isolation).  Since
+# mutations are applied in place with an undo log, the committed image
+# of every touched row is reconstructible from the writer's undo log;
+# the engine distills the log into per-table :class:`TableReadView`
+# overlays and installs them thread-locally around each read.  Reads
+# with no view installed (the writer itself, single-session use, the
+# commit path) take the zero-overhead physical path.
+
+_read_views = threading.local()
+
+
+class TableReadView:
+    """The committed image of one table under a foreign open txn.
+
+    ``rows`` maps each touched RID to its committed row, or ``None``
+    when the row did not exist at transaction start (an uncommitted
+    insert — invisible to readers).  RIDs absent from ``rows`` are
+    untouched: their physical row *is* the committed row.
+    """
+
+    __slots__ = ("rows", "pk_map", "live_delta")
+
+    def __init__(self, rows: dict[Rid, Row | None],
+                 pk_map: dict[tuple, Rid], live_delta: int):
+        self.rows = rows
+        self.pk_map = pk_map
+        self.live_delta = live_delta
+
+
+def active_read_view(table_name: str) -> TableReadView | None:
+    views = getattr(_read_views, "views", None)
+    if not views:
+        return None
+    return views.get(table_name)
+
+
+@contextmanager
+def read_views(views: dict[str, TableReadView] | None):
+    """Install committed-state overlays for the duration of the block.
+
+    Nested installations stack; ``None`` (or an empty mapping) is a
+    no-op, keeping the fast path allocation-free.
+    """
+    if not views:
+        yield
+        return
+    previous = getattr(_read_views, "views", None)
+    _read_views.views = views
+    try:
+        yield
+    finally:
+        _read_views.views = previous
+
+
+def visible_index_lookup(table: "Table", index: Any,
+                         key: tuple) -> list[tuple[Rid, Row]]:
+    """Index equality lookup returning the *visible* ``(rid, row)``
+    pairs under the active read view.
+
+    The physical index reflects uncommitted state, so the committed
+    image of each overlaid RID is re-checked against the probe key, and
+    rows whose committed key matches but whose physical index entry was
+    moved or removed by the uncommitted writer are recovered from the
+    overlay.  With no view installed this is a plain lookup+fetch.
+    """
+    view = active_read_view(table.name)
+    if view is None:
+        fetch = table.fetch
+        return [(rid, fetch(rid)) for rid in index.lookup(key)]
+    key = tuple(key)
+    positions = [table.column_position(c) for c in index.column_names]
+    out: list[tuple[Rid, Row]] = []
+    overlaid = view.rows
+    seen: set[Rid] = set()
+    for rid in index.lookup(key):
+        if rid in overlaid:
+            seen.add(rid)
+            image = overlaid[rid]
+            if image is not None \
+                    and tuple(image[p] for p in positions) == key:
+                out.append((rid, image))
+        else:
+            out.append((rid, table.fetch(rid)))
+    for rid, image in overlaid.items():
+        if rid in seen or image is None:
+            continue
+        if tuple(image[p] for p in positions) == key:
+            out.append((rid, image))
+    return out
 
 
 class Table:
@@ -81,16 +178,29 @@ class Table:
     # Row access
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return self._live
+        view = active_read_view(self.name)
+        if view is None:
+            return self._live
+        return self._live + view.live_delta
 
     def scan(self) -> Iterator[tuple[Rid, Row]]:
-        """Yield (rid, row) for every live row, in slot order."""
+        """Yield (rid, row) for every visible live row, in slot order.
+
+        The read view is re-checked on every step: a lazily-consumed
+        scan (a streaming cursor's) must pick up overlays installed
+        after it started — a writer may open a transaction between two
+        pulls, and the later pulls must not serve its dirty rows.
+        """
+        name = self.name
         for rid, row in enumerate(self._slots):
+            view = active_read_view(name)
+            if view is not None and rid in view.rows:
+                row = view.rows[rid]
             if row is not None:
                 yield rid, row
 
     def rows(self) -> Iterator[Row]:
-        """Yield live rows without their RIDs."""
+        """Yield visible live rows without their RIDs."""
         for _rid, row in self.scan():
             yield row
 
@@ -104,33 +214,71 @@ class Table:
         thin a slice out.
         """
         batch_size = max(batch_size, 1)
-        slots = self._slots
-        for start in range(0, len(slots), batch_size):
-            chunk = [row for row in slots[start:start + batch_size]
-                     if row is not None]
+        start = 0
+        while start < len(self._slots):
+            # Re-checked per batch: a streaming consumer's later pulls
+            # must honor read views installed after the scan started.
+            view = active_read_view(self.name)
+            stop = start + batch_size
+            if view is None:
+                chunk = [row for row in self._slots[start:stop]
+                         if row is not None]
+            else:
+                overlaid = view.rows
+                chunk = []
+                for rid, row in enumerate(self._slots[start:stop], start):
+                    if rid in overlaid:
+                        row = overlaid[rid]
+                    if row is not None:
+                        chunk.append(row)
+            start = stop
             if chunk:
                 yield chunk
 
     def scan_batches(self, batch_size: int) -> Iterator[list[tuple[Rid, Row]]]:
         """Like :meth:`batches`, but each element is ``(rid, row)``."""
         batch_size = max(batch_size, 1)
-        slots = self._slots
-        for start in range(0, len(slots), batch_size):
-            chunk = [(rid, row)
-                     for rid, row in enumerate(slots[start:start + batch_size],
-                                               start)
-                     if row is not None]
+        start = 0
+        while start < len(self._slots):
+            view = active_read_view(self.name)
+            stop = start + batch_size
+            if view is None:
+                chunk = [(rid, row)
+                         for rid, row in enumerate(self._slots[start:stop],
+                                                   start)
+                         if row is not None]
+            else:
+                overlaid = view.rows
+                chunk = []
+                for rid, row in enumerate(self._slots[start:stop], start):
+                    if rid in overlaid:
+                        row = overlaid[rid]
+                    if row is not None:
+                        chunk.append((rid, row))
+            start = stop
             if chunk:
                 yield chunk
 
     def fetch(self, rid: Rid) -> Row:
-        """Return the row stored at ``rid``; raise if deleted or invalid."""
-        row = self._slots[rid] if 0 <= rid < len(self._slots) else None
+        """Return the visible row at ``rid``; raise if deleted/invalid."""
+        view = active_read_view(self.name)
+        if view is not None and rid in view.rows:
+            row = view.rows[rid]
+        else:
+            row = self._slots[rid] if 0 <= rid < len(self._slots) else None
         if row is None:
             raise StorageError(f"table {self.name!r}: rid {rid} is not live")
         return row
 
     def is_live(self, rid: Rid) -> bool:
+        view = active_read_view(self.name)
+        if view is not None and rid in view.rows:
+            return view.rows[rid] is not None
+        return 0 <= rid < len(self._slots) and self._slots[rid] is not None
+
+    def is_live_physical(self, rid: Rid) -> bool:
+        """Liveness of the physical slot, ignoring any read view (the
+        engine uses this while *building* views)."""
         return 0 <= rid < len(self._slots) and self._slots[rid] is not None
 
     # ------------------------------------------------------------------
@@ -242,10 +390,26 @@ class Table:
             self._pk_values[self._pk_key(row)] = rid
 
     def lookup_pk(self, key: tuple) -> Rid | None:
-        """Find the RID of the row with the given primary key, if any."""
+        """Find the RID of the visible row with this primary key."""
         if not self._pk_positions:
             raise StorageError(f"table {self.name!r} has no primary key")
-        return self._pk_values.get(tuple(key))
+        key = tuple(key)
+        view = active_read_view(self.name)
+        if view is None:
+            return self._pk_values.get(key)
+        # Committed keys of overlaid rows take precedence; a physical
+        # hit on an overlaid RID must be re-validated against the
+        # committed image (its key may have been changed uncommitted).
+        rid = view.pk_map.get(key)
+        if rid is not None:
+            return rid
+        rid = self._pk_values.get(key)
+        if rid is None or rid not in view.rows:
+            return rid
+        image = view.rows[rid]
+        if image is not None and self._pk_key(image) == key:
+            return rid
+        return None
 
     def __repr__(self) -> str:
         return f"<Table {self.name} cols={self.column_names} rows={self._live}>"

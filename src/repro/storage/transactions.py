@@ -1,23 +1,45 @@
-"""Undo-log transactions over heap tables.
+"""Undo-log transactions over heap tables, one open scope per session.
 
 The paper leaves transaction/recovery components "totally unchanged"
 (Sect. 6); we provide the minimal machinery the XNF layer needs — atomic
 multi-statement updates with rollback and savepoints, so cache write-back
 (Sect. 5) can apply a batch of updates all-or-nothing.
 
-Single-writer model: one open transaction per :class:`TransactionManager`.
-Every table mutation while a transaction is open appends an undo record;
-rollback replays the records in reverse.
+The manager supports **multiple concurrently open transactions**, keyed
+by an opaque *scope* token (one per engine session).  Every table
+mutation performed while any transaction is open appends an undo record
+to the transaction of the scope currently *activated* (see
+:meth:`TransactionManager.activate`); rollback replays the records in
+reverse.  The engine layer (:mod:`repro.api.engine`) guarantees that at
+most one scope holds uncommitted writes at a time (the writer latch), so
+undo logs of different scopes never interleave on the same row.
+
+Deltas published through :meth:`Catalog.emit_table_delta
+<repro.storage.catalog.Catalog.emit_table_delta>` while a transaction is
+open are **buffered on that transaction** and flushed to the catalog's
+delta listeners only at commit; a rollback (or a savepoint rollback
+crossing an emission) simply discards them.  Derived state maintained
+from deltas — materialized views, statistics — therefore only ever sees
+committed changes, keyed off the emitting session's commit rather than
+every statement.
+
+All single-scope entry points (``begin()``/``commit()``/``rollback()``
+with no argument) keep working against the default scope, so code
+written for the one-transaction model is unchanged.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Hashable
 
 from repro.errors import TransactionError
-from repro.storage.catalog import Catalog
-from repro.storage.table import Rid, Row, Table
+from repro.storage.catalog import Catalog, TableDelta
+from repro.storage.table import Rid, Row
+
+#: Scope token used by all no-argument (legacy single-session) calls.
+DEFAULT_SCOPE: str = "main"
 
 
 @dataclass(frozen=True)
@@ -34,18 +56,24 @@ class UndoRecord:
 class Transaction:
     """An open transaction: a growing undo log plus named savepoints."""
 
-    def __init__(self, txn_id: int):
+    def __init__(self, txn_id: int, scope: Hashable = DEFAULT_SCOPE):
         self.txn_id = txn_id
+        self.scope = scope
         self.log: list[UndoRecord] = []
         self._savepoints: dict[str, int] = {}
         self._savepoint_deltas: dict[str, int] = {}
+        self._savepoint_pending: dict[str, int] = {}
         self.active = True
-        #: Number of table deltas published while this transaction was
-        #: open (see Catalog.emit_table_delta subscribers).  A rollback
-        #: that undoes published deltas must invalidate delta-derived
-        #: state; savepoints snapshot the count so partial rollbacks
-        #: only invalidate when they actually cross an emission.
+        #: Number of table deltas published *directly* (not buffered)
+        #: while this transaction was open — possible only when the
+        #: interceptor cannot attribute an emission (several open
+        #: transactions, no activation).  Listeners saw those deltas
+        #: mid-transaction, so a rollback must invalidate delta-derived
+        #: state (the ``rollback_listeners`` hook).
         self.delta_count = 0
+        #: Deltas emitted by this transaction's scope, buffered until
+        #: commit (then flushed to the catalog's delta listeners).
+        self.pending_deltas: list[TableDelta] = []
 
     def record(self, record: UndoRecord) -> None:
         self.log.append(record)
@@ -53,6 +81,7 @@ class Transaction:
     def set_savepoint(self, name: str) -> None:
         self._savepoints[name] = len(self.log)
         self._savepoint_deltas[name] = self.delta_count
+        self._savepoint_pending[name] = len(self.pending_deltas)
 
     def savepoint_position(self, name: str) -> int:
         try:
@@ -63,6 +92,9 @@ class Transaction:
     def savepoint_delta_count(self, name: str) -> int:
         return self._savepoint_deltas.get(name, 0)
 
+    def savepoint_pending_count(self, name: str) -> int:
+        return self._savepoint_pending.get(name, 0)
+
     def drop_savepoints_after(self, position: int) -> None:
         self._savepoints = {
             name: pos for name, pos in self._savepoints.items()
@@ -72,140 +104,292 @@ class Transaction:
             name: count for name, count in self._savepoint_deltas.items()
             if name in self._savepoints
         }
+        self._savepoint_pending = {
+            name: count for name, count in self._savepoint_pending.items()
+            if name in self._savepoints
+        }
 
 
 class TransactionManager:
     """Begin/commit/rollback over all tables of one catalog.
 
-    While a transaction is open the manager installs itself as the
-    ``on_mutation`` hook of every table so mutations are logged no matter
-    which code path performs them (DML executor, cache write-back, direct
-    API use).
+    While at least one transaction is open the manager installs itself
+    as the ``on_mutation`` hook of every table, so mutations are logged
+    no matter which code path performs them (DML executor, cache
+    write-back, direct API use).  Mutations route to the transaction of
+    the **activated** scope (:meth:`activate`); outside an activation,
+    they route to the sole open transaction when exactly one is open —
+    which is precisely the legacy single-session behavior.
     """
 
     def __init__(self, catalog: Catalog):
         self._catalog = catalog
-        self._current: Transaction | None = None
+        self._transactions: dict[Hashable, Transaction] = {}
+        self._active_scope: Hashable | None = None
+        self._replaying = False
         self._next_id = 1
         self.committed_count = 0
         self.rolled_back_count = 0
-        #: Called with the transaction after a rollback (full, or to a
-        #: savepoint) undid published table deltas.  Derived state
-        #: maintained eagerly from those deltas (e.g. materialized
-        #: views) uses this to invalidate itself.
+        #: Called with the transaction after a rollback of a transaction
+        #: that wrote (or that published deltas directly).  Derived
+        #: state that observed the tables mid-transaction uses this to
+        #: invalidate itself.
         self.rollback_listeners: list = []
+        #: Called with the transaction after its commit flushed buffered
+        #: deltas (the engine uses this for bookkeeping, not required
+        #: for correctness).
+        self.commit_listeners: list = []
+        catalog.delta_interceptors.append(self._intercept_delta)
+        catalog.table_created_listeners.append(self._on_table_created)
 
+    # ------------------------------------------------------------------
+    # Introspection
     # ------------------------------------------------------------------
     @property
     def in_transaction(self) -> bool:
-        return self._current is not None
+        """True when any scope has an open transaction."""
+        return bool(self._transactions)
+
+    def in_transaction_for(self, scope: Hashable = DEFAULT_SCOPE) -> bool:
+        return scope in self._transactions
 
     @property
     def current(self) -> Transaction:
-        if self._current is None:
-            raise TransactionError("no transaction in progress")
-        return self._current
+        """The default scope's open transaction (legacy accessor)."""
+        return self.transaction_for(DEFAULT_SCOPE)
 
-    def begin(self) -> Transaction:
-        if self._current is not None:
-            raise TransactionError("a transaction is already in progress")
-        txn = Transaction(self._next_id)
-        self._next_id += 1
-        self._current = txn
-        self._install_hooks()
+    def transaction_for(self, scope: Hashable = DEFAULT_SCOPE
+                        ) -> Transaction:
+        txn = self._transactions.get(scope)
+        if txn is None:
+            raise TransactionError("no transaction in progress")
         return txn
 
-    def commit(self) -> None:
-        txn = self.current
-        txn.active = False
-        self._current = None
-        self._remove_hooks()
-        self.committed_count += 1
+    def open_transactions(self) -> list[Transaction]:
+        return list(self._transactions.values())
 
-    def rollback(self) -> None:
-        txn = self.current
-        self._remove_hooks()  # undo replay must not be re-logged
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def begin(self, scope: Hashable = DEFAULT_SCOPE) -> Transaction:
+        if scope in self._transactions:
+            raise TransactionError("a transaction is already in progress")
+        txn = Transaction(self._next_id, scope)
+        self._next_id += 1
+        if not self._transactions:
+            self._install_hooks()
+        self._transactions[scope] = txn
+        return txn
+
+    def commit(self, scope: Hashable = DEFAULT_SCOPE) -> None:
+        txn = self.transaction_for(scope)
+        txn.active = False
+        del self._transactions[scope]
+        if not self._transactions:
+            self._remove_hooks()
+        self.committed_count += 1
+        # Flush buffered deltas to the listeners, bypassing interception
+        # (the transaction they would re-buffer into is gone).
+        for delta in txn.pending_deltas:
+            self._catalog.publish_delta(delta)
+        txn.pending_deltas = []
+        for listener in list(self.commit_listeners):
+            listener(txn)
+
+    def rollback(self, scope: Hashable = DEFAULT_SCOPE) -> None:
+        txn = self.transaction_for(scope)
         try:
             self._undo(txn.log, down_to=0)
         finally:
             txn.active = False
-            self._current = None
+            txn.pending_deltas = []
+            del self._transactions[scope]
+            if not self._transactions:
+                self._remove_hooks()
             self.rolled_back_count += 1
+            # Buffered deltas never reached anyone — only *directly*
+            # published ones (paths outside this manager's interception)
+            # require derived state to invalidate.
             if txn.delta_count:
                 for listener in list(self.rollback_listeners):
                     listener(txn)
 
     # ------------------------------------------------------------------
-    def savepoint(self, name: str) -> None:
-        self.current.set_savepoint(name)
+    # Savepoints
+    # ------------------------------------------------------------------
+    def savepoint(self, name: str,
+                  scope: Hashable = DEFAULT_SCOPE) -> None:
+        self.transaction_for(scope).set_savepoint(name)
 
-    def rollback_to_savepoint(self, name: str) -> None:
-        txn = self.current
+    def rollback_to_savepoint(self, name: str,
+                              scope: Hashable = DEFAULT_SCOPE) -> None:
+        txn = self.transaction_for(scope)
         position = txn.savepoint_position(name)
         saved_deltas = txn.savepoint_delta_count(name)
-        self._remove_hooks()
-        try:
-            self._undo(txn.log, down_to=position)
-            del txn.log[position:]
-            txn.drop_savepoints_after(position)
-        finally:
-            self._install_hooks()
+        saved_pending = txn.savepoint_pending_count(name)
+        self._undo(txn.log, down_to=position)
+        del txn.log[position:]
+        txn.drop_savepoints_after(position)
+        # Buffered deltas emitted after the savepoint describe undone
+        # work; they must never reach the listeners.
+        del txn.pending_deltas[saved_pending:]
         if txn.delta_count > saved_deltas:
-            # Deltas published after the savepoint have been undone.
+            # Directly-published deltas after the savepoint were undone.
             txn.delta_count = saved_deltas
             for listener in list(self.rollback_listeners):
                 listener(txn)
 
     # ------------------------------------------------------------------
-    def run_atomic(self, thunk) -> Any:
+    # Activation (mutation routing)
+    # ------------------------------------------------------------------
+    @contextmanager
+    def activate(self, scope: Hashable):
+        """Route table mutations and emitted deltas to ``scope``'s
+        transaction for the duration of the block."""
+        previous = self._active_scope
+        self._active_scope = scope
+        try:
+            yield
+        finally:
+            self._active_scope = previous
+
+    def _routing_transaction(self) -> Transaction | None:
+        if self._active_scope is not None:
+            return self._transactions.get(self._active_scope)
+        if len(self._transactions) == 1:
+            return next(iter(self._transactions.values()))
+        return None
+
+    def _intercept_delta(self, delta: TableDelta) -> bool:
+        txn = self._routing_transaction()
+        if txn is None:
+            # Unattributable emission (several open transactions, no
+            # activation): the delta publishes directly, so listeners
+            # observe it before anyone commits.  Charge every open
+            # transaction — whichever rolls back must invalidate
+            # delta-derived state.
+            for open_txn in self._transactions.values():
+                open_txn.delta_count += 1
+            return False
+        txn.pending_deltas.append(delta)
+        return True
+
+    # ------------------------------------------------------------------
+    def run_atomic(self, thunk, scope: Hashable = DEFAULT_SCOPE) -> Any:
         """Run ``thunk()`` inside a (possibly nested-by-savepoint) txn.
 
-        If a transaction is already open, uses a savepoint so an inner
-        failure rolls back only the inner work.
+        If a transaction is already open for the scope, uses a savepoint
+        so an inner failure rolls back only the inner work.
         """
-        if self.in_transaction:
-            name = f"__atomic_{len(self.current.log)}"
-            self.savepoint(name)
+        if scope in self._transactions:
+            txn = self._transactions[scope]
+            name = f"__atomic_{len(txn.log)}"
+            self.savepoint(name, scope)
             try:
-                return thunk()
+                with self.activate(scope):
+                    return thunk()
             except Exception:
-                self.rollback_to_savepoint(name)
+                self.rollback_to_savepoint(name, scope)
                 raise
-        self.begin()
+        self.begin(scope)
         try:
-            result = thunk()
+            with self.activate(scope):
+                result = thunk()
         except Exception:
-            self.rollback()
+            self.rollback(scope)
             raise
-        self.commit()
+        self.commit(scope)
         return result
+
+    def scoped(self, scope: Hashable) -> "ScopedTransactions":
+        """A view of this manager bound to one scope (no-arg API)."""
+        return ScopedTransactions(self, scope)
 
     # ------------------------------------------------------------------
     def _install_hooks(self) -> None:
         for table in self._catalog.tables():
-            table.on_mutation = self._make_hook(table)
+            table.on_mutation = self._make_hook(table.name)
+
+    def _on_table_created(self, table) -> None:
+        # A table born while a transaction is open joins the logging
+        # regime immediately, so its rows roll back like any others
+        # (the CREATE itself is DDL and survives — documented).
+        if self._transactions:
+            table.on_mutation = self._make_hook(table.name)
 
     def _remove_hooks(self) -> None:
         for table in self._catalog.tables():
             table.on_mutation = None
 
-    def _make_hook(self, table: Table):
+    def _make_hook(self, table_name: str):
         def hook(action: str, rid: Rid, before: Row | None,
                  after: Row | None) -> None:
-            if self._current is not None:
-                self._current.record(
-                    UndoRecord(table.name, action, rid, before, after)
-                )
+            if self._replaying:
+                return
+            txn = self._routing_transaction()
+            if txn is not None:
+                txn.record(
+                    UndoRecord(table_name, action, rid, before, after))
         return hook
 
     def _undo(self, log: list[UndoRecord], down_to: int) -> None:
-        for record in reversed(log[down_to:]):
-            table = self._catalog.table(record.table_name)
-            if record.action == "insert":
-                table.delete(record.rid)
-            elif record.action == "delete":
-                table.insert_at(record.rid, record.before)
-            elif record.action == "update":
-                table.update(record.rid, record.before)
-            else:  # pragma: no cover - defensive
-                raise TransactionError(f"unknown undo action {record.action!r}")
+        # Undo replay must not be re-logged.
+        self._replaying = True
+        try:
+            for record in reversed(log[down_to:]):
+                table = self._catalog.table(record.table_name)
+                if record.action == "insert":
+                    table.delete(record.rid)
+                elif record.action == "delete":
+                    table.insert_at(record.rid, record.before)
+                elif record.action == "update":
+                    table.update(record.rid, record.before)
+                else:  # pragma: no cover - defensive
+                    raise TransactionError(
+                        f"unknown undo action {record.action!r}")
+        finally:
+            self._replaying = False
+
+
+class ScopedTransactions:
+    """The single-scope transaction API bound to one scope token.
+
+    Hands the legacy no-argument surface (``begin()``, ``commit()``,
+    ``run_atomic(thunk)``, ...) to code that predates scopes — e.g. the
+    cache write-back path — while routing everything to one session's
+    transaction.
+    """
+
+    def __init__(self, manager: TransactionManager, scope: Hashable):
+        self.manager = manager
+        self.scope = scope
+
+    @property
+    def in_transaction(self) -> bool:
+        return self.manager.in_transaction_for(self.scope)
+
+    @property
+    def current(self) -> Transaction:
+        return self.manager.transaction_for(self.scope)
+
+    @property
+    def rollback_listeners(self) -> list:
+        return self.manager.rollback_listeners
+
+    def begin(self) -> Transaction:
+        return self.manager.begin(self.scope)
+
+    def commit(self) -> None:
+        self.manager.commit(self.scope)
+
+    def rollback(self) -> None:
+        self.manager.rollback(self.scope)
+
+    def savepoint(self, name: str) -> None:
+        self.manager.savepoint(name, self.scope)
+
+    def rollback_to_savepoint(self, name: str) -> None:
+        self.manager.rollback_to_savepoint(name, self.scope)
+
+    def run_atomic(self, thunk) -> Any:
+        return self.manager.run_atomic(thunk, self.scope)

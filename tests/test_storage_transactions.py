@@ -149,12 +149,14 @@ class TestRunAtomic:
         assert table.lookup_pk((3,)) is not None
         assert table.lookup_pk((4,)) is None
 
-    def test_tables_created_after_begin_not_hooked(self, setup):
+    def test_tables_created_after_begin_are_hooked(self, setup):
         catalog, _table, manager = setup
         manager.begin()
         late = catalog.create_table("LATE", [Column("A", INTEGER)])
         late.insert((1,))
         manager.rollback()
-        # The late table was not enrolled in the transaction; its row
-        # survives (documented single-writer simplification).
-        assert len(late) == 1
+        # The late table joined the transaction's logging regime at
+        # creation: its row rolls back (the table itself is DDL and
+        # survives, documented).
+        assert len(late) == 0
+        assert catalog.has_table("LATE")
