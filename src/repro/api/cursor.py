@@ -66,6 +66,7 @@ class Cursor:
             return
         self._discard()
         self._closed = True
+        self.session._forget_cursor(self)
 
     def _check_open(self) -> None:
         if self._closed:

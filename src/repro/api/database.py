@@ -53,8 +53,10 @@ class Database:
     """An embedded XNF-capable relational database (facade)."""
 
     def __init__(self, pipeline_options: Optional[PipelineOptions] = None,
-                 xnf_options: Optional[XNFOptions] = None):
-        self.engine = Engine(pipeline_options, xnf_options)
+                 xnf_options: Optional[XNFOptions] = None,
+                 path: Optional[str] = None, **engine_options):
+        self.engine = Engine(pipeline_options, xnf_options, path=path,
+                             **engine_options)
         self.session: Session = self.engine.connect(label="default")
 
     # ------------------------------------------------------------------

@@ -51,10 +51,14 @@ from repro.cache.matview import MaterializedViewRegistry
 from repro.qgm.model import Box
 from repro.sql import ast
 from repro.storage.catalog import Catalog
+from repro.storage.recovery import (RecoveryReport, build_snapshot_payload,
+                                    prune_snapshots, recover, wal_path,
+                                    write_snapshot)
 from repro.storage.stats import StatisticsManager
 from repro.storage.table import TableReadView, read_views
 from repro.storage.transactions import (DEFAULT_SCOPE, Transaction,
                                         TransactionManager)
+from repro.storage.wal import WriteAheadLog
 from repro.xnf.result import XNFExecutable
 from repro.xnf.translate import XNFOptions, XNFTranslator
 
@@ -201,8 +205,32 @@ class Engine:
 
     def __init__(self, pipeline_options: Optional[PipelineOptions] = None,
                  xnf_options: Optional[XNFOptions] = None,
-                 lock_timeout: float = 30.0):
+                 lock_timeout: float = 30.0,
+                 path: Optional[str] = None,
+                 fsync: str = "group",
+                 group_window: float = 0.002,
+                 checkpoint_interval: int = 0):
+        """``path=None`` (the default) keeps the engine purely in
+        memory — exactly the pre-durability behaviour.  With a ``path``
+        the engine recovers whatever state the directory holds, then
+        write-ahead-logs every commit and schema change there; see
+        :mod:`repro.storage.wal` for the ``fsync`` / ``group_window``
+        knobs and ``docs/DURABILITY.md`` for the full story.
+        ``checkpoint_interval`` > 0 snapshots automatically every that
+        many commits (``checkpoint()`` is always available manually).
+        """
         self.catalog = Catalog()
+        self.path = path
+        self.recovery: Optional[RecoveryReport] = None
+        self._wal: Optional[WriteAheadLog] = None
+        self._checkpoint_interval = checkpoint_interval
+        self._commits_since_checkpoint = 0
+        self._checkpoint_lock = threading.Lock()
+        if path is not None:
+            # Recover into the fresh catalog *before* anything
+            # subscribes to it, so replay triggers no delta, DDL or
+            # table-created listeners.
+            self.recovery = recover(path, self.catalog)
         # Subscribed: committed DML deltas invalidate statistics (and,
         # on material drift, the plan-cache stats epoch) automatically.
         self.stats = StatisticsManager(self.catalog, subscribe=True)
@@ -234,6 +262,113 @@ class Engine:
         self._parse_cache = StatementTextCache(self.parse_cache_capacity)
         self._parse_lock = threading.Lock()
         self._closed = False
+        if path is not None:
+            self._finish_recovery(self.recovery, fsync, group_window)
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _finish_recovery(self, report: RecoveryReport, fsync: str,
+                         group_window: float) -> None:
+        """Complete a durable open: adopt recovered derived-state
+        markers, open the log at the recovered position, re-register
+        materialized views stale, and only *then* attach the logging
+        hooks (so none of this re-logs)."""
+        self.stats.restore_epochs(report.stats_table_epochs,
+                                  report.stats_global_epoch)
+        self._wal = WriteAheadLog(
+            wal_path(self.path), fsync=fsync, group_window=group_window,
+            next_lsn=report.next_lsn,
+            truncate_at=report.wal_truncate_at)
+        # Materialized views come back *stale*: their definitions
+        # recovered with the catalog, but the stored result did not —
+        # the first read recomputes from the recovered base tables
+        # (stale-or-correct, never a trusted pre-crash image).
+        for name, policy in sorted(report.matview_policies.items()):
+            view = self.catalog.view(name)
+            self.matviews.create(name, view.definition, policy=policy,
+                                 initial_refresh=False)
+        self.transactions.pre_commit_hooks.append(self._log_commit)
+        self.transactions.commit_listeners.append(self._count_commit)
+        self.catalog.ddl_listeners.append(self._log_ddl)
+        self.matviews.create_listeners.append(self._log_matview_create)
+        self.matviews.drop_listeners.append(self._log_matview_drop)
+
+    @property
+    def wal(self) -> Optional[WriteAheadLog]:
+        """The write-ahead log (None for in-memory engines)."""
+        return self._wal
+
+    def _log_commit(self, txn: Transaction) -> None:
+        # The write-ahead point: runs at the top of commit, before the
+        # transaction detaches and before any delta is published.
+        if txn.pending_deltas:
+            self._wal.append({"t": "txn",
+                              "deltas": list(txn.pending_deltas)})
+
+    def _count_commit(self, _txn) -> None:
+        self._commits_since_checkpoint += 1
+
+    def _log_ddl(self, op: str, payload: dict) -> None:
+        self._wal.append({"t": "ddl", "op": op, **payload})
+
+    def _log_matview_create(self, name: str, policy: str) -> None:
+        self._wal.append({"t": "matview", "op": "create", "name": name,
+                          "policy": policy})
+
+    def _log_matview_drop(self, name: str) -> None:
+        self._wal.append({"t": "matview", "op": "drop", "name": name,
+                          "policy": None})
+
+    def _durability_barrier(self) -> None:
+        """Make this thread's acknowledged work durable.
+
+        Runs *after* the statement latch is released, so concurrent
+        committers reach the log's sync barrier together and share
+        fsyncs (group commit).  No-op for in-memory engines and for
+        threads with nothing pending.
+        """
+        if self._wal is not None:
+            self._wal.commit_barrier()
+
+    def checkpoint(self) -> Optional[str]:
+        """Snapshot the committed state and truncate the log.
+
+        Returns the snapshot path (None for in-memory engines).  Safe
+        at any time: open transactions are excluded via committed-state
+        overlays, and their eventual commit records land *after* the
+        snapshot's LSN, so replay composes.  A crash anywhere inside
+        leaves either the old snapshot set or old-plus-new (snapshots
+        are written atomically); stale log records below the snapshot
+        LSN are skipped at replay.
+        """
+        self._check_open()
+        if self._wal is None:
+            return None
+        with self._checkpoint_lock:
+            with self._statement_latch.exclusive():
+                with read_views(self._read_views_for(None)):
+                    lsn = self._wal.last_lsn
+                    self._wal.sync()
+                    payload = build_snapshot_payload(
+                        self.catalog, lsn, self.stats.table_epochs(),
+                        self.stats.global_epoch,
+                        {v.name: v.policy
+                         for v in self.matviews.views()})
+                    snapshot = write_snapshot(self.path, payload)
+                    # Every record is covered by the snapshot (commits
+                    # finish under the exclusive latch; open
+                    # transactions have no records yet).
+                    self._wal.truncate_through(lsn)
+            prune_snapshots(self.path, lsn)
+            self._commits_since_checkpoint = 0
+        return snapshot
+
+    def _maybe_checkpoint(self) -> None:
+        if (self._wal is not None and self._checkpoint_interval > 0
+                and self._commits_since_checkpoint
+                >= self._checkpoint_interval):
+            self.checkpoint()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -277,6 +412,8 @@ class Engine:
             return
         for session in list(self._sessions):
             session.close()
+        if self._wal is not None:
+            self._wal.close()
         self._closed = True
 
     @property
@@ -333,9 +470,15 @@ class Engine:
                 views = self._read_views_for(None) if committed_views \
                     else None
                 with read_views(views):
-                    return thunk()
+                    result = thunk()
         finally:
             self._release_writer_if_done(session)
+            # Durability barrier *outside* the latches: an auto-commit
+            # statement is only acknowledged once its log record is
+            # synced, and syncing here lets concurrent committers group.
+            self._durability_barrier()
+        self._maybe_checkpoint()
+        return result
 
     def matview_read(self, session, thunk):
         """Read a materialized view per its staleness policy.
@@ -362,6 +505,8 @@ class Engine:
                     self.transactions.rollback(session.scope)
         finally:
             self._release_writer_if_done(session)
+            self._durability_barrier()
+        self._maybe_checkpoint()
 
     def _release_writer_if_done(self, session) -> None:
         try:

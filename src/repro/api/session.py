@@ -87,6 +87,10 @@ class Session:
         from repro.api.engine import StatementTextCache
         self._parse_cache = StatementTextCache(
             engine.parse_cache_capacity)
+        #: Open cursors, so closing the session closes their streams
+        #: deterministically (an abandoned half-consumed stream must not
+        #: hold executor state until garbage collection).
+        self._cursors: list = []
         self._closed = False
 
     # ------------------------------------------------------------------
@@ -97,9 +101,12 @@ class Session:
         return self._closed
 
     def close(self) -> None:
-        """Roll back any open transaction and close the session."""
+        """Close open cursors, roll back any open transaction, and
+        close the session."""
         if self._closed:
             return
+        for cursor in list(self._cursors):
+            cursor.close()
         if self.in_transaction:
             self.engine.end_transaction(self, commit=False)
         self.engine._forget(self)
@@ -251,7 +258,13 @@ class Session:
         executor."""
         from repro.api.cursor import Cursor
         self._check_open()
-        return Cursor(self)
+        cursor = Cursor(self)
+        self._cursors.append(cursor)
+        return cursor
+
+    def _forget_cursor(self, cursor) -> None:
+        if cursor in self._cursors:
+            self._cursors.remove(cursor)
 
     def prepare(self, sql: str):
         """Parse (and pre-parameterize) a statement for repeated runs.

@@ -675,7 +675,8 @@ class MaterializedView:
 
     def __init__(self, name: str, query: ast.XNFQuery,
                  compile_fn: Callable[[ast.XNFQuery], XNFExecutable],
-                 catalog: Catalog, policy: str = "eager"):
+                 catalog: Catalog, policy: str = "eager",
+                 initial_refresh: bool = True):
         if policy not in POLICIES:
             raise CacheError(
                 f"unknown staleness policy {policy!r}; "
@@ -702,7 +703,11 @@ class MaterializedView:
         self.stale = True
         self.stats = {"full_refreshes": 0, "incremental_refreshes": 0,
                       "delta_rows_applied": 0, "reads": 0}
-        self.refresh(full=True)
+        if initial_refresh:
+            self.refresh(full=True)
+        # else: registered stale — crash recovery re-registers views
+        # this way so the first read recomputes from the recovered base
+        # tables instead of trusting a pre-crash materialization.
 
     # ------------------------------------------------------------------
     @property
@@ -794,22 +799,33 @@ class MaterializedViewRegistry:
         self.catalog = catalog
         self._compile = compile_fn
         self._views: dict[str, MaterializedView] = {}
+        #: Called with ``(name, policy)`` / ``(name,)`` after a view is
+        #: registered / dropped; the durability layer logs these so a
+        #: recovered engine knows which views to re-register (stale).
+        self.create_listeners: list[Callable[[str, str], None]] = []
+        self.drop_listeners: list[Callable[[str], None]] = []
 
     # ------------------------------------------------------------------
     def create(self, name: str, query: ast.XNFQuery,
-               policy: str = "eager") -> MaterializedView:
+               policy: str = "eager",
+               initial_refresh: bool = True) -> MaterializedView:
         key = name.upper()
         if key in self._views:
             raise CatalogError(
                 f"materialized view {name!r} already exists")
         view = MaterializedView(name, query, self._compile, self.catalog,
-                                policy=policy)
+                                policy=policy,
+                                initial_refresh=initial_refresh)
         self._views[key] = view
+        for listener in list(self.create_listeners):
+            listener(key, view.policy)
         return view
 
     def drop(self, name: str) -> None:
         if self._views.pop(name.upper(), None) is None:
             raise CatalogError(f"no materialized view named {name!r}")
+        for listener in list(self.drop_listeners):
+            listener(name.upper())
 
     def get(self, name: str) -> MaterializedView:
         view = self._views.get(name.upper())

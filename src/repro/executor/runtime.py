@@ -85,9 +85,18 @@ class QueryStream:
         return batch
 
     def close(self) -> None:
-        """Abandon the stream (the underlying generator is dropped)."""
+        """Abandon the stream, releasing executor state deterministically.
+
+        Closing the underlying generator runs its ``finally`` blocks
+        *now* (operator cleanup, context managers) instead of whenever
+        the garbage collector gets around to it — an abandoned
+        half-consumed stream must not pin resources until collection.
+        """
         self._exhausted = True
-        self._batches = iter(())
+        batches, self._batches = self._batches, iter(())
+        close = getattr(batches, "close", None)
+        if close is not None:
+            close()
 
 
 class QueryPipeline:

@@ -138,6 +138,11 @@ class Catalog:
         #: while a transaction is open, so a mid-transaction CREATE
         #: TABLE + INSERT rolls back its rows like any other mutation.
         self.table_created_listeners: list[Callable[[Table], None]] = []
+        #: DDL subscribers: called with ``(op, payload)`` after each
+        #: schema mutation lands in the catalog.  The durability layer
+        #: registers one so schema operations become WAL records and
+        #: replay at recovery exactly as row deltas do.
+        self.ddl_listeners: list[Callable[[str, dict], None]] = []
         #: Monotonic DDL counter.  Every schema mutation (tables,
         #: indexes, views, foreign keys) bumps it; the plan cache keys
         #: compiled plans on it so any DDL invalidates them wholesale.
@@ -145,6 +150,10 @@ class Catalog:
 
     def _bump_schema_version(self) -> None:
         self.schema_version += 1
+
+    def _emit_ddl(self, op: str, **payload: Any) -> None:
+        for listener in list(self.ddl_listeners):
+            listener(op, payload)
 
     # ------------------------------------------------------------------
     # Delta protocol
@@ -192,6 +201,8 @@ class Catalog:
         table = Table(self._key(name), columns)
         self._tables[self._key(name)] = table
         self._bump_schema_version()
+        self._emit_ddl("create_table", name=table.name,
+                       columns=table.columns)
         for listener in list(self.table_created_listeners):
             listener(table)
         return table
@@ -219,6 +230,7 @@ class Catalog:
             if self._key(fk.child_table) != key
         }
         self._bump_schema_version()
+        self._emit_ddl("drop_table", name=key)
 
     def table(self, name: str) -> Table:
         try:
@@ -247,6 +259,9 @@ class Catalog:
         table.attach_index(index)
         self._indexes[key] = index
         self._bump_schema_version()
+        self._emit_ddl("create_index", name=key, table=table.name,
+                       columns=index.column_names, unique=unique,
+                       ordered=ordered)
         return index
 
     def drop_index(self, name: str) -> None:
@@ -256,6 +271,7 @@ class Catalog:
             raise CatalogError(f"no index named {name!r}")
         self.table(index.table_name).detach_index(index)
         self._bump_schema_version()
+        self._emit_ddl("drop_index", name=key)
 
     def index(self, name: str) -> Index:
         try:
@@ -303,6 +319,11 @@ class Catalog:
                         parent.name, tuple(c.upper() for c in parent_columns))
         self._foreign_keys[key] = fk
         self._bump_schema_version()
+        self._emit_ddl("add_foreign_key", name=key,
+                       child_table=fk.child_table,
+                       child_columns=fk.child_columns,
+                       parent_table=fk.parent_table,
+                       parent_columns=fk.parent_columns)
         return fk
 
     def foreign_keys(self) -> list[ForeignKey]:
@@ -401,6 +422,7 @@ class Catalog:
         )
         self._views[stored.name] = stored
         self._bump_schema_version()
+        self._emit_ddl("create_view", view=stored)
         return stored
 
     def drop_view(self, name: str) -> None:
@@ -408,6 +430,7 @@ class Catalog:
             raise CatalogError(f"no view named {name!r}")
         del self._views[self._key(name)]
         self._bump_schema_version()
+        self._emit_ddl("drop_view", name=self._key(name))
 
     def view(self, name: str) -> ViewDefinition:
         try:

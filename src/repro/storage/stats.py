@@ -155,6 +155,30 @@ class StatisticsManager:
     def _bump_table_epoch(self, key: str) -> None:
         self._table_epochs[key] = self._table_epochs.get(key, 0) + 1
 
+    def table_epochs(self) -> dict[str, int]:
+        """Snapshot of the per-table epochs (checkpointing)."""
+        return dict(self._table_epochs)
+
+    @property
+    def global_epoch(self) -> int:
+        return self._global_epoch
+
+    def restore_epochs(self, table_epochs: dict[str, int],
+                       global_epoch: int) -> None:
+        """Adopt epochs recovered from a snapshot, then advance.
+
+        The recovered counters keep epoch history monotonic across a
+        restart; the extra global bump guarantees that *nothing* keyed
+        on pre-crash epochs (a plan cached before the crash, statistics
+        drift baselines) can ever validate against post-recovery state.
+        """
+        self._table_epochs = {k.upper(): v
+                              for k, v in table_epochs.items()}
+        self._global_epoch = global_epoch + 1
+        self._snapshots.clear()
+        self._pending_changes.clear()
+        self._baseline_cardinality.clear()
+
     # ------------------------------------------------------------------
     # Reads
     # ------------------------------------------------------------------

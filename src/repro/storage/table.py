@@ -355,6 +355,45 @@ class Table:
             index.rebuild(self)
 
     # ------------------------------------------------------------------
+    # Durability support (snapshots and recovery)
+    # ------------------------------------------------------------------
+    def snapshot_slots(self) -> list[Row | None]:
+        """The raw slot array (tombstones included) as *committed*.
+
+        Honors the active read view, so a checkpoint taken while another
+        session holds uncommitted writes captures the committed image of
+        every touched RID.  Slot positions are preserved exactly —
+        RID-addressed WAL replay depends on them.
+        """
+        slots = list(self._slots)
+        view = active_read_view(self.name)
+        if view is not None:
+            for rid, image in view.rows.items():
+                if 0 <= rid < len(slots):
+                    slots[rid] = image
+                elif image is not None:
+                    slots.extend([None] * (rid - len(slots) + 1))
+                    slots[rid] = image
+        return slots
+
+    def restore_slots(self, slots: Sequence[Row | None]) -> None:
+        """Replace the heap with a snapshot's slot array (recovery only).
+
+        Rows were validated when first inserted, so this skips type and
+        constraint checks and just rebuilds the PK map and indexes.
+        """
+        self._slots = [tuple(row) if row is not None else None
+                       for row in slots]
+        self._live = sum(1 for row in self._slots if row is not None)
+        self._pk_values.clear()
+        if self._pk_positions:
+            for rid, row in enumerate(self._slots):
+                if row is not None:
+                    self._pk_values[self._pk_key(row)] = rid
+        for index in self._indexes:
+            index.rebuild(self)
+
+    # ------------------------------------------------------------------
     # Index attachment
     # ------------------------------------------------------------------
     def attach_index(self, index: Any) -> None:

@@ -139,6 +139,12 @@ class TransactionManager:
         #: deltas (the engine uses this for bookkeeping, not required
         #: for correctness).
         self.commit_listeners: list = []
+        #: Called with the transaction at the top of :meth:`commit`,
+        #: *before* it is detached and before any buffered delta reaches
+        #: the listeners.  The durability layer appends the commit's WAL
+        #: record here — write-ahead ordering — and a hook that raises
+        #: aborts the commit with the transaction still open and intact.
+        self.pre_commit_hooks: list = []
         catalog.delta_interceptors.append(self._intercept_delta)
         catalog.table_created_listeners.append(self._on_table_created)
 
@@ -183,29 +189,57 @@ class TransactionManager:
 
     def commit(self, scope: Hashable = DEFAULT_SCOPE) -> None:
         txn = self.transaction_for(scope)
+        # Write-ahead point: a raising hook aborts the commit with the
+        # transaction still open, so the caller can roll back cleanly
+        # and nothing was published.
+        for hook in list(self.pre_commit_hooks):
+            hook(txn)
+        # Detach *before* publishing: the interceptor and the undo
+        # hooks must not observe the flush, so a listener running
+        # inside the commit can neither re-buffer deltas into a dead
+        # transaction nor append undo records to another scope's log.
         txn.active = False
         del self._transactions[scope]
         if not self._transactions:
             self._remove_hooks()
         self.committed_count += 1
-        # Flush buffered deltas to the listeners, bypassing interception
-        # (the transaction they would re-buffer into is gone).
-        for delta in txn.pending_deltas:
-            self._catalog.publish_delta(delta)
-        txn.pending_deltas = []
+        pending, txn.pending_deltas = txn.pending_deltas, []
+        try:
+            # Any table mutation a listener performs during the flush
+            # is maintenance of derived state, not part of some other
+            # open transaction — suppress undo recording for the span.
+            self._replaying = True
+            try:
+                for delta in pending:
+                    self._catalog.publish_delta(delta)
+            finally:
+                self._replaying = False
+        except Exception:
+            # A listener raised mid-flush: derived state may have seen
+            # only part of the commit.  Run the rollback listeners so
+            # delta-derived caches invalidate (stale, never
+            # half-applied-served-as-fresh), then surface the error.
+            # The row data itself committed — deltas describe already
+            # applied mutations.
+            for listener in list(self.rollback_listeners):
+                listener(txn)
+            raise
         for listener in list(self.commit_listeners):
             listener(txn)
 
     def rollback(self, scope: Hashable = DEFAULT_SCOPE) -> None:
         txn = self.transaction_for(scope)
+        # Detach before replaying the undo log (mirrors commit): the
+        # interceptor must not attribute anything to this transaction
+        # once its fate is decided.
+        txn.active = False
+        del self._transactions[scope]
+        if not self._transactions:
+            self._remove_hooks()
         try:
             self._undo(txn.log, down_to=0)
         finally:
-            txn.active = False
             txn.pending_deltas = []
-            del self._transactions[scope]
-            if not self._transactions:
-                self._remove_hooks()
             self.rolled_back_count += 1
             # Buffered deltas never reached anyone — only *directly*
             # published ones (paths outside this manager's interception)

@@ -1,0 +1,64 @@
+"""Subprocess worker for the crash-injection suite (test_crash_recovery).
+
+Runs an endless committing workload against a durable engine until the
+parent test SIGKILLs it at a random moment.  After every acknowledged
+commit (and only then) it appends one line to the *oracle* file, so the
+parent can verify the recovered database against exactly the set of
+acknowledged transactions:
+
+    ``txn <tid> <total>``   transaction <tid> committed <total> rows
+    ``ddl <tid>``           side table SIDE_<tid> created + 1 row, acked
+    ``ckpt <n>``            a checkpoint completed
+
+Both the engine (``fsync="none"``) and the oracle rely on the OS page
+cache surviving a *process* kill — SIGKILL never loses buffered file
+writes, only a machine crash would, so the suite runs at full speed
+while still exercising every crash point of the logging protocol.
+
+Modes (argv[4]):
+    plain        committing transactions of 1..5 rows
+    checkpoint   same, plus a checkpoint every 7 commits
+    ddl          same, plus CREATE TABLE + INSERT every 5 commits
+"""
+
+import random
+import sys
+
+
+def main() -> None:
+    dbdir, oracle_path, seed, mode = sys.argv[1:5]
+    random.seed(int(seed))
+    from repro.api.engine import Engine
+
+    engine = Engine(path=dbdir, fsync="none", group_window=0.0)
+    session = engine.connect()
+    if not engine.catalog.has_table("KV"):
+        session.execute(
+            "CREATE TABLE KV (K INT PRIMARY KEY, TID INT, SEQ INT, "
+            "TOTAL INT)")
+    start = len(session.execute("SELECT K FROM KV").rows)
+    oracle = open(oracle_path, "a")
+    key = 1_000_000 + start  # unique across restarts of the same dir
+    for tid in range(start, start + 100_000):
+        total = random.randint(1, 5)
+        session.begin()
+        for seq in range(total):
+            session.execute("INSERT INTO KV VALUES (?, ?, ?, ?)",
+                            [key, tid, seq, total])
+            key += 1
+        session.commit()
+        oracle.write(f"txn {tid} {total}\n")
+        oracle.flush()
+        if mode == "ddl" and tid % 5 == 0:
+            session.execute(f"CREATE TABLE SIDE_{tid} (A INT)")
+            session.execute(f"INSERT INTO SIDE_{tid} VALUES ({tid})")
+            oracle.write(f"ddl {tid}\n")
+            oracle.flush()
+        if mode == "checkpoint" and tid % 7 == 0:
+            engine.checkpoint()
+            oracle.write(f"ckpt {tid}\n")
+            oracle.flush()
+
+
+if __name__ == "__main__":
+    main()

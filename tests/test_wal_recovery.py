@@ -1,0 +1,335 @@
+"""Recovery edge cases: empty logs, torn tails, snapshot-only restarts.
+
+The crash-injection suite (test_crash_recovery) kills real processes at
+arbitrary moments; this suite constructs the interesting on-disk states
+*deterministically* — including truncating the log at every byte offset
+of its final record — so each recovery branch is exercised by name.
+"""
+
+import os
+import shutil
+import struct
+
+import pytest
+
+from repro.api.engine import Engine
+from repro.errors import StorageError
+from repro.storage import recovery as rec
+from repro.storage.wal import (WAL_MAGIC, WriteAheadLog, encode_record,
+                               read_records)
+
+_HEADER = struct.Struct("<QII")  # mirrors wal._HEADER (lsn, len, crc32)
+
+
+def record_boundaries(data: bytes) -> list[int]:
+    """Byte offsets of every record boundary in a WAL image (starting
+    at the end of the magic, ending just past the final record)."""
+    offsets = [len(WAL_MAGIC)]
+    offset = len(WAL_MAGIC)
+    while offset + _HEADER.size <= len(data):
+        _lsn, length, _crc = _HEADER.unpack_from(data, offset)
+        offset += _HEADER.size + length
+        offsets.append(offset)
+    return offsets
+
+
+def open_engine(dbdir: str) -> Engine:
+    return Engine(path=dbdir, fsync="none")
+
+
+def table_rows(engine: Engine, name: str) -> set[tuple]:
+    return set(engine.catalog.table(name).rows())
+
+
+# ----------------------------------------------------------------------
+# Log/record unit behaviour
+# ----------------------------------------------------------------------
+def test_read_records_roundtrip():
+    data = WAL_MAGIC + encode_record(1, {"t": "x"}) \
+        + encode_record(2, {"t": "y", "n": 42})
+    records, end = read_records(data)
+    assert [(r.lsn, r.payload) for r in records] == \
+        [(1, {"t": "x"}), (2, {"t": "y", "n": 42})]
+    assert end == len(data)
+
+
+def test_read_records_rejects_bad_magic():
+    data = b"NOTAWAL!" + encode_record(1, {"t": "x"})
+    assert read_records(data) == ([], 0)
+    assert read_records(b"") == ([], 0)
+    assert read_records(WAL_MAGIC[:4]) == ([], 0)
+
+
+def test_read_records_stops_at_checksum_mismatch():
+    good = encode_record(1, {"t": "x"})
+    bad = bytearray(encode_record(2, {"t": "y"}))
+    bad[-1] ^= 0xFF  # corrupt the payload, not the header
+    records, end = read_records(WAL_MAGIC + good + bytes(bad))
+    assert [r.lsn for r in records] == [1]
+    assert end == len(WAL_MAGIC) + len(good)
+
+
+def test_wal_rejects_unknown_fsync_policy(tmp_path):
+    with pytest.raises(StorageError):
+        WriteAheadLog(str(tmp_path / "wal.log"), fsync="sometimes")
+
+
+def test_wal_truncate_below_magic_recreates(tmp_path):
+    """A file that died before its magic landed is rewritten fresh."""
+    path = str(tmp_path / "wal.log")
+    with open(path, "wb") as handle:
+        handle.write(WAL_MAGIC[:3])
+    wal = WriteAheadLog(path, fsync="none", truncate_at=0)
+    wal.append({"t": "x"})
+    wal.close()
+    with open(path, "rb") as handle:
+        records, _ = read_records(handle.read())
+    assert [r.lsn for r in records] == [1]
+
+
+# ----------------------------------------------------------------------
+# Empty / trivial restarts
+# ----------------------------------------------------------------------
+def test_fresh_directory(tmp_path):
+    """First open of a nonexistent directory: empty report, working log."""
+    dbdir = str(tmp_path / "db")
+    engine = open_engine(dbdir)
+    report = engine.recovery
+    assert (report.snapshot_lsn, report.last_lsn,
+            report.replayed_transactions, report.replayed_ddl,
+            report.torn_bytes) == (0, 0, 0, 0, 0)
+    assert os.path.exists(rec.wal_path(dbdir))
+    engine.close()
+
+
+def test_empty_log_reopen(tmp_path):
+    """Open, write nothing, close, reopen — the magic-only log replays
+    to nothing."""
+    dbdir = str(tmp_path / "db")
+    open_engine(dbdir).close()
+    engine = open_engine(dbdir)
+    assert engine.recovery.last_lsn == 0
+    assert list(engine.catalog.tables()) == []
+    engine.close()
+
+
+def test_double_reopen_idempotent(tmp_path):
+    """Recovery of a recovered directory is a fixed point: same rows,
+    same LSN horizon, nothing re-replayed into duplicates."""
+    dbdir = str(tmp_path / "db")
+    engine = open_engine(dbdir)
+    session = engine.connect()
+    session.execute("CREATE TABLE T (A INT PRIMARY KEY, B INT)")
+    for i in range(6):
+        session.execute(f"INSERT INTO T VALUES ({i}, {i * 10})")
+    session.execute("DELETE FROM T WHERE A = 2")
+    expected = table_rows(engine, "T")
+    engine.close()
+
+    engine2 = open_engine(dbdir)
+    assert table_rows(engine2, "T") == expected
+    lsn = engine2.recovery.last_lsn
+    engine2.close()
+
+    engine3 = open_engine(dbdir)
+    assert table_rows(engine3, "T") == expected
+    assert engine3.recovery.last_lsn == lsn
+    assert engine3.recovery.torn_bytes == 0
+    engine3.close()
+
+
+# ----------------------------------------------------------------------
+# Snapshots
+# ----------------------------------------------------------------------
+def test_snapshot_only_reopen(tmp_path):
+    """After a checkpoint the log is empty — restart must come entirely
+    from the snapshot (rows, indexes, foreign keys, views)."""
+    dbdir = str(tmp_path / "db")
+    engine = open_engine(dbdir)
+    session = engine.connect()
+    session.execute("CREATE TABLE P (A INT PRIMARY KEY, B INT)")
+    session.execute("CREATE TABLE C (X INT PRIMARY KEY, PA INT)")
+    engine.catalog.create_index("IX_C_PA", "C", ["PA"])
+    engine.catalog.add_foreign_key("FK_C_P", "C", ["PA"], "P", ["A"])
+    session.execute("CREATE VIEW BIG AS SELECT A FROM P WHERE B > 5")
+    for i in range(4):
+        session.execute(f"INSERT INTO P VALUES ({i}, {i * 3})")
+    session.execute("INSERT INTO C VALUES (100, 2)")
+    snapshot_file = engine.checkpoint()
+    assert snapshot_file and os.path.exists(snapshot_file)
+    # The log is truncated back to its magic; replay has nothing to do.
+    assert os.path.getsize(rec.wal_path(dbdir)) == len(WAL_MAGIC)
+    engine.close()
+
+    engine2 = open_engine(dbdir)
+    report = engine2.recovery
+    assert report.snapshot_lsn > 0
+    assert report.replayed_transactions == 0 and report.replayed_ddl == 0
+    assert table_rows(engine2, "P") == {(i, i * 3) for i in range(4)}
+    assert table_rows(engine2, "C") == {(100, 2)}
+    assert [ix.name for ix in engine2.catalog.table("C").indexes] \
+        == ["IX_C_PA"]
+    assert [fk.name for fk in engine2.catalog.foreign_keys()] == ["FK_C_P"]
+    assert [v.name for v in engine2.catalog.views()] == ["BIG"]
+    # The restored foreign key is live, not decorative.
+    session2 = engine2.connect()
+    with pytest.raises(Exception):
+        session2.execute("DELETE FROM P WHERE A = 2")
+    engine2.close()
+
+
+def test_snapshot_plus_log_suffix(tmp_path):
+    """Writes after a checkpoint replay on top of the snapshot."""
+    dbdir = str(tmp_path / "db")
+    engine = open_engine(dbdir)
+    session = engine.connect()
+    session.execute("CREATE TABLE T (A INT PRIMARY KEY)")
+    session.execute("INSERT INTO T VALUES (1)")
+    engine.checkpoint()
+    session.execute("INSERT INTO T VALUES (2)")
+    session.execute("INSERT INTO T VALUES (3)")
+    engine.close()
+
+    engine2 = open_engine(dbdir)
+    assert engine2.recovery.snapshot_lsn > 0
+    assert engine2.recovery.replayed_transactions == 2
+    assert table_rows(engine2, "T") == {(1,), (2,), (3,)}
+    engine2.close()
+
+
+def test_corrupt_snapshot_falls_back_to_older(tmp_path):
+    """A snapshot that fails its checksum is skipped, not trusted."""
+    directory = str(tmp_path)
+    payload_a = {"format": rec.SNAPSHOT_FORMAT, "lsn": 5, "tables": [],
+                 "indexes": [], "foreign_keys": [], "views": [],
+                 "matviews": {}, "schema_version": 0,
+                 "stats_table_epochs": {}, "stats_global_epoch": 0}
+    rec.write_snapshot(directory, payload_a)
+    path_b = rec.snapshot_path(directory, 9)
+    with open(path_b, "wb") as handle:
+        handle.write(b"garbage that is certainly not a snapshot")
+    loaded = rec.load_newest_snapshot(directory)
+    assert loaded is not None and loaded["lsn"] == 5
+
+
+def test_prune_keeps_current_snapshot(tmp_path):
+    directory = str(tmp_path)
+    for lsn in (3, 7, 11):
+        rec.write_snapshot(directory, {
+            "format": rec.SNAPSHOT_FORMAT, "lsn": lsn, "tables": [],
+            "indexes": [], "foreign_keys": [], "views": [],
+            "matviews": {}, "schema_version": 0,
+            "stats_table_epochs": {}, "stats_global_epoch": 0})
+    rec.prune_snapshots(directory, keep_lsn=11)
+    remaining = sorted(name for name in os.listdir(directory)
+                       if name.startswith("snapshot-"))
+    assert remaining == [os.path.basename(rec.snapshot_path(directory, 11))]
+
+
+# ----------------------------------------------------------------------
+# Torn tails
+# ----------------------------------------------------------------------
+def test_torn_final_record_every_offset(tmp_path):
+    """Truncate the log at *every* byte offset of its final record.
+
+    Whatever the cut point — mid-header, mid-payload, or even exactly
+    on the preceding boundary — recovery must keep every earlier
+    transaction and drop exactly the torn one, then reopen a log that
+    accepts new appends.
+    """
+    golden = str(tmp_path / "golden")
+    engine = open_engine(golden)
+    session = engine.connect()
+    session.execute("CREATE TABLE T (A INT PRIMARY KEY, B INT)")
+    for i in range(5):
+        session.execute(f"INSERT INTO T VALUES ({i}, {i * 10})")
+    engine.close()
+
+    with open(rec.wal_path(golden), "rb") as handle:
+        data = handle.read()
+    boundaries = record_boundaries(data)
+    assert boundaries[-1] == len(data)
+    # 6 records: the CREATE TABLE DDL plus five single-row commits.
+    assert len(boundaries) - 1 == 6
+    survivor_rows = {(i, i * 10) for i in range(4)}
+
+    last_start, last_end = boundaries[-2], boundaries[-1]
+    for cut in range(last_start, last_end):
+        workdir = str(tmp_path / f"cut-{cut}")
+        shutil.copytree(golden, workdir)
+        with open(rec.wal_path(workdir), "r+b") as handle:
+            handle.truncate(cut)
+        engine2 = open_engine(workdir)
+        assert engine2.recovery.torn_bytes == cut - last_start
+        assert engine2.recovery.replayed_transactions == 4
+        assert table_rows(engine2, "T") == survivor_rows
+        # The tail is gone for good: the reopened log appends cleanly.
+        engine2.connect().execute("INSERT INTO T VALUES (4, 99)")
+        engine2.close()
+        engine3 = open_engine(workdir)
+        assert table_rows(engine3, "T") == survivor_rows | {(4, 99)}
+        assert engine3.recovery.torn_bytes == 0
+        engine3.close()
+        shutil.rmtree(workdir)
+
+
+def test_torn_tail_reported_and_discarded(tmp_path):
+    """Garbage appended past the valid prefix is measured, then gone."""
+    dbdir = str(tmp_path / "db")
+    engine = open_engine(dbdir)
+    session = engine.connect()
+    session.execute("CREATE TABLE T (A INT PRIMARY KEY)")
+    session.execute("INSERT INTO T VALUES (1)")
+    engine.close()
+    with open(rec.wal_path(dbdir), "ab") as handle:
+        handle.write(b"\x00" * 37)
+
+    engine2 = open_engine(dbdir)
+    assert engine2.recovery.torn_bytes == 37
+    assert table_rows(engine2, "T") == {(1,)}
+    engine2.close()
+    engine3 = open_engine(dbdir)
+    assert engine3.recovery.torn_bytes == 0
+    engine3.close()
+
+
+# ----------------------------------------------------------------------
+# DDL in the log
+# ----------------------------------------------------------------------
+def test_ddl_in_log_replays(tmp_path):
+    """Schema operations that never reached a snapshot replay from the
+    log alone: tables, indexes (with uniqueness), drops, views."""
+    dbdir = str(tmp_path / "db")
+    engine = open_engine(dbdir)
+    session = engine.connect()
+    session.execute("CREATE TABLE KEEP (A INT PRIMARY KEY, B INT)")
+    session.execute("CREATE TABLE GONER (X INT)")
+    engine.catalog.create_index("IX_KEEP_B", "KEEP", ["B"], unique=True)
+    session.execute("INSERT INTO KEEP VALUES (1, 7)")
+    session.execute("DROP TABLE GONER")
+    session.execute("CREATE VIEW KB AS SELECT B FROM KEEP")
+    # Crash: no close, no checkpoint — everything lives in the log.
+    engine2 = open_engine(dbdir)
+    assert engine2.catalog.has_table("KEEP")
+    assert not engine2.catalog.has_table("GONER")
+    assert table_rows(engine2, "KEEP") == {(1, 7)}
+    index = engine2.catalog.table("KEEP").indexes[0]
+    assert (index.name, index.unique) == ("IX_KEEP_B", True)
+    assert [v.name for v in engine2.catalog.views()] == ["KB"]
+    # The replayed unique index still enforces.
+    session2 = engine2.connect()
+    with pytest.raises(Exception):
+        session2.execute("INSERT INTO KEEP VALUES (2, 7)")
+    engine2.close()
+    engine.close()  # the abandoned pre-crash handle, after the fact
+
+
+def test_unknown_record_kind_is_an_error(tmp_path):
+    directory = str(tmp_path)
+    path = rec.wal_path(directory)
+    with open(path, "wb") as handle:
+        handle.write(WAL_MAGIC)
+        handle.write(encode_record(1, {"t": "mystery"}))
+    from repro.storage.catalog import Catalog
+    with pytest.raises(StorageError):
+        rec.recover(directory, Catalog())
