@@ -1,0 +1,194 @@
+"""Statistics-driven planner vs the legacy heuristics: the A/B.
+
+The ISSUE-7 tentpole claim: on skewed data the legacy planner — fixed
+1/NDV equality selectivity, always-prefer-index access paths, greedy
+join ordering — picks provably bad join orders, because a 95%-frequent
+filter value is priced like any other (~50x underestimate here).  The
+statistics-driven planner (MCV/histogram selectivities + DP join
+enumeration + cost-compared access paths) must win by at least 3x on
+the headline workload; the measured gap is expected >5x.
+
+Methodology: one shared database, two planner configurations over it —
+the default statistics-driven pipeline vs
+``PlannerOptions(join_enumeration="greedy", legacy_cost_model=True,
+cost_based_access_paths=False)``, which reproduces the pre-change
+planner exactly.  Each side compiles once and executes repeatedly
+under a best-of-N harness (fastest repetition wins, so noise can only
+*hurt* the reported speedup).  Row equality between the two plans is
+asserted on every workload, so the benchmark doubles as a plan-
+equivalence soundness check.  Results land in ``BENCH_cost.json`` at
+the repository root, including the chosen join orders so a regression
+is diagnosable from the artifact alone.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from benchmarks.conftest import print_table
+from repro.api.database import Database
+from repro.executor.runtime import PipelineOptions, QueryPipeline
+from repro.optimizer.optimizer import PlannerOptions
+from repro.sql.parser import parse_statement
+
+#: Acceptance floor for the headline skewed-join workload.
+REQUIRED_SPEEDUP = 3.0
+
+#: Timed repetitions; the fastest one is reported.
+BEST_OF = 3
+
+#: Executions per timed repetition (amortizes timer resolution).
+RUNS_PER_REP = 5
+
+RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_cost.json"
+
+_results: dict[str, dict] = {}
+
+LEGACY_PLANNER = dict(join_enumeration="greedy", legacy_cost_model=True,
+                      cost_based_access_paths=False)
+
+CUSTOMERS = 2_000
+ORDERS = 6_000
+LINES = 12_000
+
+
+def build_skew_db() -> Database:
+    """CUST -> ORDERS -> LINES with a 95%-hot ORDERS.STATUS.
+
+    * CUST.REGION: 3 heavy regions (~663 rows each, MCV territory) and
+      a rare 'NORTH' with 10 rows — truly selective.
+    * ORDERS.STATUS: 'HOT' on 95% of rows plus 300 rare statuses, so
+      NDV ~301 and the legacy 1/NDV guess prices ``STATUS = 'HOT'`` at
+      ~20 rows instead of 5700.
+    * LINES.KIND: ~99 kinds with 'RARE' on 2% of rows, phased so the
+      3-way workload returns a non-empty answer (both models price
+      this filter about the same; the skew lives in ORDERS).
+    """
+    db = Database()
+    db.execute("CREATE TABLE CUST (CID INT PRIMARY KEY, REGION VARCHAR)")
+    db.execute("CREATE TABLE ORDERS (OID INT PRIMARY KEY, CID INT, "
+               "STATUS VARCHAR)")
+    db.execute("CREATE TABLE LINES (LID INT PRIMARY KEY, OID INT, "
+               "KIND VARCHAR)")
+    db.execute("CREATE INDEX ORD_CID ON ORDERS (CID)")
+    db.execute("CREATE INDEX ORD_STATUS ON ORDERS (STATUS)")
+    db.execute("CREATE INDEX LINES_OID ON LINES (OID)")
+    cust = db.table("CUST")
+    orders = db.table("ORDERS")
+    lines = db.table("LINES")
+    hot_regions = ("EAST", "WEST", "SOUTH")
+    for cid in range(CUSTOMERS):
+        region = "NORTH" if cid < 10 else hot_regions[cid % 3]
+        cust.insert((cid, region))
+    for oid in range(ORDERS):
+        status = "HOT" if oid % 20 else f"S{oid // 20}"
+        orders.insert((oid, oid % CUSTOMERS, status))
+    for lid in range(LINES):
+        kind = "RARE" if lid % 50 == 1 else f"K{lid % 100}"
+        lines.insert((lid, lid % ORDERS, kind))
+    db.analyze()
+    return db
+
+
+WORKLOADS = {
+    "skew_join_2way": (
+        "SELECT c.cid, o.oid FROM CUST c, ORDERS o "
+        "WHERE o.cid = c.cid AND c.region = 'NORTH' "
+        "AND o.status = 'HOT'"
+    ),
+    "skew_join_3way": (
+        "SELECT c.cid, o.oid, l.lid FROM CUST c, ORDERS o, LINES l "
+        "WHERE o.cid = c.cid AND l.oid = o.oid "
+        "AND c.region = 'NORTH' AND o.status = 'HOT' "
+        "AND l.kind = 'RARE'"
+    ),
+}
+
+
+def compile_side(db: Database, sql: str, legacy: bool):
+    planner = PlannerOptions(**LEGACY_PLANNER) if legacy \
+        else PlannerOptions()
+    pipeline = QueryPipeline(db.catalog, db.stats,
+                             PipelineOptions(planner=planner),
+                             db.pipeline.xnf_component_resolver)
+    compiled = pipeline.compile_select(parse_statement(sql))
+    return pipeline, compiled
+
+
+def measure(pipeline, compiled) -> float:
+    start = time.perf_counter()
+    for _ in range(RUNS_PER_REP):
+        pipeline.run_compiled(compiled)
+    return time.perf_counter() - start
+
+
+def best_of(pipeline, compiled, repetitions: int = BEST_OF) -> float:
+    return min(measure(pipeline, compiled) for _ in range(repetitions))
+
+
+def record(name: str, new_s: float, legacy_s: float,
+           extra: dict | None = None) -> float:
+    speedup = legacy_s / new_s
+    entry = {
+        "runs_per_rep": RUNS_PER_REP,
+        "best_of": BEST_OF,
+        "legacy_seconds": round(legacy_s, 6),
+        "cost_based_seconds": round(new_s, 6),
+        "speedup": round(speedup, 2),
+        "required_speedup": REQUIRED_SPEEDUP,
+    }
+    if extra:
+        entry.update(extra)
+    _results[name] = entry
+    RESULTS_PATH.write_text(json.dumps(_results, indent=2) + "\n")
+    print_table(
+        f"cost-based planner A/B: {name} (best of {BEST_OF})",
+        ["planner", "seconds", "speedup"],
+        [["legacy heuristics", f"{legacy_s:.4f}", "1.0x"],
+         ["statistics-driven", f"{new_s:.4f}", f"{speedup:.1f}x"]],
+    )
+    return speedup
+
+
+@pytest.fixture(scope="module")
+def skew_db() -> Database:
+    return build_skew_db()
+
+
+def run_workload(db: Database, name: str) -> float:
+    sql = WORKLOADS[name]
+    new_pipe, new_plan = compile_side(db, sql, legacy=False)
+    legacy_pipe, legacy_plan = compile_side(db, sql, legacy=True)
+    # Soundness: cost choices change speed, never answers.
+    new_rows = sorted(new_pipe.run_compiled(new_plan).rows)
+    legacy_rows = sorted(legacy_pipe.run_compiled(legacy_plan).rows)
+    assert new_rows == legacy_rows
+    # The regression being benchmarked: the two planners actually
+    # disagree about the join order on this data.
+    new_order = new_plan.plan.join_orders[0]
+    legacy_order = legacy_plan.plan.join_orders[0]
+    assert new_order.names != legacy_order.names
+    new_s = best_of(new_pipe, new_plan)
+    legacy_s = best_of(legacy_pipe, legacy_plan)
+    return record(name, new_s, legacy_s, extra={
+        "rows": len(new_rows),
+        "join_order_cost_based": " -> ".join(new_order.names),
+        "join_order_legacy": " -> ".join(legacy_order.names),
+    })
+
+
+def test_skew_join_2way(skew_db):
+    speedup = run_workload(skew_db, "skew_join_2way")
+    assert speedup > 1.0
+
+
+def test_skew_join_3way_headline(skew_db):
+    speedup = run_workload(skew_db, "skew_join_3way")
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"statistics-driven planner won by only {speedup:.2f}x "
+        f"(required {REQUIRED_SPEEDUP}x)"
+    )

@@ -534,6 +534,10 @@ class Session:
                 parts = ["-- QGM (after rewrite) --",
                          dump_graph(compiled.graph),
                          "-- plan --", compiled.plan.explain()]
+                if compiled.plan.join_orders:
+                    parts.append("-- join order --")
+                    parts.extend(record.render()
+                                 for record in compiled.plan.join_orders)
                 if compiled.rewrite_context is not None:
                     parts.append(
                         "-- rewrites: "
@@ -567,6 +571,8 @@ class Session:
         if info.status != "bypass":
             lines.append(f"schema_version: {info.schema_version}, "
                          f"stats_epoch: {info.stats_epoch}")
+        if info.estimated_rows >= 0:
+            lines.append(f"estimated_rows: ~{info.estimated_rows:.0f}")
         return "\n".join(lines)
 
     def table(self, name: str) -> Table:

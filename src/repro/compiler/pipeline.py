@@ -217,8 +217,10 @@ class CompilationPipeline:
             prune=self.options.prune_columns, trace=trace,
         )
 
-    def plan(self, graph: QGMGraph) -> ExecutablePlan:
-        planner = Planner(self.catalog, self.stats, self.options.planner)
+    def plan(self, graph: QGMGraph,
+             peek: Optional[dict] = None) -> ExecutablePlan:
+        planner = Planner(self.catalog, self.stats, self.options.planner,
+                          peek=peek)
         return planner.plan(graph)
 
     # ------------------------------------------------------------------
@@ -280,7 +282,9 @@ class CompilationPipeline:
         planner = self.options.planner
         return (self.options.apply_nf_rewrite, self.options.prune_columns,
                 planner.use_indexes, planner.share_common_subexpressions,
-                planner.batch_execution, planner.batch_size)
+                planner.batch_execution, planner.batch_size,
+                planner.join_enumeration, planner.dp_join_threshold,
+                planner.cost_based_access_paths, planner.legacy_cost_model)
 
     def _stats_view(self, table_name: str) -> tuple[int, int]:
         """(table epoch, live cardinality) — what cached entries over
@@ -303,6 +307,14 @@ class CompilationPipeline:
         validation keys)."""
         return sorted({box.table.name for box in graph.all_boxes()
                        if isinstance(box, BaseBox)})
+
+    @staticmethod
+    def _plan_estimated_rows(plan: ExecutablePlan) -> float:
+        """The planner's output-row estimate for a single-output plan
+        (-1.0 when there is no single output to summarize)."""
+        if plan is not None and len(plan.outputs) == 1:
+            return float(plan.outputs[0][1].estimated_rows)
+        return -1.0
 
     def _stats_keys(self, tables) -> tuple:
         return tuple(
@@ -344,21 +356,29 @@ class CompilationPipeline:
             # first-level lookup already counted a miss; reclassify it,
             # so one compile is exactly one hit or one miss.
             cache.store(key, canon_entry.value, schema_version,
-                        canon_entry.stats_keys)
+                        canon_entry.stats_keys,
+                        estimated_rows=canon_entry.estimated_rows)
             cache.stats.misses -= 1
             cache.stats.hits += 1
             cache.last_info = CacheInfo(
                 status="hit", fingerprint=canon_entry.fingerprint,
                 reason="post-rewrite canonical form matched",
                 schema_version=schema_version,
+                estimated_rows=canon_entry.estimated_rows,
             )
             self._stamp_epoch()
             return canon_entry.value
-        compiled.plan = self.plan(graph)
+        # Plan with the lifted literals peeked, so the cost model keeps
+        # value-aware (MCV/histogram) estimates for ad-hoc statements.
+        compiled.plan = self.plan(graph, peek=parameterized.bindings)
         miss_info = cache.last_info
         stats_keys = self._stats_keys(self.graph_tables(graph))
-        cache.store(key, compiled, schema_version, stats_keys)
-        cache.store(canon_key, compiled, schema_version, stats_keys)
+        estimated = self._plan_estimated_rows(compiled.plan)
+        miss_info.estimated_rows = estimated
+        cache.store(key, compiled, schema_version, stats_keys,
+                    estimated_rows=estimated)
+        cache.store(canon_key, compiled, schema_version, stats_keys,
+                    estimated_rows=estimated)
         cache.last_info = miss_info
         self._stamp_epoch()
         return compiled

@@ -272,6 +272,9 @@ class CacheEntry:
     #: on an *unrelated* table therefore never invalidates this entry.
     stats_keys: tuple[tuple[str, int, int], ...] = ()
     hits: int = 0
+    #: Planner-estimated output rows snapshotted at store time (-1
+    #: when the artifact has no single row estimate).
+    estimated_rows: float = -1.0
 
 
 @dataclass
@@ -283,6 +286,8 @@ class CacheInfo:
     reason: str = ""
     schema_version: int = 0
     stats_epoch: int = 0
+    #: The served plan's estimated output rows (-1 when unknown).
+    estimated_rows: float = -1.0
 
 
 @dataclass
@@ -419,6 +424,7 @@ class PlanCache:
                 self.last_info = CacheInfo(
                     status="hit", fingerprint=entry.fingerprint,
                     schema_version=schema_version,
+                    estimated_rows=entry.estimated_rows,
                 )
                 return entry
             del self._entries[key]
@@ -431,12 +437,14 @@ class PlanCache:
             return None
 
     def store(self, key: Any, value: Any, schema_version: int,
-              stats_keys: tuple = ()) -> Optional[CacheEntry]:
+              stats_keys: tuple = (),
+              estimated_rows: float = -1.0) -> Optional[CacheEntry]:
         if not self.enabled:
             return None
         entry = CacheEntry(value=value, schema_version=schema_version,
                            fingerprint=fingerprint_of(key),
-                           stats_keys=tuple(stats_keys))
+                           stats_keys=tuple(stats_keys),
+                           estimated_rows=estimated_rows)
         with self._lock:
             self._entries[key] = entry
             self._entries.move_to_end(key)

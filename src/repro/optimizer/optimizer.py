@@ -1,20 +1,27 @@
 """Plan optimization: QGM -> physical plan (QEP).
 
 Implements the plan-optimization and plan-refinement stages of Fig. 2:
-access path selection (table scan vs. index scan vs. index-nested-loop
-through "parent/child links"), greedy cost-ordered join enumeration,
+cost-compared access path selection (table scan vs. index scan vs.
+index-nested-loop through "parent/child links"), join-order
+enumeration — exhaustive left-deep dynamic programming up to
+``dp_join_threshold`` relations, greedy cost-ordered beyond it —
 semi/anti-join realization of E/A quantifiers, and spooling of shared
 boxes so common subexpressions are evaluated once (Sect. 5.1's
 multi-query optimization).
 
 ``PlannerOptions`` exposes the ablation levers the benchmarks sweep:
-``use_indexes`` and ``share_common_subexpressions``.
+``use_indexes``, ``share_common_subexpressions``,
+``join_enumeration``/``cost_based_access_paths``/``legacy_cost_model``
+(the pre-statistics planner, kept as the A/B baseline), and
+``join_order_hook`` — the debug hook the plan-equivalence differential
+harness uses to force every enumerated join order.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from itertools import combinations
+from typing import Callable, Optional, Sequence
 
 from repro.errors import PlanningError
 from repro.executor.expressions import (RID_COLUMN, CompiledExpression,
@@ -50,6 +57,42 @@ class PlannerOptions:
     #: before raising RewriteError (naming the last-fired rule and the
     #: per-rule counts).  Raise it for pathologically deep view stacks.
     rewrite_budget: int = 10_000
+    #: Join-order search strategy: "auto" runs exhaustive left-deep DP
+    #: up to ``dp_join_threshold`` relations and falls back to greedy
+    #: beyond it; "dp" and "greedy" force one strategy.
+    join_enumeration: str = "auto"
+    dp_join_threshold: int = 8
+    #: Cost-compare full scan vs index scan (and hash join vs index
+    #: nested-loop).  When False the planner keeps the legacy
+    #: always-prefer-index heuristic.
+    cost_based_access_paths: bool = True
+    #: Estimate with the pre-histogram fixed selectivities (the A/B
+    #: benchmark baseline).
+    legacy_cost_model: bool = False
+    #: Debug-only hook for the plan-equivalence harness: called with
+    #: the quantifier names of each join fan; returning a permutation
+    #: forces that order, returning None keeps the cost-based choice.
+    #: Not part of the plan-cache options signature — combine with an
+    #: uncached compile.
+    join_order_hook: Optional[
+        Callable[[list[str]], Optional[Sequence[str]]]] = None
+
+
+@dataclass(frozen=True)
+class JoinOrderRecord:
+    """One join fan's chosen order, surfaced by ``db.explain()``."""
+
+    #: Quantifier names, outermost (driving) source first.
+    names: tuple
+    #: How the order was chosen: "dp" | "greedy" | "forced".
+    method: str
+    estimated_rows: float
+    estimated_cost: float
+
+    def render(self) -> str:
+        return (f"{' -> '.join(self.names)} [{self.method}; "
+                f"~{self.estimated_rows:.0f} rows, "
+                f"cost ~{self.estimated_cost:.0f}]")
 
 
 @dataclass
@@ -61,6 +104,9 @@ class ExecutablePlan:
     #: Execution-mode knobs, stamped from :class:`PlannerOptions`.
     batch_execution: bool = True
     batch_size: int = DEFAULT_BATCH_SIZE
+    #: One record per multi-source join fan the planner ordered
+    #: (including fans inside views/subqueries), in planning order.
+    join_orders: list[JoinOrderRecord] = field(default_factory=list)
 
     def new_context(self, params=None) -> ExecutionContext:
         ctx = ExecutionContext()
@@ -110,9 +156,20 @@ class _Source:
     layout: Layout
     rows: float
     #: True when the node is a bare TableScan (eligible for replacement
-    #: by an index-nested-loop probe).
+    #: by an index-nested-loop probe under the legacy access-path rule).
     bare_scan: bool = False
     with_rid: bool = False
+    #: Estimated cost of producing this source once (scan or index
+    #: scan plus filters) — the DP enumeration's leaf costs.
+    access_cost: float = 0.0
+    #: For base sources planned as (possibly filtered) scans: the
+    #: underlying table, so an index-nested-loop probe can replace the
+    #: scan with the local filters folded into the probe residual.
+    #: None when a constant-equality index scan was already chosen.
+    table: Optional[object] = None
+    #: The local predicates applied as filters over the scan (become
+    #: the probe residual on index-nested-loop replacement).
+    filter_preds: list = field(default_factory=list)
 
 
 def _filter_node(node: PlanNode, compiler: ExpressionCompiler,
@@ -139,10 +196,15 @@ class Planner:
     """Compiles a (rewritten, NF) QGM graph into an executable plan."""
 
     def __init__(self, catalog: Catalog, stats: StatisticsManager,
-                 options: Optional[PlannerOptions] = None):
+                 options: Optional[PlannerOptions] = None,
+                 peek: Optional[dict] = None):
         self.catalog = catalog
         self.options = options or PlannerOptions()
-        self.cost = CostModel(stats)
+        self.cost = CostModel(stats, peek=peek,
+                              legacy=self.options.legacy_cost_model)
+        #: Join-order decisions made while planning (stamped onto the
+        #: finished ExecutablePlan for EXPLAIN).
+        self.join_orders: list[JoinOrderRecord] = []
         self._memo: dict[int, PlanNode] = {}
         self._shared: set[int] = set()
         self.scalar_plans: dict[int, PlanNode] = {}
@@ -158,6 +220,7 @@ class Planner:
         self._memo.clear()
         self.scalar_plans.clear()
         self._scalar_deps.clear()
+        self.join_orders.clear()
         counts = graph.reference_counts()
         self._shared = {box_id for box_id, count in counts.items()
                         if count > 1}
@@ -166,7 +229,8 @@ class Planner:
             outputs.append((stream, self.plan_box(stream.box)))
         return ExecutablePlan(outputs, dict(self.scalar_plans),
                               batch_execution=self.options.batch_execution,
-                              batch_size=self.options.batch_size)
+                              batch_size=self.options.batch_size,
+                              join_orders=list(self.join_orders))
 
     def plan_box(self, box: Box) -> PlanNode:
         memoized = self._memo.get(box.box_id)
@@ -403,7 +467,11 @@ class Planner:
             for predicate in local_preds:
                 node = _filter_node(node, compiler, predicate)
         node.estimated_rows = rows
-        return _Source(quantifier, node, layout, rows)
+        # A derived source is produced by its own subplan; charge its
+        # output volume as the access cost.
+        access_cost = max(self.cost.box_rows(box), 1.0)
+        return _Source(quantifier, node, layout, rows,
+                       access_cost=access_cost)
 
     def _build_base_source(self, quantifier: Quantifier, box: BaseBox,
                            local_preds: list[ast.Expression],
@@ -415,23 +483,39 @@ class Planner:
         if with_rid:
             layout[(quantifier.qid, RID_COLUMN)] = len(columns)
         rows = self.cost.local_rows(box, local_preds)
+        cardinality = float(max(len(table), 1))
+        full_scan_cost = self.cost.scan_cost(cardinality)
 
-        # Try an index scan for constant equality predicates.
+        # Access-path selection for constant equality predicates: every
+        # index fully covered by them is a candidate; cost-compare
+        # against the full scan (legacy mode: first covered index wins
+        # unconditionally).
         remaining = list(local_preds)
         node: PlanNode
+        access_cost = full_scan_cost
         chosen_index = None
         if self.options.use_indexes:
             const_eq: dict[str, ast.Expression] = {}
+            const_pred: dict[str, ast.Expression] = {}
             for predicate in local_preds:
                 column, value = self._constant_equality(predicate,
                                                         quantifier)
                 if column is not None and column not in const_eq:
                     const_eq[column] = value
+                    const_pred[column] = predicate
+            cost_based = self.options.cost_based_access_paths
             for index in table.indexes:
                 names = [c.upper() for c in index.column_names]
-                if all(name in const_eq for name in names):
-                    chosen_index = (index, names)
+                if not all(name in const_eq for name in names):
+                    continue
+                matching = cardinality * self.cost.conjunct_selectivity(
+                    [const_pred[name] for name in names])
+                index_cost = self.cost.index_scan_cost(matching)
+                if not cost_based:
+                    chosen_index, access_cost = (index, names), index_cost
                     break
+                if index_cost < access_cost:
+                    chosen_index, access_cost = (index, names), index_cost
             if chosen_index is not None:
                 index, names = chosen_index
                 empty_compiler = ExpressionCompiler({})
@@ -446,14 +530,19 @@ class Planner:
         if chosen_index is None:
             node = TableScan(table, with_rid=with_rid)
         node.estimated_rows = rows
+        node.estimated_cost = access_cost
         bare = chosen_index is None and not remaining
         if remaining:
             compiler = ExpressionCompiler(layout)
             for predicate in remaining:
                 node = _filter_node(node, compiler, predicate)
             node.estimated_rows = rows
+            node.estimated_cost = access_cost
         return _Source(quantifier, node, layout, rows, bare_scan=bare,
-                       with_rid=with_rid)
+                       with_rid=with_rid, access_cost=access_cost,
+                       table=table if chosen_index is None else None,
+                       filter_preds=remaining if chosen_index is None
+                       else [])
 
     @staticmethod
     def _constant_equality(predicate: ast.Expression,
@@ -472,18 +561,89 @@ class Planner:
     def _join_sources(self, sources: list[_Source],
                       predicates: list[ast.Expression]
                       ) -> tuple[PlanNode, Layout]:
-        """Greedy cost-ordered join of the given sources."""
+        """Join the given sources in an enumerated cost-chosen order."""
         pending = list(predicates)
-        remaining = list(sources)
-        remaining.sort(key=lambda s: s.rows)
-        current = remaining.pop(0)
+        order, method = self._choose_join_order(sources, predicates)
+        current = order[0]
         node = current.node
         layout = dict(current.layout)
         bound = {current.quantifier}
         rows = current.rows
+        total_cost = current.access_cost
         node, layout, pending = self._apply_ready(node, layout, bound,
                                                   pending)
 
+        for candidate in order[1:]:
+            equi = self._equi_predicates(pending, bound,
+                                         candidate.quantifier)
+            out_rows = self.cost.join_rows(rows, candidate.rows,
+                                           [p for p, _s in equi])
+            # _join_step_cost already charges the candidate's access
+            # cost where the join method pays it (hash build / inner
+            # materialization); INL replaces the scan and pays none.
+            total_cost += self._join_step_cost(rows, candidate, equi,
+                                               out_rows)
+            node, layout = self._join_pair(node, layout, rows, candidate,
+                                           equi, pending)
+            bound.add(candidate.quantifier)
+            rows = out_rows
+            node.estimated_rows = rows
+            node.estimated_cost = total_cost
+            node, layout, pending = self._apply_ready(node, layout, bound,
+                                                      pending)
+        if len(order) > 1:
+            self.join_orders.append(JoinOrderRecord(
+                names=tuple(s.quantifier.name for s in order),
+                method=method, estimated_rows=rows,
+                estimated_cost=total_cost))
+        return node, layout
+
+    # ------------------------------------------------------------------
+    # Join-order enumeration
+    # ------------------------------------------------------------------
+    def _choose_join_order(self, sources: list[_Source],
+                           predicates: list[ast.Expression]
+                           ) -> tuple[list[_Source], str]:
+        if len(sources) <= 1:
+            return list(sources), "single"
+        hook = self.options.join_order_hook
+        if hook is not None:
+            names = [s.quantifier.name for s in sources]
+            forced = hook(list(names))
+            if forced is not None:
+                if sorted(forced) != sorted(names):
+                    raise PlanningError(
+                        f"join_order_hook returned {list(forced)!r}; "
+                        f"expected a permutation of {names!r}"
+                    )
+                by_name = {s.quantifier.name: s for s in sources}
+                return [by_name[name] for name in forced], "forced"
+        mode = self.options.join_enumeration
+        if mode not in ("auto", "dp", "greedy"):
+            raise PlanningError(
+                f"unknown join_enumeration mode {mode!r} "
+                "(expected 'auto', 'dp', or 'greedy')"
+            )
+        if mode == "greedy" or (
+                mode == "auto"
+                and len(sources) > self.options.dp_join_threshold):
+            return self._greedy_order(sources, predicates), "greedy"
+        return self._dp_order(sources, predicates), "dp"
+
+    def _greedy_order(self, sources: list[_Source],
+                      predicates: list[ast.Expression]) -> list[_Source]:
+        """The classic greedy heuristic: start from the smallest
+        source, repeatedly add the connected candidate with the lowest
+        estimated join output (simulating predicate consumption the
+        same way the fold does)."""
+        pending = list(predicates)
+        remaining = sorted(sources, key=lambda s: s.rows)
+        current = remaining.pop(0)
+        order = [current]
+        bound = {current.quantifier}
+        rows = current.rows
+        pending = [p for p in pending
+                   if not self._placement_refs(p) <= bound]
         while remaining:
             best = None
             for candidate in remaining:
@@ -491,21 +651,121 @@ class Planner:
                                              candidate.quantifier)
                 estimate = self.cost.join_rows(rows, candidate.rows,
                                                [p for p, _s in equi])
-                connected = bool(equi)
-                key = (not connected, estimate, candidate.rows)
+                key = (not bool(equi), estimate, candidate.rows)
                 if best is None or key < best[0]:
                     best = (key, candidate, equi)
             _key, candidate, equi = best
             remaining.remove(candidate)
-            node, layout = self._join_pair(node, layout, rows, candidate,
-                                           equi, pending)
+            order.append(candidate)
+            for predicate, _sides in equi:
+                pending.remove(predicate)
             bound.add(candidate.quantifier)
             rows = self.cost.join_rows(rows, candidate.rows,
                                        [p for p, _s in equi])
-            node.estimated_rows = rows
-            node, layout, pending = self._apply_ready(node, layout, bound,
-                                                      pending)
-        return node, layout
+            pending = [p for p in pending
+                       if not self._placement_refs(p) <= bound]
+        return order
+
+    def _dp_order(self, sources: list[_Source],
+                  predicates: list[ast.Expression]) -> list[_Source]:
+        """Exhaustive left-deep join enumeration (Selinger-style DP
+        over quantifier subsets): for every subset keep the cheapest
+        order, extending by one source at a time.  2^n subsets — only
+        run below ``dp_join_threshold``."""
+        by_qid = {s.quantifier.qid: s for s in sources}
+        qids = [s.quantifier.qid for s in sources]
+        #: subset -> (total cost, output rows, order tuple)
+        best: dict[frozenset, tuple[float, float, tuple]] = {
+            frozenset((s.quantifier.qid,)): (s.access_cost, s.rows, (s,))
+            for s in sources
+        }
+        for size in range(2, len(sources) + 1):
+            for combo in combinations(qids, size):
+                subset = frozenset(combo)
+                winner = None
+                for last in combo:
+                    previous = best.get(subset - {last})
+                    if previous is None:
+                        continue
+                    prev_cost, prev_rows, prev_order = previous
+                    candidate = by_qid[last]
+                    step_cost, out_rows = self._dp_step(
+                        prev_order, prev_rows, candidate, predicates)
+                    total = prev_cost + step_cost
+                    if winner is None or (total, out_rows) < winner[:2]:
+                        winner = (total, out_rows,
+                                  prev_order + (candidate,))
+                best[subset] = winner
+        return list(best[frozenset(qids)][2])
+
+    def _dp_step(self, prev_order: tuple, prev_rows: float,
+                 candidate: _Source,
+                 predicates: list[ast.Expression]) -> tuple[float, float]:
+        """(cost, output rows) of joining ``candidate`` onto the bound
+        prefix — the DP's transition function."""
+        bound = {s.quantifier for s in prev_order}
+        both = bound | {candidate.quantifier}
+        newly: list[ast.Expression] = []
+        for predicate in predicates:
+            refs = self._placement_refs(predicate)
+            if not refs or refs <= bound \
+                    or refs <= {candidate.quantifier}:
+                continue
+            if refs <= both:
+                newly.append(predicate)
+        selectivity = self.cost.conjunct_selectivity(newly)
+        out_rows = max(prev_rows * candidate.rows * selectivity, 0.1)
+        equi = self._equi_predicates(newly, bound, candidate.quantifier)
+        return (self._join_step_cost(prev_rows, candidate, equi,
+                                     out_rows), out_rows)
+
+    def _join_step_cost(self, prev_rows: float, candidate: _Source,
+                        equi: list, out_rows: float) -> float:
+        """Cost of one join step under the cheapest available method
+        (the same choice :meth:`_join_pair` will make)."""
+        if not equi:
+            return self.cost.nested_loop_cost(prev_rows, candidate.rows,
+                                              candidate.access_cost)
+        hash_cost = self.cost.hash_join_cost(prev_rows, candidate.rows,
+                                             candidate.access_cost)
+        index = self._inl_index(candidate, self._inl_columns(equi))
+        if index is None:
+            return hash_cost
+        inl_cost = self.cost.inl_join_cost(prev_rows, out_rows)
+        if not self.options.cost_based_access_paths:
+            return inl_cost  # legacy: INL whenever an index matches
+        return min(inl_cost, hash_cost)
+
+    # ------------------------------------------------------------------
+    # Index-nested-loop eligibility (shared by costing and realization)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _inl_columns(equi: list) -> set[str]:
+        """Candidate-side equality columns usable as probe keys."""
+        return {sides[1].column.upper() for _p, sides in equi
+                if isinstance(sides[1], QRef)}
+
+    def _inl_index(self, candidate: _Source, columns: set[str]):
+        """An index on the candidate fully covered by the equi-join
+        columns, if the candidate is still probe-able."""
+        if not self.options.use_indexes or not columns:
+            return None
+        if self.options.cost_based_access_paths:
+            # A filtered scan is probe-able too: its local predicates
+            # fold into the probe residual.
+            eligible = candidate.table is not None
+        else:
+            eligible = candidate.bare_scan \
+                and isinstance(candidate.node, TableScan)
+        if not eligible:
+            return None
+        table = candidate.table if candidate.table is not None \
+            else candidate.node.table  # type: ignore[attr-defined]
+        for index in table.indexes:
+            names = [c.upper() for c in index.column_names]
+            if all(name in columns for name in names):
+                return index
+        return None
 
     def _apply_ready(self, node: PlanNode, layout: Layout,
                      bound: set[Quantifier],
@@ -567,23 +827,38 @@ class Planner:
                          for _p, sides in equi]
             right_keys = [inner_compiler.compile(sides[1])
                           for _p, sides in equi]
-            # Index-nested-loop through a parent/child link when the
-            # candidate is a bare scan with a matching index.
-            if self.options.use_indexes and candidate.bare_scan \
-                    and isinstance(candidate.node, TableScan):
-                probe = self._index_probe(node, candidate, equi, layout,
-                                          combined)
+            # Index-nested-loop through a parent/child link when an
+            # index on the candidate covers the join columns and (under
+            # cost-based access paths) probing beats building a hash.
+            index = self._inl_index(candidate, self._inl_columns(equi))
+            if index is not None \
+                    and self._inl_wins(rows, candidate, equi):
+                probe = self._index_probe(node, candidate, index, equi,
+                                          layout, combined)
                 if probe is not None:
                     return probe, combined
             return HashJoin(node, candidate.node, left_keys, right_keys), \
                 combined
         return NestedLoopJoin(node, candidate.node), combined
 
+    def _inl_wins(self, rows: float, candidate: _Source,
+                  equi: list[tuple[ast.BinaryOp, tuple]]) -> bool:
+        """Whether index nested-loop beats a hash join for this step."""
+        if not self.options.cost_based_access_paths:
+            return True  # legacy: always probe when an index matches
+        out_rows = self.cost.join_rows(rows, candidate.rows,
+                                       [p for p, _s in equi])
+        inl_cost = self.cost.inl_join_cost(rows, out_rows)
+        hash_cost = self.cost.hash_join_cost(rows, candidate.rows,
+                                             candidate.access_cost)
+        return inl_cost <= hash_cost
+
     def _index_probe(self, outer: PlanNode, candidate: _Source,
-                     equi: list[tuple[ast.BinaryOp, tuple]],
+                     index, equi: list[tuple[ast.BinaryOp, tuple]],
                      outer_layout: Layout,
                      combined_layout: Layout) -> Optional[PlanNode]:
-        table = candidate.node.table  # type: ignore[attr-defined]
+        table = candidate.table if candidate.table is not None \
+            else candidate.node.table  # type: ignore[attr-defined]
         by_column: dict[str, ast.Expression] = {}
         others: list[ast.BinaryOp] = []
         for predicate, (_outer_expr, inner_expr) in equi:
@@ -592,28 +867,29 @@ class Planner:
                                      _outer_expr)
             else:
                 others.append(predicate)
+        names = [c.upper() for c in index.column_names]
+        if not all(name in by_column for name in names):
+            return None
         outer_compiler = ExpressionCompiler(outer_layout)
-        for index in table.indexes:
-            names = [c.upper() for c in index.column_names]
-            if not all(name in by_column for name in names):
-                continue
-            key_fns = [outer_compiler.compile(by_column[name])
-                       for name in names]
-            residual_preds: list[ast.Expression] = list(others)
-            residual_preds.extend(
-                predicate for predicate, (_o, inner_expr) in equi
-                if isinstance(inner_expr, QRef)
-                and inner_expr.column.upper() not in names
-            )
-            residual = None
-            if residual_preds:
-                residual = ExpressionCompiler(combined_layout).compile(
-                    ast.conjoin(residual_preds))
-            return IndexNestedLoopJoin(
-                outer, table, index, key_fns,
-                with_rid=candidate.with_rid, residual=residual,
-            )
-        return None
+        key_fns = [outer_compiler.compile(by_column[name])
+                   for name in names]
+        residual_preds: list[ast.Expression] = list(others)
+        residual_preds.extend(
+            predicate for predicate, (_o, inner_expr) in equi
+            if isinstance(inner_expr, QRef)
+            and inner_expr.column.upper() not in names
+        )
+        # Local filters on the candidate fold into the probe residual
+        # (the probe replaces the candidate's filtered-scan subtree).
+        residual_preds.extend(candidate.filter_preds)
+        residual = None
+        if residual_preds:
+            residual = ExpressionCompiler(combined_layout).compile(
+                ast.conjoin(residual_preds))
+        return IndexNestedLoopJoin(
+            outer, table, index, key_fns,
+            with_rid=candidate.with_rid, residual=residual,
+        )
 
     # ------------------------------------------------------------------
     # E/A quantifiers

@@ -161,6 +161,9 @@ class PlanNode:
     def __init__(self, columns: Sequence[str]):
         self.columns = list(columns)
         self.estimated_rows: float = 0.0
+        #: Cumulative estimated cost (cost-model units) of producing
+        #: this node's output; 0.0 when the planner didn't cost it.
+        self.estimated_cost: float = 0.0
 
     def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
         raise NotImplementedError
@@ -193,8 +196,11 @@ class PlanNode:
         return type(self).__name__
 
     def explain(self, depth: int = 0) -> str:
-        lines = ["  " * depth
-                 + f"{self.describe()} [~{int(self.estimated_rows)} rows]"]
+        suffix = f"[~{int(self.estimated_rows)} rows]"
+        if self.estimated_cost > 0:
+            suffix = (f"[~{int(self.estimated_rows)} rows; "
+                      f"cost ~{int(self.estimated_cost)}]")
+        lines = ["  " * depth + f"{self.describe()} {suffix}"]
         for child in self.children():
             lines.append(child.explain(depth + 1))
         return "\n".join(lines)

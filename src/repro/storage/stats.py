@@ -1,10 +1,24 @@
 """Table and column statistics for the cost-based optimizer.
 
 Starburst's plan optimization chooses strategies "based on estimated
-execution costs" (Sect. 3.1).  We keep the classic System R statistics:
-table cardinality, per-column distinct-value counts, and min/max for
-numeric columns.  Statistics are computed on demand (or eagerly via the
-``ANALYZE`` statement) and cached until invalidated.
+execution costs" (Sect. 3.1).  We keep the classic System R statistics
+— table cardinality, per-column distinct-value counts, min/max — and
+extend them with the distribution summaries a skew-aware cost model
+needs:
+
+* **equi-depth histograms** (:class:`Histogram`): bucket boundaries
+  chosen so each bucket holds ~the same number of rows, giving range
+  selectivities by bucket interpolation instead of a fixed 1/3;
+* **most-common values** (``ColumnStats.mcv``): the heavy hitters of a
+  skewed column with their exact frequencies, so ``col = 'HOT'`` is not
+  estimated at 1/NDV;
+* **NDV estimation**: exact distinct counts below
+  :data:`NDV_EXACT_THRESHOLD`, a GEE-style sample estimate above it
+  (``ndv_exact`` records which), and exact-by-construction counts for
+  primary-key / unique-indexed columns.
+
+Statistics are computed on demand (or eagerly via the ``ANALYZE``
+statement) and cached until invalidated.
 
 Invalidation has two triggers:
 
@@ -27,7 +41,11 @@ each table's cardinality per entry and revalidates at lookup.)
 
 from __future__ import annotations
 
+import math
+import random
+from collections import Counter
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.storage.catalog import Catalog, TableDelta
 from repro.storage.table import Table
@@ -38,6 +56,19 @@ from repro.storage.table import Table
 DRIFT_MIN_ROWS = 16
 DRIFT_FRACTION = 0.2
 
+#: Equi-depth histogram resolution (buckets per column).
+HISTOGRAM_BUCKETS = 32
+#: Up to this many distinct values ANALYZE counts NDV exactly; beyond
+#: it the count comes from a fixed-size sample (GEE-style estimator).
+NDV_EXACT_THRESHOLD = 2048
+#: Sample size for the NDV estimator once the exact set overflows.
+NDV_SAMPLE_SIZE = 1024
+#: Deterministic seed for the NDV sample: ANALYZE over the same rows
+#: must reproduce the same statistics, run to run.
+_NDV_SAMPLE_SEED = 0x5EED
+#: At most this many most-common values are kept per column.
+MCV_KEEP = 8
+
 
 def material_drift(drift: int, baseline: int) -> bool:
     """The one definition of "materially changed" — shared by the
@@ -45,6 +76,83 @@ def material_drift(drift: int, baseline: int) -> bool:
     per-entry cardinality validation."""
     return drift >= DRIFT_MIN_ROWS \
         and drift > DRIFT_FRACTION * max(baseline, 1)
+
+
+#: Sentinel distinguishing "no constant available" from a NULL constant
+#: in value-aware selectivity estimation.
+UNKNOWN_VALUE = object()
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """Equi-depth histogram over a column's non-null values.
+
+    ``lows[i]``/``highs[i]`` are the smallest and largest value landing
+    in bucket ``i`` (buckets are built from the sorted values, so both
+    sequences are non-decreasing) and ``counts[i]`` is the bucket's row
+    count — roughly ``total / len(counts)`` each, by construction.
+    """
+
+    lows: tuple
+    highs: tuple
+    counts: tuple
+    total: int
+    #: Numeric columns interpolate linearly inside a bucket; other
+    #: comparable types (strings, dates-as-strings) fall back to the
+    #: bucket midpoint.
+    numeric: bool
+
+    @classmethod
+    def build(cls, ordered: list,
+              buckets: int = HISTOGRAM_BUCKETS) -> Optional["Histogram"]:
+        """Build from an already-sorted list of non-null values."""
+        total = len(ordered)
+        if total == 0:
+            return None
+        buckets = max(1, min(buckets, total))
+        lows, highs, counts = [], [], []
+        for i in range(buckets):
+            start = i * total // buckets
+            end = (i + 1) * total // buckets
+            if end <= start:
+                continue
+            lows.append(ordered[start])
+            highs.append(ordered[end - 1])
+            counts.append(end - start)
+        numeric = _is_numeric(ordered[0]) and _is_numeric(ordered[-1])
+        return cls(tuple(lows), tuple(highs), tuple(counts), total,
+                   numeric)
+
+    def fraction_below(self, value, inclusive: bool) -> float:
+        """Estimated fraction of (non-null) rows with
+        ``row <= value`` (inclusive) or ``row < value``.
+
+        Piecewise linear in ``value`` for numeric columns, hence
+        monotone non-decreasing under range widening.  Raises
+        ``TypeError`` when ``value`` is not comparable to the column.
+        """
+        if value < self.lows[0]:
+            return 0.0
+        accumulated = 0.0
+        for low, high, count in zip(self.lows, self.highs, self.counts):
+            past = (not value < high) if inclusive else (high < value)
+            if past:
+                accumulated += count
+                continue
+            if value < low:
+                break
+            # value falls inside [low, high]
+            if self.numeric and high != low:
+                span = (value - low) / (high - low)
+                accumulated += count * max(0.0, min(1.0, span))
+            else:
+                accumulated += 0.5 * count
+            break
+        return min(accumulated / self.total, 1.0)
+
+
+def _is_numeric(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
 
 
 @dataclass
@@ -55,12 +163,73 @@ class ColumnStats:
     null_fraction: float = 0.0
     minimum: object = None
     maximum: object = None
+    #: Equi-depth histogram over the non-null values (None when the
+    #: column is empty or its values are not mutually comparable).
+    histogram: Optional[Histogram] = None
+    #: Most-common values as ``(value, fraction_of_non_null_rows)``,
+    #: most frequent first.  Only values appearing more often than the
+    #: uniform expectation are kept, so a uniform column has no MCVs.
+    mcv: tuple = ()
+    #: False when ``distinct`` came from the sampling estimator rather
+    #: than an exact count.
+    ndv_exact: bool = True
 
-    def selectivity_equals(self, cardinality: int) -> float:
-        """Estimated selectivity of ``col = constant`` (uniformity assumption)."""
+    def selectivity_equals(self, cardinality: int,
+                           value=UNKNOWN_VALUE) -> float:
+        """Estimated selectivity of ``col = constant``.
+
+        With a known constant the MCV list answers exactly for heavy
+        hitters and the remaining mass spreads uniformly over the
+        non-MCV distinct values; without one (an unpeeked parameter)
+        this degrades to the classic uniform 1/NDV.
+        """
         if cardinality == 0 or self.distinct == 0:
             return 0.0
-        return (1.0 - self.null_fraction) / self.distinct
+        non_null = 1.0 - self.null_fraction
+        if value is None:
+            return 0.0  # col = NULL matches nothing
+        if value is not UNKNOWN_VALUE:
+            if self.minimum is not None and self.maximum is not None:
+                try:
+                    if value < self.minimum or value > self.maximum:
+                        return 0.0
+                except TypeError:
+                    pass
+            mcv_total = 0.0
+            for mcv_value, fraction in self.mcv:
+                if mcv_value == value:
+                    return min(fraction * non_null, 1.0)
+                mcv_total += fraction
+            rest = max(self.distinct - len(self.mcv), 1)
+            remainder = max(1.0 - mcv_total, 0.0)
+            return min(remainder * non_null / rest, 1.0)
+        return non_null / self.distinct
+
+    def selectivity_range(self, op: str, value) -> Optional[float]:
+        """Estimated selectivity of ``col <op> value`` over *all* rows
+        (NULLs never match), or None when no histogram applies."""
+        if value is None:
+            return 0.0
+        histogram = self.histogram
+        if histogram is None:
+            return None
+        try:
+            if op == "<":
+                fraction = histogram.fraction_below(value, inclusive=False)
+            elif op == "<=":
+                fraction = histogram.fraction_below(value, inclusive=True)
+            elif op == ">":
+                fraction = 1.0 - histogram.fraction_below(value,
+                                                          inclusive=True)
+            elif op == ">=":
+                fraction = 1.0 - histogram.fraction_below(value,
+                                                          inclusive=False)
+            else:
+                return None
+        except TypeError:
+            return None
+        fraction = max(0.0, min(1.0, fraction))
+        return fraction * (1.0 - self.null_fraction)
 
 
 @dataclass
@@ -82,30 +251,99 @@ def analyze_table(table: Table) -> TableStats:
         for column in table.columns:
             stats.columns[column.name.upper()] = ColumnStats(distinct=0)
         return stats
+    rows = list(table.rows())
+    unique_columns = _unique_columns(table)
     for position, column in enumerate(table.columns):
-        seen: set = set()
-        nulls = 0
-        minimum = maximum = None
-        for row in table.rows():
-            value = row[position]
-            if value is None:
-                nulls += 1
-                continue
-            seen.add(value)
-            try:
-                if minimum is None or value < minimum:
-                    minimum = value
-                if maximum is None or value > maximum:
-                    maximum = value
-            except TypeError:
-                minimum = maximum = None
-        stats.columns[column.name.upper()] = ColumnStats(
-            distinct=max(len(seen), 1),
-            null_fraction=nulls / cardinality,
-            minimum=minimum,
-            maximum=maximum,
-        )
+        key = column.name.upper()
+        non_null = [row[position] for row in rows
+                    if row[position] is not None]
+        nulls = cardinality - len(non_null)
+        stats.columns[key] = _analyze_column(
+            non_null, nulls, cardinality, is_unique=key in unique_columns)
     return stats
+
+
+def _unique_columns(table: Table) -> set[str]:
+    """Columns whose values are unique by constraint: NDV is exactly
+    the non-null row count, no counting needed."""
+    unique: set[str] = set()
+    primary = table.primary_key
+    if len(primary) == 1:
+        unique.add(primary[0].upper())
+    for index in getattr(table, "indexes", ()):
+        if getattr(index, "unique", False) \
+                and len(index.column_names) == 1:
+            unique.add(index.column_names[0].upper())
+    return unique
+
+
+def _analyze_column(non_null: list, nulls: int, cardinality: int,
+                    is_unique: bool) -> ColumnStats:
+    if not non_null:
+        return ColumnStats(distinct=1,
+                           null_fraction=nulls / cardinality)
+    distinct, exact = _estimate_ndv(non_null, is_unique)
+    try:
+        ordered = sorted(non_null)
+    except TypeError:
+        ordered = None  # mixed incomparable types: no min/max/histogram
+    return ColumnStats(
+        distinct=distinct,
+        null_fraction=nulls / cardinality,
+        minimum=ordered[0] if ordered else None,
+        maximum=ordered[-1] if ordered else None,
+        histogram=Histogram.build(ordered) if ordered else None,
+        mcv=_most_common(non_null, distinct),
+        ndv_exact=exact,
+    )
+
+
+def _estimate_ndv(non_null: list, is_unique: bool) -> tuple[int, bool]:
+    """(distinct-count, exact?) — exact below the threshold, sampled
+    GEE estimate above it."""
+    count = len(non_null)
+    if is_unique:
+        return count, True
+    seen: set = set()
+    for value in non_null:
+        seen.add(value)
+        if len(seen) > NDV_EXACT_THRESHOLD:
+            break
+    else:
+        return max(len(seen), 1), True
+    # The exact set overflowed: estimate from a fixed-size sample with
+    # the GEE estimator sqrt(n/r)*f1 + (d - f1), where f1 counts the
+    # sample's singletons.  We already know distinct > threshold, so
+    # clamp there from below and at the row count from above.
+    sample_size = min(count, NDV_SAMPLE_SIZE)
+    sample = random.Random(_NDV_SAMPLE_SEED).sample(non_null, sample_size)
+    frequencies = Counter(sample)
+    singletons = sum(1 for c in frequencies.values() if c == 1)
+    estimate = math.sqrt(count / sample_size) * singletons \
+        + (len(frequencies) - singletons)
+    estimate = int(max(estimate, NDV_EXACT_THRESHOLD + 1,
+                       len(frequencies)))
+    return min(estimate, count), False
+
+
+def _most_common(non_null: list, distinct: int) -> tuple:
+    """Top heavy hitters as ``(value, fraction_of_non_null)`` pairs.
+
+    Only values strictly more frequent than the uniform expectation
+    qualify — a uniform column keeps none, so its estimates stay on
+    the plain 1/NDV path.  Selection order is deterministic:
+    by descending count, then by value repr.
+    """
+    count = len(non_null)
+    if count == 0 or distinct <= 1:
+        return ()
+    uniform = count / max(distinct, 1)
+    frequencies = Counter(non_null)
+    candidates = [(freq, value) for value, freq in frequencies.items()
+                  if freq > uniform]
+    candidates.sort(key=lambda item: (-item[0], repr(item[1])))
+    return tuple((value, freq / count)
+                 for freq, value in candidates[:MCV_KEEP])
 
 
 class StatisticsManager:

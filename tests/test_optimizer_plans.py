@@ -2,7 +2,7 @@
 
 from repro.executor.runtime import PipelineOptions, QueryPipeline
 from repro.optimizer.optimizer import PlannerOptions
-from repro.optimizer.plan import (HashJoin, IndexNestedLoopJoin, IndexScan,
+from repro.optimizer.plan import (IndexNestedLoopJoin, IndexScan,
                                   SemiJoin, Spool, TableScan)
 from repro.sql.parser import parse_statement
 
@@ -148,3 +148,147 @@ class TestEmptyInputs:
     def test_empty_union(self, empty_org_db):
         assert empty_org_db.query(
             "SELECT dno FROM DEPT UNION SELECT eno FROM EMP").rows == []
+
+
+# ----------------------------------------------------------------------
+# Statistics-driven regressions: cases where the legacy heuristics are
+# provably wrong and the new planner must not repeat them.
+# ----------------------------------------------------------------------
+LEGACY = dict(join_enumeration="greedy", legacy_cost_model=True,
+              cost_based_access_paths=False)
+
+
+def make_skew_db():
+    """A skewed FK fan-out: CUST (50 rows) -> ORDERS (1000 rows) where
+    95% of orders share STATUS 'HOT' and the rest spread over 50 rare
+    statuses.  The legacy 1/NDV guess prices STATUS = 'HOT' at ~20
+    rows — off by ~50x — which flips both the join order and the
+    access path."""
+    from repro.api.database import Database
+    db = Database()
+    db.execute("CREATE TABLE CUST (CID INT PRIMARY KEY, REGION VARCHAR)")
+    db.execute("CREATE TABLE ORDERS (OID INT PRIMARY KEY, CID INT, "
+               "STATUS VARCHAR)")
+    db.execute("CREATE INDEX ORD_CID ON ORDERS (CID)")
+    db.execute("CREATE INDEX ORD_STATUS ON ORDERS (STATUS)")
+    cust = db.table("CUST")
+    orders = db.table("ORDERS")
+    for cid in range(50):
+        cust.insert((cid, "WEST" if cid % 2 else "EAST"))
+    for oid in range(1000):
+        status = "HOT" if oid % 20 else f"S{oid // 20}"
+        orders.insert((oid, oid % 50, status))
+    db.analyze()
+    return db
+
+
+def compiled_for(db, sql, **planner_kwargs):
+    options = PipelineOptions(planner=PlannerOptions(**planner_kwargs))
+    pipeline = QueryPipeline(db.catalog, db.stats, options,
+                             db.pipeline.xnf_component_resolver)
+    return pipeline.compile_select(parse_statement(sql))
+
+
+class TestSkewRegressions:
+    SQL = ("SELECT c.cid, o.oid FROM CUST c, ORDERS o "
+           "WHERE o.cid = c.cid AND o.status = 'HOT'")
+
+    def test_legacy_starts_from_underestimated_fan_out(self):
+        db = make_skew_db()
+        legacy = compiled_for(db, self.SQL, **LEGACY)
+        record = legacy.plan.join_orders[0]
+        # The provably-wrong choice this regression pins: 1/NDV prices
+        # the 950-row HOT side at ~20 rows, below CUST's 50, so the
+        # legacy greedy drives from the fact table.
+        assert record.names[0] == "o"
+
+    def test_new_planner_drives_from_the_small_side(self):
+        db = make_skew_db()
+        compiled = compiled_for(db, self.SQL)
+        record = compiled.plan.join_orders[0]
+        assert record.method == "dp"
+        assert record.names[0] == "c"
+
+    def test_orders_differ_and_answers_match(self):
+        db = make_skew_db()
+        new = compiled_for(db, self.SQL)
+        legacy = compiled_for(db, self.SQL, **LEGACY)
+        assert new.plan.join_orders[0].names != \
+            legacy.plan.join_orders[0].names
+        options = PipelineOptions()
+        pipeline = QueryPipeline(db.catalog, db.stats, options)
+        assert sorted(pipeline.run_compiled(new).rows) == \
+            sorted(pipeline.run_compiled(legacy).rows)
+
+
+class TestAccessPathRegressions:
+    def test_low_selectivity_filter_prefers_scan(self):
+        db = make_skew_db()
+        # 95% of the table matches: fetching it through the index costs
+        # ~2x a plain scan.  The legacy rule always took the index.
+        node = compiled_for(
+            db, "SELECT * FROM ORDERS o WHERE o.status = 'HOT'"
+        ).plan.single_output()[1]
+        assert not any(isinstance(n, IndexScan) for n in plan_nodes(node))
+        assert any(isinstance(n, TableScan) for n in plan_nodes(node))
+
+    def test_legacy_rule_always_took_the_index(self):
+        db = make_skew_db()
+        node = compiled_for(
+            db, "SELECT * FROM ORDERS o WHERE o.status = 'HOT'",
+            **LEGACY
+        ).plan.single_output()[1]
+        assert any(isinstance(n, IndexScan) for n in plan_nodes(node))
+
+    def test_selective_filter_still_uses_index(self):
+        db = make_skew_db()
+        node = compiled_for(
+            db, "SELECT * FROM ORDERS o WHERE o.status = 'S7'"
+        ).plan.single_output()[1]
+        assert any(isinstance(n, IndexScan) for n in plan_nodes(node))
+
+    def test_scan_and_index_answers_match(self):
+        db = make_skew_db()
+        options = PipelineOptions()
+        pipeline = QueryPipeline(db.catalog, db.stats, options)
+        for sql in ("SELECT * FROM ORDERS o WHERE o.status = 'HOT'",
+                    "SELECT * FROM ORDERS o WHERE o.status = 'S7'"):
+            new = compiled_for(db, sql)
+            legacy = compiled_for(db, sql, **LEGACY)
+            assert sorted(pipeline.run_compiled(new).rows) == \
+                sorted(pipeline.run_compiled(legacy).rows)
+
+
+class TestEnumerationModes:
+    def test_greedy_beyond_threshold(self, org_db):
+        compiled = compiled_for(
+            org_db,
+            "SELECT d.dname, e.ename, s.sname "
+            "FROM DEPT d, EMP e, EMPSKILLS es, SKILLS s "
+            "WHERE d.dno = e.edno AND es.eseno = e.eno "
+            "AND es.essno = s.sno",
+            dp_join_threshold=2)
+        assert compiled.plan.join_orders[0].method == "greedy"
+
+    def test_dp_below_threshold(self, org_db):
+        compiled = compiled_for(
+            org_db,
+            "SELECT d.dname, e.ename FROM DEPT d, EMP e "
+            "WHERE d.dno = e.edno")
+        assert compiled.plan.join_orders[0].method == "dp"
+
+    def test_unknown_mode_rejected(self, org_db):
+        import pytest
+
+        from repro.errors import PlanningError
+        with pytest.raises(PlanningError):
+            compiled_for(org_db,
+                         "SELECT d.dname, e.ename FROM DEPT d, EMP e "
+                         "WHERE d.dno = e.edno",
+                         join_enumeration="bogus")
+
+    def test_explain_surfaces_join_order(self, org_db):
+        text = org_db.explain("SELECT e.ename FROM DEPT d, EMP e "
+                              "WHERE d.dno = e.edno")
+        assert "-- join order --" in text
+        assert "cost ~" in text

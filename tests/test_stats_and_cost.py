@@ -125,3 +125,137 @@ class TestCostModel:
         assert model.box_rows(box) == model.box_rows(box)
         model.invalidate()
         assert model.box_rows(box) == 5
+
+
+class TestHistogram:
+    def test_equi_depth_buckets(self):
+        from repro.storage.stats import Histogram
+        histogram = Histogram.build(sorted(range(100)), buckets=4)
+        assert histogram.counts == (25, 25, 25, 25)
+        assert histogram.lows[0] == 0 and histogram.highs[-1] == 99
+
+    def test_fraction_below_boundaries(self):
+        from repro.storage.stats import Histogram
+        histogram = Histogram.build(sorted(range(100)), buckets=4)
+        assert histogram.fraction_below(-1, inclusive=True) == 0.0
+        assert histogram.fraction_below(99, inclusive=True) == 1.0
+        assert histogram.fraction_below(49, inclusive=True) == \
+            pytest.approx(0.5, abs=0.05)
+
+    def test_string_buckets_use_midpoint(self):
+        from repro.storage.stats import Histogram
+        histogram = Histogram.build(sorted(["a", "b", "c", "d"] * 10),
+                                    buckets=2)
+        assert not histogram.numeric
+        below = histogram.fraction_below("b", inclusive=True)
+        assert 0.0 < below < 1.0
+
+    def test_incomparable_value_raises(self):
+        from repro.storage.stats import Histogram
+        histogram = Histogram.build([1, 2, 3])
+        with pytest.raises(TypeError):
+            histogram.fraction_below("x", inclusive=True)
+
+
+class TestMcvAndNdv:
+    def test_skewed_column_keeps_heavy_hitter(self, simple_db):
+        table = simple_db.table("DEPT")
+        stats = analyze_table(table)
+        mcv = dict(stats.column("LOC").mcv)
+        assert mcv.get("ARC") == pytest.approx(2 / 3)
+
+    def test_uniform_column_has_no_mcvs(self, simple_db):
+        stats = analyze_table(simple_db.table("DEPT"))
+        assert stats.column("DNO").mcv == ()
+
+    def test_primary_key_ndv_exact(self, simple_db):
+        stats = analyze_table(simple_db.table("EMP"))
+        column = stats.column("ENO")
+        assert column.distinct == 5 and column.ndv_exact
+
+
+class TestConjunctDedup:
+    def test_duplicate_conjunct_not_double_counted(self, simple_db):
+        model = CostModel(StatisticsManager(simple_db.catalog))
+        builder = QGMBuilder(simple_db.catalog)
+        single = builder.build_select(parse_statement(
+            "SELECT * FROM DEPT WHERE loc = 'ARC'"
+        )).top.single_output().box
+        doubled = QGMBuilder(simple_db.catalog).build_select(
+            parse_statement(
+                "SELECT * FROM DEPT WHERE loc = 'ARC' AND loc = 'ARC'"
+            )).top.single_output().box
+        assert model.box_rows(doubled) == \
+            pytest.approx(model.box_rows(single))
+
+    def test_legacy_model_still_multiplies(self, simple_db):
+        legacy = CostModel(StatisticsManager(simple_db.catalog),
+                           legacy=True)
+        builder = QGMBuilder(simple_db.catalog)
+        single = builder.build_select(parse_statement(
+            "SELECT * FROM DEPT WHERE loc = 'ARC'"
+        )).top.single_output().box
+        doubled = QGMBuilder(simple_db.catalog).build_select(
+            parse_statement(
+                "SELECT * FROM DEPT WHERE loc = 'ARC' AND loc = 'ARC'"
+            )).top.single_output().box
+        assert legacy.box_rows(doubled) < legacy.box_rows(single)
+
+    def test_peeked_duplicate_parameters_dedup(self, simple_db):
+        from repro.sql import ast
+        model = CostModel(StatisticsManager(simple_db.catalog),
+                          peek={0: 3, 1: 3})
+        first = ast.BinaryOp("=", ast.Literal(5), ast.Parameter(index=0))
+        second = ast.BinaryOp("=", ast.Literal(5), ast.Parameter(index=1))
+        assert model.conjunct_selectivity([first, second]) == \
+            pytest.approx(model.selectivity(first))
+
+    def test_distinct_parameters_still_multiply(self, simple_db):
+        from repro.sql import ast
+        model = CostModel(StatisticsManager(simple_db.catalog),
+                          peek={0: 3, 1: 4})
+        first = ast.BinaryOp("=", ast.Literal(5), ast.Parameter(index=0))
+        second = ast.BinaryOp("=", ast.Literal(5), ast.Parameter(index=1))
+        combined = model.conjunct_selectivity([first, second])
+        assert combined == pytest.approx(
+            model.selectivity(first) * model.selectivity(second))
+
+
+class TestValueAwareEstimates:
+    def make_model(self, db):
+        return CostModel(StatisticsManager(db.catalog))
+
+    def box_for(self, db, sql):
+        graph = QGMBuilder(db.catalog).build_select(parse_statement(sql))
+        return graph.top.single_output().box
+
+    def test_range_uses_histogram(self, simple_db):
+        model = self.make_model(simple_db)
+        narrow = self.box_for(simple_db,
+                              "SELECT * FROM EMP WHERE sal < 95")
+        wide = self.box_for(simple_db,
+                            "SELECT * FROM EMP WHERE sal < 1000")
+        # 1 of 5 salaries below 95; all below 1000.
+        assert model.box_rows(narrow) == pytest.approx(1.0, abs=0.3)
+        assert model.box_rows(wide) == pytest.approx(5.0, abs=0.3)
+
+    def test_equality_out_of_range_estimates_empty(self, simple_db):
+        model = self.make_model(simple_db)
+        box = self.box_for(simple_db,
+                           "SELECT * FROM EMP WHERE sal = 9999")
+        assert model.box_rows(box) < 0.5
+
+    def test_mcv_equality_sees_skew(self, simple_db):
+        model = self.make_model(simple_db)
+        hot = self.box_for(simple_db,
+                           "SELECT * FROM DEPT WHERE loc = 'ARC'")
+        # 2 of 3 departments are in ARC; the uniform guess would say
+        # 1.5 — the MCV list must see the skew.
+        assert model.box_rows(hot) == pytest.approx(2.0, abs=0.2)
+
+    def test_legacy_model_misses_skew(self, simple_db):
+        legacy = CostModel(StatisticsManager(simple_db.catalog),
+                           legacy=True)
+        hot = self.box_for(simple_db,
+                           "SELECT * FROM DEPT WHERE loc = 'ARC'")
+        assert legacy.box_rows(hot) == pytest.approx(1.5, abs=0.2)
