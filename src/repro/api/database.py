@@ -144,6 +144,11 @@ class Database:
         """Recompute optimizer statistics (the ``ANALYZE`` statement)."""
         return self.session.analyze(table)
 
+    def repartition(self, table_name: str, partitioning) -> None:
+        """Rebuild a table under a new partitioning scheme (or None to
+        un-partition); see :meth:`repro.api.engine.Engine.repartition`."""
+        self.engine.repartition(table_name, partitioning)
+
     def execute_script(self, sql: str) -> list[ExecuteResult]:
         """Run a multi-statement script atomically (all-or-nothing for
         table data; a mid-script failure rolls earlier statements

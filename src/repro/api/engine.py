@@ -242,6 +242,16 @@ class Engine:
             xnf_component_resolver=self.resolve_xnf_component,
         )
         self.dml = DMLExecutor(self.pipeline)
+        # Morsel-driven parallel execution: the runtime owns a forked
+        # worker pool; the pipeline stamps it onto SELECT contexts so
+        # Gather nodes can reach it.  Degree 1 keeps everything —
+        # including the compiled plans — exactly as before.
+        self.parallel = None
+        if self.pipeline_options.planner.parallel_degree > 1:
+            from repro.executor.parallel import ParallelRuntime
+
+            self.parallel = ParallelRuntime(self)
+            self.pipeline.parallel_runtime = self.parallel
         self.matviews = MaterializedViewRegistry(
             self.catalog, self._matview_executable)
         self.catalog.delta_listeners.append(self.matviews.on_table_delta)
@@ -412,6 +422,8 @@ class Engine:
             return
         for session in list(self._sessions):
             session.close()
+        if self.parallel is not None:
+            self.parallel.shutdown()
         if self._wal is not None:
             self._wal.close()
         self._closed = True
@@ -479,6 +491,28 @@ class Engine:
             self._durability_barrier()
         self._maybe_checkpoint()
         return result
+
+    def repartition(self, table_name: str, partitioning) -> None:
+        """Rebuild ``table_name`` under ``partitioning`` (a
+        :class:`~repro.storage.partition.HashPartitioning` /
+        :class:`~repro.storage.partition.RangePartitioning`, or None to
+        collapse back to a single unpartitioned slot array).
+
+        Runs as DDL: exclusive statement latch, refused while any
+        session holds uncommitted writes (row IDs are reassigned, which
+        would invalidate that transaction's undo log), WAL-logged and
+        durable before returning.
+        """
+        self._check_open()
+        try:
+            with self._statement_latch.exclusive():
+                if self._writer_latch.owner is not None:
+                    raise TransactionError(
+                        "cannot repartition while a transaction holds "
+                        "uncommitted writes")
+                self.catalog.repartition_table(table_name, partitioning)
+        finally:
+            self._durability_barrier()
 
     def matview_read(self, session, thunk):
         """Read a materialized view per its staleness policy.

@@ -28,6 +28,8 @@ from repro.cache.matview import MaterializedView
 from repro.sql import ast
 from repro.sql.parser import parse_statement
 from repro.storage.catalog import ViewDefinition
+from repro.storage.partition import (HashPartitioning, Partitioning,
+                                     RangePartitioning)
 from repro.storage.table import Table
 from repro.storage.types import Column, type_from_name
 from repro.xnf.naive import NaiveXNFEvaluator
@@ -38,6 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.api.engine import Engine
 
 ExecuteResult = Union[QueryResult, COResult, int, None]
+
+
+def _partitioning_from_spec(
+        spec: Optional[ast.PartitionSpec]) -> Optional[Partitioning]:
+    """Convert a parsed ``PARTITION BY`` clause into a storage scheme."""
+    if spec is None:
+        return None
+    columns = tuple(c.upper() for c in spec.columns)
+    if spec.scheme == "HASH":
+        return HashPartitioning(columns, spec.partitions)
+    return RangePartitioning(columns[0], tuple(spec.bounds))
 
 
 class _SessionWriteBack:
@@ -346,7 +359,9 @@ class Session:
                 nullable=definition.nullable and not is_pk,
                 primary_key=is_pk,
             ))
-        catalog.create_table(statement.name, columns)
+        partitioning = _partitioning_from_spec(statement.partition_by)
+        catalog.create_table(statement.name, columns,
+                             partitioning=partitioning)
         for number, fk in enumerate(statement.foreign_keys):
             name = fk.name or f"FK_{statement.name}_{number}".upper()
             catalog.add_foreign_key(

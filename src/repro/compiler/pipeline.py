@@ -284,7 +284,8 @@ class CompilationPipeline:
                 planner.use_indexes, planner.share_common_subexpressions,
                 planner.batch_execution, planner.batch_size,
                 planner.join_enumeration, planner.dp_join_threshold,
-                planner.cost_based_access_paths, planner.legacy_cost_model)
+                planner.cost_based_access_paths, planner.legacy_cost_model,
+                planner.parallel_degree, planner.parallel_row_threshold)
 
     def _stats_view(self, table_name: str) -> tuple[int, int]:
         """(table epoch, live cardinality) — what cached entries over

@@ -125,10 +125,13 @@ class DMLExecutor:
                 self.catalog.check_no_referencing_children(table.name,
                                                            old_row)
             self.catalog.check_foreign_keys(table.name, tuple(new_row))
-            stored = table.update(rid, new_row)
+            # update_row relocates the row (fresh rid) when a changed
+            # partition key routes it to another partition; in place
+            # otherwise.
+            stored_rid, stored = table.update_row(rid, new_row)
             if delta is not None and stored != old_row:
                 delta.deleted.append((rid, old_row))
-                delta.inserted.append((rid, stored))
+                delta.inserted.append((stored_rid, stored))
             updated += 1
         if delta is not None:
             self.catalog.emit_table_delta(delta)

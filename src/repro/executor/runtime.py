@@ -116,6 +116,11 @@ class QueryPipeline:
             catalog, stats=stats, options=options,
             xnf_component_resolver=xnf_component_resolver,
         )
+        #: Engine-installed ParallelRuntime (or None).  Stamped onto
+        #: execution contexts by run_select/stream_select so Gather
+        #: nodes can fan out; internal contexts (DML qualification,
+        #: scalar subplans, XNF assembly) never get it and stay serial.
+        self.parallel_runtime = None
 
     # -- shared state (delegated) --------------------------------------
     @property
@@ -185,6 +190,8 @@ class QueryPipeline:
         ctx.bind_parameters(params)
         if bindings:
             ctx.parameters.update(bindings)
+        ctx.statement = statement
+        ctx.parallel_runtime = self.parallel_runtime
         return self.run_compiled(compiled, ctx)
 
     @staticmethod
@@ -212,6 +219,8 @@ class QueryPipeline:
         ctx.bind_parameters(params)
         if bindings:
             ctx.parameters.update(bindings)
+        ctx.statement = statement
+        ctx.parallel_runtime = self.parallel_runtime
         return self.stream_compiled(compiled, ctx, batch_size=batch_size)
 
     @staticmethod
@@ -230,12 +239,22 @@ class QueryPipeline:
 
 
 def _chunk_rows(rows, batch_size: int):
-    """Adapt a row-at-a-time iterator to the batch protocol."""
-    chunk: list[tuple] = []
-    for row in rows:
-        chunk.append(row)
-        if len(chunk) >= batch_size:
+    """Adapt a row-at-a-time iterator to the batch protocol.
+
+    Closing the chunker (an abandoned QueryStream) must close the
+    source iterator too — a parallel execution underneath cancels its
+    outstanding morsels from its own cleanup, and it must not be left
+    to garbage collection to run."""
+    try:
+        chunk: list[tuple] = []
+        for row in rows:
+            chunk.append(row)
+            if len(chunk) >= batch_size:
+                yield chunk
+                chunk = []
+        if chunk:
             yield chunk
-            chunk = []
-    if chunk:
-        yield chunk
+    finally:
+        close = getattr(rows, "close", None)
+        if close is not None:
+            close()

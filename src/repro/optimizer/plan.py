@@ -60,6 +60,17 @@ class ExecutionContext:
         #: resolve through :meth:`parameter` at run time, which is what
         #: lets one cached plan serve many literal bindings.
         self.parameters: dict = {}
+        #: Parallel execution plumbing.  The coordinator's runtime
+        #: stamps ``statement`` (the SQL AST, shipped to workers) and
+        #: ``parallel_runtime`` (consulted by :class:`Gather`; None
+        #: everywhere else, which makes Gather a passthrough).  Workers
+        #: set ``scan_ranges`` (``id(scan node) -> morsel``) to restrict
+        #: the driving scan, and ``join_build_cache`` (a dict only in
+        #: worker contexts) to reuse hash-join builds across morsels.
+        self.statement = None
+        self.parallel_runtime = None
+        self.scan_ranges: dict[int, tuple] = {}
+        self.join_build_cache: Optional[dict] = None
         self.counters: dict[str, int] = {
             "rows_scanned": 0,
             "index_lookups": 0,
@@ -246,12 +257,13 @@ class TableScan(PlanNode):
     def execute_batches(self, ctx: ExecutionContext,
                         batch_size: int = DEFAULT_BATCH_SIZE
                         ) -> Iterator[list[Row]]:
+        morsel = ctx.scan_ranges.get(id(self)) if ctx.scan_ranges else None
         if self.with_rid:
-            for chunk in self.table.scan_batches(batch_size):
+            for chunk in self.table.scan_batches(batch_size, morsel=morsel):
                 ctx.bump("rows_scanned", len(chunk))
                 yield [row + (rid,) for rid, row in chunk]
         else:
-            for chunk in self.table.batches(batch_size):
+            for chunk in self.table.batches(batch_size, morsel=morsel):
                 ctx.bump("rows_scanned", len(chunk))
                 yield chunk
 
@@ -408,9 +420,16 @@ class HashJoin(PlanNode):
                     ctx.bump("rows_joined")
                     yield joined
 
-    def execute_batches(self, ctx: ExecutionContext,
-                        batch_size: int = DEFAULT_BATCH_SIZE
-                        ) -> Iterator[list[Row]]:
+    def _build_buckets(self, ctx: ExecutionContext,
+                       batch_size: int) -> dict:
+        """Build-side hash table.  Worker contexts install a
+        ``join_build_cache`` so the (morsel-independent) build runs once
+        per query, not once per morsel."""
+        cache = ctx.join_build_cache
+        if cache is not None:
+            cached = cache.get(id(self))
+            if cached is not None:
+                return cached
         right_keys = self.right_keys
         single = len(right_keys) == 1
         buckets: dict[Any, list[Row]] = {}
@@ -430,6 +449,15 @@ class HashJoin(PlanNode):
                     if None in key:
                         continue
                     setdefault(key, []).append(row)
+        if cache is not None:
+            cache[id(self)] = buckets
+        return buckets
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        single = len(self.right_keys) == 1
+        buckets = self._build_buckets(ctx, batch_size)
         residual = self.residual
         left_keys = self.left_keys
         left_key = left_keys[0] if single else None
@@ -1016,6 +1044,47 @@ class Aggregate(PlanNode):
             )
             yield key + aggregates
 
+    def partial_states(self, ctx: ExecutionContext,
+                       batch_size: int) -> list[tuple[tuple, list]]:
+        """Absorb the child's rows into per-group accumulator states
+        *without* finalizing: the worker half of two-phase parallel
+        aggregation.  States are plain dicts/sets, so they pickle."""
+        groups: dict[tuple, list] = {}
+        order: list[tuple] = []
+        absorb = self._absorb
+        for batch in self.child.execute_batches(ctx, batch_size):
+            for row in batch:
+                absorb(row, ctx, groups, order)
+        return [(key, groups[key]) for key in order]
+
+    @staticmethod
+    def merge_state(into: dict, other: dict) -> None:
+        """Fold one partial accumulator into another (the coordinator
+        half).  DISTINCT merges by set difference so values seen by
+        several workers count once."""
+        if into["distinct"] is not None:
+            fresh = other["distinct"] - into["distinct"]
+            into["distinct"] |= fresh
+            for value in fresh:
+                into["count"] += 1
+                into["sum"] = value if into["sum"] is None \
+                    else into["sum"] + value
+                if into["min"] is None or value < into["min"]:
+                    into["min"] = value
+                if into["max"] is None or value > into["max"]:
+                    into["max"] = value
+            return
+        into["count"] += other["count"]
+        if other["sum"] is not None:
+            into["sum"] = other["sum"] if into["sum"] is None \
+                else into["sum"] + other["sum"]
+        if other["min"] is not None and (into["min"] is None
+                                         or other["min"] < into["min"]):
+            into["min"] = other["min"]
+        if other["max"] is not None and (into["max"] is None
+                                         or other["max"] > into["max"]):
+            into["max"] = other["max"]
+
     @staticmethod
     def _initial_state(spec) -> dict:
         _function, _argument, distinct = spec
@@ -1132,3 +1201,75 @@ class Materialized(PlanNode):
         rows = self.rows
         for start in range(0, len(rows), batch_size):
             yield rows[start:start + batch_size]
+
+
+# ----------------------------------------------------------------------
+# Parallel execution (morsel-driven; see executor/parallel.py)
+# ----------------------------------------------------------------------
+class Exchange(PlanNode):
+    """Marks the driving scan of a parallelizable plan.
+
+    Everything below this point runs morsel-wise in worker processes
+    when the Gather above engages; in serial execution (and inside the
+    workers themselves) it is a pure passthrough.  Exists so ``EXPLAIN``
+    shows where the plan is cut."""
+
+    def __init__(self, child: PlanNode):
+        super().__init__(child.columns)
+        self.child = child
+        self.estimated_rows = child.estimated_rows
+        self.estimated_cost = child.estimated_cost
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        return self.child.execute(ctx)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        return self.child.execute_batches(ctx, batch_size)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return "Exchange"
+
+
+class Gather(PlanNode):
+    """Root of a parallelizable plan: fans partition-wise morsels out to
+    the engine's worker pool and merges the partial results.
+
+    The planner wraps eligible plans when ``parallel_degree > 1``; the
+    decision to actually go parallel is made per *execution* by the
+    runtime installed in the context (the coordinator's).  With no
+    runtime installed — serial engines, worker processes, row-mode,
+    scalar subquery child contexts — or when the runtime declines
+    (active writer, tiny table, pool failure), execution falls through
+    to the child, bit-identical to the serial plan."""
+
+    def __init__(self, child: PlanNode, degree: int):
+        super().__init__(child.columns)
+        self.child = child
+        self.degree = degree
+        self.estimated_rows = child.estimated_rows
+        self.estimated_cost = child.estimated_cost
+
+    def execute(self, ctx: ExecutionContext) -> Iterator[Row]:
+        return self.child.execute(ctx)
+
+    def execute_batches(self, ctx: ExecutionContext,
+                        batch_size: int = DEFAULT_BATCH_SIZE
+                        ) -> Iterator[list[Row]]:
+        runtime = ctx.parallel_runtime
+        if runtime is not None:
+            batches = runtime.execute_gather(self, ctx, batch_size)
+            if batches is not None:
+                yield from batches
+                return
+        yield from self.child.execute_batches(ctx, batch_size)
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+    def describe(self) -> str:
+        return f"Gather(degree={self.degree})"

@@ -338,11 +338,26 @@ class ForeignKeyDef:
 
 
 @dataclass(frozen=True)
+class PartitionSpec:
+    """``PARTITION BY`` clause of CREATE TABLE.
+
+    ``scheme`` is ``"HASH"`` (``columns`` + ``partitions`` count) or
+    ``"RANGE"`` (single column + ascending upper ``bounds``).
+    """
+
+    scheme: str
+    columns: tuple[str, ...]
+    partitions: int = 0
+    bounds: tuple = ()
+
+
+@dataclass(frozen=True)
 class CreateTableStatement:
     name: str
     columns: tuple[ColumnDef, ...]
     primary_key: tuple[str, ...] = ()
     foreign_keys: tuple[ForeignKeyDef, ...] = ()
+    partition_by: Optional[PartitionSpec] = None
 
 
 @dataclass(frozen=True)

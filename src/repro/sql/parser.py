@@ -627,9 +627,75 @@ class Parser:
         self._expect_punct(")")
         if not columns:
             raise self._error("CREATE TABLE requires at least one column")
+        partition_by = self._parse_partition_clause()
         return ast.CreateTableStatement(
-            name, tuple(columns), primary_key, tuple(foreign_keys)
+            name, tuple(columns), primary_key, tuple(foreign_keys),
+            partition_by
         )
+
+    # PARTITION, PARTITIONS, HASH, RANGE, LESS and THAN are contextual
+    # (non-reserved) words: they only mean anything in this clause, so
+    # they stay out of the lexer's keyword set and remain usable as
+    # ordinary identifiers everywhere else.
+    def _accept_word(self, word: str) -> bool:
+        token = self.current
+        if token.type is TokenType.IDENTIFIER and token.value.upper() == word:
+            self._advance()
+            return True
+        return False
+
+    def _expect_word(self, word: str) -> None:
+        if not self._accept_word(word):
+            raise self._error(f"expected {word}")
+
+    def _parse_partition_clause(self) -> Optional[ast.PartitionSpec]:
+        if not self._accept_word("PARTITION"):
+            return None
+        self._expect_keyword("BY")
+        if self._accept_word("HASH"):
+            self._expect_punct("(")
+            columns = [self._expect_identifier("partition column")]
+            while self._accept_punct(","):
+                columns.append(self._expect_identifier("partition column"))
+            self._expect_punct(")")
+            self._expect_word("PARTITIONS")
+            count = self._parse_integer("partition count")
+            if count < 1:
+                raise self._error("PARTITIONS count must be >= 1")
+            return ast.PartitionSpec("HASH", tuple(columns),
+                                     partitions=count)
+        if self._accept_word("RANGE"):
+            self._expect_punct("(")
+            column = self._expect_identifier("partition column")
+            self._expect_punct(")")
+            self._expect_keyword("VALUES")
+            self._expect_word("LESS")
+            self._expect_word("THAN")
+            self._expect_punct("(")
+            bounds = [self._parse_scalar_literal("partition bound")]
+            while self._accept_punct(","):
+                bounds.append(self._parse_scalar_literal("partition bound"))
+            self._expect_punct(")")
+            return ast.PartitionSpec("RANGE", (column,),
+                                     bounds=tuple(bounds))
+        raise self._error("expected HASH or RANGE after PARTITION BY")
+
+    def _parse_scalar_literal(self, what: str):
+        negative = False
+        if self.current.type is TokenType.OPERATOR \
+                and self.current.value == "-":
+            self._advance()
+            negative = True
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            value = float(token.value) if "." in token.value \
+                else int(token.value)
+            return -value if negative else value
+        if token.type is TokenType.STRING and not negative:
+            self._advance()
+            return token.value
+        raise self._error(f"expected literal {what}")
 
     def _parse_column_def(self) -> ast.ColumnDef:
         name = self._expect_identifier("column name")

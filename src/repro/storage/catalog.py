@@ -14,6 +14,7 @@ from typing import Any, Callable, Sequence
 
 from repro.errors import CatalogError, UpdateError
 from repro.storage.index import HashIndex, Index, OrderedIndex
+from repro.storage.partition import Partitioning
 from repro.storage.table import Rid, Row, Table
 from repro.storage.types import Column
 
@@ -196,15 +197,30 @@ class Catalog:
     # ------------------------------------------------------------------
     # Tables
     # ------------------------------------------------------------------
-    def create_table(self, name: str, columns: Sequence[Column]) -> Table:
+    def create_table(self, name: str, columns: Sequence[Column],
+                     partitioning: Partitioning | None = None) -> Table:
         self._check_fresh(name)
-        table = Table(self._key(name), columns)
+        table = Table(self._key(name), columns, partitioning=partitioning)
         self._tables[self._key(name)] = table
         self._bump_schema_version()
         self._emit_ddl("create_table", name=table.name,
-                       columns=table.columns)
+                       columns=table.columns,
+                       partitioning=table.partitioning)
         for listener in list(self.table_created_listeners):
             listener(table)
+        return table
+
+    def repartition_table(self, name: str,
+                          partitioning: Partitioning | None) -> Table:
+        """Rebuild a table under a new partitioning scheme (or flatten
+        it with ``None``).  DDL-logged so recovery replays the rebuild
+        deterministically; callers hold the engine's exclusive latch
+        with no transaction open (RIDs are reassigned)."""
+        table = self.table(name)
+        table.repartition(partitioning)
+        self._bump_schema_version()
+        self._emit_ddl("repartition", name=table.name,
+                       partitioning=partitioning)
         return table
 
     def drop_table(self, name: str) -> None:

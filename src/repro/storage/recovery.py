@@ -104,6 +104,7 @@ def build_snapshot_payload(catalog: Catalog, lsn: int,
         tables.append({
             "name": table.name,
             "columns": table.columns,
+            "partitioning": table.partitioning,
             "slots": table.snapshot_slots(),
         })
     indexes = [{
@@ -262,7 +263,8 @@ def _apply_snapshot(snapshot: dict, catalog: Catalog,
                     report: RecoveryReport) -> None:
     report.snapshot_lsn = snapshot["lsn"]
     for spec in snapshot["tables"]:
-        table = catalog.create_table(spec["name"], spec["columns"])
+        table = catalog.create_table(spec["name"], spec["columns"],
+                                     partitioning=spec.get("partitioning"))
         table.restore_slots(spec["slots"])
     for spec in snapshot["indexes"]:
         catalog.create_index(spec["name"], spec["table"],
@@ -320,7 +322,10 @@ def _apply_delta(delta: TableDelta, catalog: Catalog) -> None:
 def _apply_ddl(payload: dict, catalog: Catalog) -> None:
     op = payload["op"]
     if op == "create_table":
-        catalog.create_table(payload["name"], payload["columns"])
+        catalog.create_table(payload["name"], payload["columns"],
+                             partitioning=payload.get("partitioning"))
+    elif op == "repartition":
+        catalog.repartition_table(payload["name"], payload["partitioning"])
     elif op == "drop_table":
         catalog.drop_table(payload["name"])
     elif op == "create_index":

@@ -6,6 +6,14 @@ indexes can reference rows without relocation, mirroring how a disk-based
 slotted page keeps RIDs valid.  Mutations report themselves to registered
 indexes and to the active transaction's undo log (via callbacks installed
 by :mod:`repro.storage.transactions`).
+
+A table may be horizontally partitioned (hash or range over a key, see
+:mod:`repro.storage.partition`).  Partitioned tables keep one slot array,
+live counter, and writer latch *per partition*; RIDs encode the partition
+id in their high bits (``rid = pid << PARTITION_SHIFT | slot``) so every
+RID-addressed consumer — indexes, undo records, WAL replay, read-view
+overlays — works unchanged.  The parallel executor carves scans into
+*morsels* along partition boundaries (:meth:`Table.morsels`).
 """
 
 from __future__ import annotations
@@ -15,6 +23,7 @@ from contextlib import contextmanager
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
 from repro.errors import StorageError, TypeCheckError
+from repro.storage.partition import Partitioning
 from repro.storage.types import Column, validate_row
 
 #: A row is an immutable tuple of SQL values.
@@ -22,6 +31,11 @@ Row = tuple
 
 #: RID: stable identifier of a row within its table.
 Rid = int
+
+#: Partitioned RIDs pack ``(partition id, local slot)`` into one int.
+PARTITION_SHIFT = 40
+PARTITION_STRIDE = 1 << PARTITION_SHIFT
+_SLOT_MASK = PARTITION_STRIDE - 1
 
 
 # ----------------------------------------------------------------------
@@ -126,9 +140,14 @@ class Table:
     Foreign keys are declared in the catalog and enforced there (the
     catalog sees all tables; a single table cannot check cross-table
     constraints).
+
+    Indexes and the PK map stay *global* over encoded RIDs even when the
+    table is partitioned — a lookup never needs to know the layout, and
+    cross-partition uniqueness holds by construction.
     """
 
-    def __init__(self, name: str, columns: Sequence[Column]):
+    def __init__(self, name: str, columns: Sequence[Column],
+                 partitioning: Partitioning | None = None):
         if not columns:
             raise StorageError(f"table {name!r} must have at least one column")
         names = [c.name for c in columns]
@@ -148,8 +167,56 @@ class Table:
             i for i, c in enumerate(columns) if c.primary_key
         )
         self._pk_values: dict[tuple, Rid] = {}
+        #: Monotone physical-mutation counter; the parallel executor's
+        #: worker pool uses it (with the schema version) to detect that
+        #: forked committed-state replicas have gone stale.
+        self.version = 0
+        self.partitioning: Partitioning | None = None
+        self._parts: list[list[Row | None]] = []
+        self._part_live: list[int] = []
+        self._part_latches: list[threading.RLock] = []
+        self._part_positions: tuple[int, ...] = ()
+        if partitioning is not None:
+            self._set_partitioning(partitioning)
         #: Undo hook; set by the transaction manager while a txn is open.
         self.on_mutation: Callable[[str, Rid, Row | None, Row | None], None] | None = None
+
+    def _set_partitioning(self, partitioning: Partitioning | None) -> None:
+        if partitioning is not None:
+            positions = tuple(self.column_position(c)
+                              for c in partitioning.columns)
+            count = partitioning.partitions
+            self.partitioning = partitioning
+            self._part_positions = positions
+            self._parts = [[] for _ in range(count)]
+            self._part_live = [0] * count
+            self._part_latches = [threading.RLock() for _ in range(count)]
+        else:
+            self.partitioning = None
+            self._part_positions = ()
+            self._parts = []
+            self._part_live = []
+            self._part_latches = []
+
+    def _route(self, row: Row) -> int:
+        return self.partitioning.route(
+            tuple(row[p] for p in self._part_positions))
+
+    def _locate(self, rid: Rid) -> tuple[list[Row | None] | None, int]:
+        """``(slot array, local slot)`` addressing ``rid``, or
+        ``(None, -1)`` when the partition id is out of range."""
+        if self.partitioning is None:
+            return self._slots, rid
+        pid = rid >> PARTITION_SHIFT
+        if 0 <= pid < len(self._parts):
+            return self._parts[pid], rid & _SLOT_MASK
+        return None, -1
+
+    def _physical_row(self, rid: Rid) -> Row | None:
+        slots, slot = self._locate(rid)
+        if slots is None or not 0 <= slot < len(slots):
+            return None
+        return slots[slot]
 
     # ------------------------------------------------------------------
     # Schema helpers
@@ -174,6 +241,19 @@ class Table:
     def primary_key(self) -> tuple[str, ...]:
         return tuple(self.columns[i].name for i in self._pk_positions)
 
+    @property
+    def partition_count(self) -> int:
+        return len(self._parts) if self.partitioning is not None else 1
+
+    def partition_live_counts(self) -> list[int]:
+        """Physical live-row count per partition (diagnostics/tests)."""
+        if self.partitioning is None:
+            return [self._live]
+        return list(self._part_live)
+
+    def partition_of_rid(self, rid: Rid) -> int:
+        return rid >> PARTITION_SHIFT if self.partitioning is not None else 0
+
     # ------------------------------------------------------------------
     # Row access
     # ------------------------------------------------------------------
@@ -184,7 +264,8 @@ class Table:
         return self._live + view.live_delta
 
     def scan(self) -> Iterator[tuple[Rid, Row]]:
-        """Yield (rid, row) for every visible live row, in slot order.
+        """Yield (rid, row) for every visible live row, in slot order
+        (partition-major for partitioned tables).
 
         The read view is re-checked on every step: a lazily-consumed
         scan (a streaming cursor's) must pick up overlays installed
@@ -192,27 +273,45 @@ class Table:
         pulls, and the later pulls must not serve its dirty rows.
         """
         name = self.name
-        for rid, row in enumerate(self._slots):
-            view = active_read_view(name)
-            if view is not None and rid in view.rows:
-                row = view.rows[rid]
-            if row is not None:
-                yield rid, row
+        if self.partitioning is None:
+            for rid, row in enumerate(self._slots):
+                view = active_read_view(name)
+                if view is not None and rid in view.rows:
+                    row = view.rows[rid]
+                if row is not None:
+                    yield rid, row
+            return
+        for pid, slots in enumerate(self._parts):
+            base = pid << PARTITION_SHIFT
+            for slot, row in enumerate(slots):
+                rid = base | slot
+                view = active_read_view(name)
+                if view is not None and rid in view.rows:
+                    row = view.rows[rid]
+                if row is not None:
+                    yield rid, row
 
     def rows(self) -> Iterator[Row]:
         """Yield visible live rows without their RIDs."""
         for _rid, row in self.scan():
             yield row
 
-    def batches(self, batch_size: int) -> Iterator[list[Row]]:
+    def batches(self, batch_size: int,
+                morsel: tuple | None = None) -> Iterator[list[Row]]:
         """Yield live rows in slot order, grouped into lists of at most
         ``batch_size`` rows.
 
         The batch executor's scan path: one slice + comprehension per
         batch instead of one generator resumption per row.  Batches may
         be smaller than ``batch_size`` where deleted slots (tombstones)
-        thin a slice out.
+        thin a slice out.  With ``morsel`` the scan is restricted to
+        that slot range (see :meth:`morsels`).
         """
+        if morsel is not None or self.partitioning is not None:
+            for chunk in self._morsel_chunks(morsel, batch_size,
+                                             with_rids=False):
+                yield chunk
+            return
         batch_size = max(batch_size, 1)
         start = 0
         while start < len(self._slots):
@@ -235,8 +334,15 @@ class Table:
             if chunk:
                 yield chunk
 
-    def scan_batches(self, batch_size: int) -> Iterator[list[tuple[Rid, Row]]]:
+    def scan_batches(self, batch_size: int,
+                     morsel: tuple | None = None
+                     ) -> Iterator[list[tuple[Rid, Row]]]:
         """Like :meth:`batches`, but each element is ``(rid, row)``."""
+        if morsel is not None or self.partitioning is not None:
+            for chunk in self._morsel_chunks(morsel, batch_size,
+                                             with_rids=True):
+                yield chunk
+            return
         batch_size = max(batch_size, 1)
         start = 0
         while start < len(self._slots):
@@ -259,13 +365,91 @@ class Table:
             if chunk:
                 yield chunk
 
+    # ------------------------------------------------------------------
+    # Morsel-wise access (parallel executor)
+    # ------------------------------------------------------------------
+    def morsels(self, target_rows: int) -> list[tuple]:
+        """Split the heap into scan morsels of roughly ``target_rows``
+        slots each.
+
+        Morsel descriptors are plain tuples (they cross the process
+        boundary): ``("range", lo, hi)`` over the flat slot array of an
+        unpartitioned table, ``("part", pid, lo, hi)`` over one
+        partition's slot array.  Morsels never straddle a partition
+        boundary, so a partition-wise operator sees exactly one
+        partition per morsel.
+        """
+        target = max(int(target_rows), 1)
+        out: list[tuple] = []
+        if self.partitioning is None:
+            n = len(self._slots)
+            for lo in range(0, n, target):
+                out.append(("range", lo, min(lo + target, n)))
+        else:
+            for pid, slots in enumerate(self._parts):
+                n = len(slots)
+                for lo in range(0, n, target):
+                    out.append(("part", pid, lo, min(lo + target, n)))
+        return out
+
+    def _morsel_chunks(self, morsel: tuple | None, batch_size: int,
+                       with_rids: bool) -> Iterator[list]:
+        """Batched scan of one morsel's slot range, honoring read views.
+
+        ``morsel=None`` scans everything (the serial path for a
+        partitioned table routes through here too).
+        """
+        batch_size = max(batch_size, 1)
+        # Spans are (slot array, rid base, stop slot, start slot).
+        if morsel is None:
+            if self.partitioning is None:
+                spans = [(self._slots, 0, len(self._slots), 0)]
+            else:
+                spans = [(self._parts[pid], pid << PARTITION_SHIFT,
+                          len(self._parts[pid]), 0)
+                         for pid in range(len(self._parts))]
+        elif morsel[0] == "range":
+            _, lo, hi = morsel
+            spans = [(self._slots, 0, min(hi, len(self._slots)), lo)]
+        elif morsel[0] == "part":
+            _, pid, lo, hi = morsel
+            if not 0 <= pid < len(self._parts):
+                return
+            slots = self._parts[pid]
+            spans = [(slots, pid << PARTITION_SHIFT, min(hi, len(slots)), lo)]
+        else:
+            raise StorageError(f"unknown morsel kind {morsel[0]!r}")
+        name = self.name
+        for slots, base, limit, start in spans:
+            while start < limit:
+                view = active_read_view(name)
+                stop = min(start + batch_size, limit)
+                chunk = []
+                if view is None:
+                    for slot in range(start, stop):
+                        row = slots[slot]
+                        if row is not None:
+                            chunk.append((base | slot, row)
+                                         if with_rids else row)
+                else:
+                    overlaid = view.rows
+                    for slot in range(start, stop):
+                        rid = base | slot
+                        row = overlaid[rid] if rid in overlaid \
+                            else slots[slot]
+                        if row is not None:
+                            chunk.append((rid, row) if with_rids else row)
+                start = stop
+                if chunk:
+                    yield chunk
+
     def fetch(self, rid: Rid) -> Row:
         """Return the visible row at ``rid``; raise if deleted/invalid."""
         view = active_read_view(self.name)
         if view is not None and rid in view.rows:
             row = view.rows[rid]
         else:
-            row = self._slots[rid] if 0 <= rid < len(self._slots) else None
+            row = self._physical_row(rid)
         if row is None:
             raise StorageError(f"table {self.name!r}: rid {rid} is not live")
         return row
@@ -274,12 +458,12 @@ class Table:
         view = active_read_view(self.name)
         if view is not None and rid in view.rows:
             return view.rows[rid] is not None
-        return 0 <= rid < len(self._slots) and self._slots[rid] is not None
+        return self._physical_row(rid) is not None
 
     def is_live_physical(self, rid: Rid) -> bool:
         """Liveness of the physical slot, ignoring any read view (the
         engine uses this while *building* views)."""
-        return 0 <= rid < len(self._slots) and self._slots[rid] is not None
+        return self._physical_row(rid) is not None
 
     # ------------------------------------------------------------------
     # Mutation
@@ -288,9 +472,18 @@ class Table:
         """Validate and append a row; returns its RID."""
         row = validate_row(self.columns, values)
         self._check_pk_available(row)
-        rid = len(self._slots)
-        self._slots.append(row)
+        if self.partitioning is None:
+            rid = len(self._slots)
+            self._slots.append(row)
+        else:
+            pid = self._route(row)
+            with self._part_latches[pid]:
+                slots = self._parts[pid]
+                rid = (pid << PARTITION_SHIFT) | len(slots)
+                slots.append(row)
+                self._part_live[pid] += 1
         self._live += 1
+        self.version += 1
         self._register_pk(row, rid)
         for index in self._indexes:
             index.on_insert(rid, row)
@@ -301,28 +494,54 @@ class Table:
     def insert_at(self, rid: Rid, row: Row) -> None:
         """Re-insert a row at a specific (previously deleted) RID.
 
-        Only the transaction undo machinery uses this; it restores the
-        exact pre-delete state, so the row is assumed already validated.
+        Only the transaction undo machinery and WAL replay use this; it
+        restores the exact pre-delete state, so the row is assumed
+        already validated.  For partitioned tables the RID's encoded
+        partition id is authoritative — replay must land the row in the
+        same partition it originally occupied.
         """
-        if rid >= len(self._slots):
-            self._slots.extend([None] * (rid - len(self._slots) + 1))
-        if self._slots[rid] is not None:
+        slots, slot = self._locate(rid)
+        if slots is None:
+            raise StorageError(
+                f"table {self.name!r}: rid {rid} addresses partition "
+                f"{rid >> PARTITION_SHIFT}, beyond {len(self._parts)}"
+            )
+        if slot >= len(slots):
+            slots.extend([None] * (slot - len(slots) + 1))
+        if slots[slot] is not None:
             raise StorageError(f"table {self.name!r}: rid {rid} already live")
-        self._slots[rid] = row
+        slots[slot] = row
         self._live += 1
+        if self.partitioning is not None:
+            self._part_live[rid >> PARTITION_SHIFT] += 1
+        self.version += 1
         self._register_pk(row, rid)
         for index in self._indexes:
             index.on_insert(rid, row)
 
     def update(self, rid: Rid, values: Iterable[Any]) -> Row:
-        """Replace the row at ``rid``; returns the new row."""
+        """Replace the row at ``rid`` in place; returns the new row.
+
+        On a partitioned table the new row must route to the same
+        partition — callers that may move the partition key go through
+        :meth:`update_row`, which relocates via delete+insert so undo
+        and WAL replay see RID-faithful events.
+        """
         old = self.fetch(rid)
         new = validate_row(self.columns, values)
+        if self.partitioning is not None \
+                and self._route(new) != rid >> PARTITION_SHIFT:
+            raise StorageError(
+                f"table {self.name!r}: in-place update would move rid {rid} "
+                f"across partitions; use update_row()"
+            )
         old_key = self._pk_key(old)
         new_key = self._pk_key(new)
         if new_key != old_key:
             self._check_pk_available(new)
-        self._slots[rid] = new
+        slots, slot = self._locate(rid)
+        slots[slot] = new
+        self.version += 1
         if self._pk_positions:
             if old_key != new_key:
                 del self._pk_values[old_key]
@@ -333,11 +552,42 @@ class Table:
             self.on_mutation("update", rid, old, new)
         return new
 
+    def update_row(self, rid: Rid, values: Iterable[Any]) -> tuple[Rid, Row]:
+        """Replace the row at ``rid``, relocating it when the partition
+        key moved; returns ``(new_rid, new_row)``.
+
+        A cross-partition move is physically a delete + insert and is
+        reported to the undo log and delta protocol as exactly those two
+        events — never as an "update" whose RID silently changed, which
+        would corrupt RID-addressed undo and WAL replay.
+        """
+        if self.partitioning is None:
+            return rid, self.update(rid, values)
+        old = self.fetch(rid)
+        new = validate_row(self.columns, values)
+        if self._route(new) == rid >> PARTITION_SHIFT:
+            return rid, self.update(rid, values)
+        old_key = self._pk_key(old)
+        new_key = self._pk_key(new)
+        if new_key != old_key:
+            self._check_pk_available(new)
+        self.delete(rid)
+        new_rid = self.insert(new)
+        return new_rid, self.fetch(new_rid)
+
     def delete(self, rid: Rid) -> Row:
         """Delete the row at ``rid``; returns the removed row."""
         old = self.fetch(rid)
-        self._slots[rid] = None
+        slots, slot = self._locate(rid)
+        if self.partitioning is None:
+            slots[slot] = None
+        else:
+            pid = rid >> PARTITION_SHIFT
+            with self._part_latches[pid]:
+                slots[slot] = None
+                self._part_live[pid] -= 1
         self._live -= 1
+        self.version += 1
         if self._pk_positions:
             del self._pk_values[self._pk_key(old)]
         for index in self._indexes:
@@ -349,47 +599,126 @@ class Table:
     def truncate(self) -> None:
         """Remove all rows (no undo logging; used by workload loaders)."""
         self._slots.clear()
+        for slots in self._parts:
+            slots.clear()
+        self._part_live = [0] * len(self._parts)
+        self._live = 0
+        self.version += 1
+        self._pk_values.clear()
+        for index in self._indexes:
+            index.rebuild(self)
+
+    # ------------------------------------------------------------------
+    # Repartitioning
+    # ------------------------------------------------------------------
+    def repartition(self, partitioning: Partitioning | None) -> None:
+        """Rebuild the heap under a new partitioning scheme (or back to
+        a flat heap with ``None``).
+
+        Mutates in place — compiled plans, matviews, and the catalog all
+        hold direct ``Table`` references.  RIDs are reassigned; callers
+        (the catalog, under the engine's exclusive latch) guarantee no
+        transaction is open and log the operation as DDL, whose replay
+        re-runs this method and reproduces identical RIDs because both
+        the scan order and the routing function are deterministic.
+        """
+        rows = [row for _rid, row in self.scan()]
+        self._set_partitioning(partitioning)
+        self._slots = []
         self._live = 0
         self._pk_values.clear()
+        for row in rows:
+            if self.partitioning is None:
+                rid = len(self._slots)
+                self._slots.append(row)
+            else:
+                pid = self._route(row)
+                slots = self._parts[pid]
+                rid = (pid << PARTITION_SHIFT) | len(slots)
+                slots.append(row)
+                self._part_live[pid] += 1
+            self._live += 1
+            self._register_pk(row, rid)
+        self.version += 1
         for index in self._indexes:
             index.rebuild(self)
 
     # ------------------------------------------------------------------
     # Durability support (snapshots and recovery)
     # ------------------------------------------------------------------
-    def snapshot_slots(self) -> list[Row | None]:
-        """The raw slot array (tombstones included) as *committed*.
+    def snapshot_slots(self):
+        """The raw slot state (tombstones included) as *committed*.
 
         Honors the active read view, so a checkpoint taken while another
         session holds uncommitted writes captures the committed image of
         every touched RID.  Slot positions are preserved exactly —
-        RID-addressed WAL replay depends on them.
+        RID-addressed WAL replay depends on them.  Unpartitioned tables
+        return one flat slot list; partitioned tables return a list of
+        per-partition slot lists.
         """
-        slots = list(self._slots)
         view = active_read_view(self.name)
+        if self.partitioning is None:
+            slots = list(self._slots)
+            if view is not None:
+                for rid, image in view.rows.items():
+                    if 0 <= rid < len(slots):
+                        slots[rid] = image
+                    elif image is not None:
+                        slots.extend([None] * (rid - len(slots) + 1))
+                        slots[rid] = image
+            return slots
+        parts = [list(slots) for slots in self._parts]
         if view is not None:
             for rid, image in view.rows.items():
-                if 0 <= rid < len(slots):
-                    slots[rid] = image
+                pid = rid >> PARTITION_SHIFT
+                slot = rid & _SLOT_MASK
+                if not 0 <= pid < len(parts):
+                    continue
+                slots = parts[pid]
+                if slot < len(slots):
+                    slots[slot] = image
                 elif image is not None:
-                    slots.extend([None] * (rid - len(slots) + 1))
-                    slots[rid] = image
-        return slots
+                    slots.extend([None] * (slot - len(slots) + 1))
+                    slots[slot] = image
+        return parts
 
-    def restore_slots(self, slots: Sequence[Row | None]) -> None:
-        """Replace the heap with a snapshot's slot array (recovery only).
+    def restore_slots(self, slots) -> None:
+        """Replace the heap with a snapshot's slot state (recovery only).
 
         Rows were validated when first inserted, so this skips type and
-        constraint checks and just rebuilds the PK map and indexes.
+        constraint checks and just rebuilds the PK map and indexes.  The
+        shape must match the table's partitioning (flat list when
+        unpartitioned, list of per-partition lists otherwise) — the
+        snapshot stores the partitioning spec alongside and the catalog
+        recreates the table with it before restoring.
         """
-        self._slots = [tuple(row) if row is not None else None
-                       for row in slots]
-        self._live = sum(1 for row in self._slots if row is not None)
         self._pk_values.clear()
-        if self._pk_positions:
-            for rid, row in enumerate(self._slots):
-                if row is not None:
-                    self._pk_values[self._pk_key(row)] = rid
+        if self.partitioning is None:
+            self._slots = [tuple(row) if row is not None else None
+                           for row in slots]
+            self._live = sum(1 for row in self._slots if row is not None)
+            if self._pk_positions:
+                for rid, row in enumerate(self._slots):
+                    if row is not None:
+                        self._pk_values[self._pk_key(row)] = rid
+        else:
+            if len(slots) != len(self._parts):
+                raise StorageError(
+                    f"table {self.name!r}: snapshot has {len(slots)} "
+                    f"partitions, table has {len(self._parts)}"
+                )
+            self._parts = [[tuple(row) if row is not None else None
+                            for row in part] for part in slots]
+            self._part_live = [sum(1 for row in part if row is not None)
+                               for part in self._parts]
+            self._live = sum(self._part_live)
+            if self._pk_positions:
+                for pid, part in enumerate(self._parts):
+                    base = pid << PARTITION_SHIFT
+                    for slot, row in enumerate(part):
+                        if row is not None:
+                            self._pk_values[self._pk_key(row)] = base | slot
+        self.version += 1
         for index in self._indexes:
             index.rebuild(self)
 
@@ -451,4 +780,7 @@ class Table:
         return None
 
     def __repr__(self) -> str:
-        return f"<Table {self.name} cols={self.column_names} rows={self._live}>"
+        scheme = f" {self.partitioning.describe()}" \
+            if self.partitioning is not None else ""
+        return (f"<Table {self.name} cols={self.column_names} "
+                f"rows={self._live}{scheme}>")

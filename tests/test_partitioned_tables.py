@@ -1,0 +1,319 @@
+"""Horizontal partitioning: DDL, routing, DML across partitions,
+repartitioning, and durability.
+
+Partitioned tables keep the whole Table contract — encoded rids
+(``partition << PARTITION_SHIFT | slot``), global PK map and secondary
+indexes, read-view visibility — so everything above storage is
+supposed to *not notice*.  These tests pin the parts that could:
+cross-partition UPDATE relocation (delete+insert under the covers),
+transactional undo of relocations, FK checks spanning differently
+partitioned parent/child, WAL/snapshot recovery of the partitioning
+scheme, and the ``repartition()`` DDL.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api.database import Database
+from repro.api.engine import Engine
+from repro.errors import (ParseError, StorageError, TransactionError,
+                          TypeCheckError)
+from repro.storage.partition import (HashPartitioning, RangePartitioning,
+                                     stable_hash)
+from repro.storage.table import PARTITION_SHIFT
+
+
+def rows_of(db: Database, table: str) -> set[tuple]:
+    return set(db.catalog.table(table).rows())
+
+
+@pytest.fixture
+def part_db() -> Database:
+    db = Database()
+    db.execute(
+        "CREATE TABLE M (ID INT PRIMARY KEY, G INT, V INT) "
+        "PARTITION BY HASH (ID) PARTITIONS 4")
+    db.execute("INSERT INTO M VALUES " + ",".join(
+        f"({i}, {i % 5}, {i * 7 % 31})" for i in range(200)))
+    yield db
+    db.close()
+
+
+# ----------------------------------------------------------------------
+# DDL + routing
+# ----------------------------------------------------------------------
+class TestPartitionDDL:
+    def test_hash_partitioning_routes_and_balances(self, part_db):
+        table = part_db.catalog.table("M")
+        assert table.partition_count == 4
+        counts = table.partition_live_counts()
+        assert sum(counts) == 200
+        # crc32 routing spreads 200 sequential keys over all parts.
+        assert all(count > 0 for count in counts)
+        for rid, row in table.scan():
+            assert table.partition_of_rid(rid) == \
+                stable_hash((row[0],)) % 4
+
+    def test_range_partitioning_bounds_and_nulls(self):
+        db = Database()
+        db.execute(
+            "CREATE TABLE R (ID INT PRIMARY KEY, V INT) "
+            "PARTITION BY RANGE (V) VALUES LESS THAN (10, 20)")
+        table = db.catalog.table("R")
+        assert table.partition_count == 3  # (-inf,10), [10,20), [20,inf)
+        db.execute("INSERT INTO R VALUES (1, 5), (2, 10), (3, 19), "
+                   "(4, 20), (5, 999), (6, NULL)")
+        part_of = {row[0]: table.partition_of_rid(rid)
+                   for rid, row in table.scan()}
+        assert part_of == {1: 0, 2: 1, 3: 1, 4: 2, 5: 2, 6: 0}
+        db.close()
+
+    def test_partition_words_stay_contextual(self):
+        """PARTITION/HASH/RANGE... are not reserved words."""
+        db = Database()
+        db.execute("CREATE TABLE W (PARTITION INT PRIMARY KEY, HASH INT, "
+                   "RANGE INT)")
+        db.execute("INSERT INTO W VALUES (1, 2, 3)")
+        result = db.query("SELECT HASH FROM W WHERE PARTITION = 1")
+        assert result.rows == [(2,)]
+        db.close()
+
+    def test_ddl_rejects_bad_specs(self):
+        db = Database()
+        with pytest.raises(ParseError):
+            db.execute("CREATE TABLE B (A INT) "
+                       "PARTITION BY HASH (A) PARTITIONS 0")
+        with pytest.raises(StorageError):
+            db.execute("CREATE TABLE B (A INT) "
+                       "PARTITION BY RANGE (A) VALUES LESS THAN (20, 10)")
+        with pytest.raises(Exception):  # unknown partition column
+            db.execute("CREATE TABLE B (A INT) "
+                       "PARTITION BY HASH (NOPE) PARTITIONS 2")
+        db.close()
+
+    def test_primary_key_global_across_partitions(self, part_db):
+        with pytest.raises((StorageError, TypeCheckError)):
+            part_db.execute("INSERT INTO M VALUES (7, 0, 0)")
+
+
+# ----------------------------------------------------------------------
+# DML across partitions
+# ----------------------------------------------------------------------
+class TestPartitionDML:
+    def test_update_in_place_when_key_unchanged(self, part_db):
+        table = part_db.catalog.table("M")
+        rid_before = {row[0]: rid for rid, row in table.scan()}
+        assert part_db.execute(
+            "UPDATE M SET V = 1000 WHERE ID = 42") == 1
+        rid_after = {row[0]: rid for rid, row in table.scan()}
+        assert rid_after[42] == rid_before[42]
+        assert part_db.query("SELECT V FROM M WHERE ID = 42").rows == \
+            [(1000,)]
+
+    def test_update_partition_key_relocates_row(self, part_db):
+        table = part_db.catalog.table("M")
+        old_part = {row[0]: table.partition_of_rid(rid)
+                    for rid, row in table.scan()}
+        # Pick a replacement key that routes to a different partition.
+        new_id = next(i for i in range(1000, 1100)
+                      if stable_hash((i,)) % 4 != old_part[13])
+        assert part_db.execute(
+            f"UPDATE M SET ID = {new_id} WHERE ID = 13") == 1
+        new_part = {row[0]: table.partition_of_rid(rid)
+                    for rid, row in table.scan()}
+        assert 13 not in new_part
+        assert new_part[new_id] == stable_hash((new_id,)) % 4
+        assert new_part[new_id] != old_part[13]
+        assert sum(table.partition_live_counts()) == 200
+        assert part_db.query(
+            f"SELECT COUNT(*) FROM M WHERE ID = {new_id}").rows == [(1,)]
+
+    def test_rollback_restores_cross_partition_move(self, part_db):
+        table = part_db.catalog.table("M")
+        before = rows_of(part_db, "M")
+        counts_before = table.partition_live_counts()
+        session = part_db.engine.connect()
+        session.begin()
+        new_id = next(i for i in range(1000, 1100)
+                      if stable_hash((i,)) % 4 != stable_hash((13,)) % 4)
+        session.execute(f"UPDATE M SET ID = {new_id} WHERE ID = 13")
+        session.execute("DELETE FROM M WHERE ID = 77")
+        session.rollback()
+        session.close()
+        assert rows_of(part_db, "M") == before
+        assert table.partition_live_counts() == counts_before
+        # The PK map survived the undo: both keys resolve again.
+        assert part_db.query("SELECT COUNT(*) FROM M "
+                             "WHERE ID = 13 OR ID = 77").rows == [(2,)]
+
+    def test_foreign_keys_span_partitionings(self):
+        """Parent hash(4) and child hash(2): FK checks look keys up in
+        the *global* PK map, so mixed partitionings just work."""
+        db = Database()
+        db.execute("CREATE TABLE P (PNO INT PRIMARY KEY, NAME VARCHAR) "
+                   "PARTITION BY HASH (PNO) PARTITIONS 4")
+        db.execute(
+            "CREATE TABLE C (CNO INT PRIMARY KEY, PREF INT, "
+            "FOREIGN KEY (PREF) REFERENCES P (PNO)) "
+            "PARTITION BY HASH (CNO) PARTITIONS 2")
+        db.execute("INSERT INTO P VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+        db.execute("INSERT INTO C VALUES (10, 1), (11, 3), (12, 3)")
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO C VALUES (13, 99)")  # no parent
+        with pytest.raises(Exception):
+            db.execute("DELETE FROM P WHERE PNO = 3")  # children exist
+        db.execute("DELETE FROM P WHERE PNO = 2")  # childless is fine
+        assert db.query("SELECT COUNT(*) FROM P").rows == [(2,)]
+        db.close()
+
+    def test_secondary_index_over_partitions(self, part_db):
+        part_db.catalog.create_index("IX_M_G", "M", ["G"])
+        expected = {(i,) for i in range(200) if i % 5 == 3}
+        assert set(part_db.query(
+            "SELECT ID FROM M WHERE G = 3").rows) == expected
+
+
+# ----------------------------------------------------------------------
+# repartition()
+# ----------------------------------------------------------------------
+class TestRepartition:
+    def test_repartition_preserves_rows_and_constraints(self, part_db):
+        before = rows_of(part_db, "M")
+        table = part_db.catalog.table("M")
+        part_db.repartition("M", RangePartitioning("ID", (50, 100, 150)))
+        assert part_db.catalog.table("M") is table  # in-place rebuild
+        assert table.partition_count == 4
+        assert table.partition_live_counts() == [50, 50, 50, 50]
+        assert rows_of(part_db, "M") == before
+        with pytest.raises((StorageError, TypeCheckError)):
+            part_db.execute("INSERT INTO M VALUES (7, 0, 0)")  # PK dup
+        part_db.repartition("M", None)  # back to one slot array
+        assert table.partitioning is None
+        assert rows_of(part_db, "M") == before
+        part_db.repartition("M", HashPartitioning(("G",), 3))
+        assert rows_of(part_db, "M") == before
+        assert part_db.query("SELECT COUNT(*) FROM M WHERE G = 2") \
+            .rows == [(40,)]
+
+    def test_repartition_rebuilds_indexes(self, part_db):
+        part_db.catalog.create_index("IX_M_V", "M", ["V"])
+        expected = set(part_db.query("SELECT ID FROM M WHERE V = 7").rows)
+        part_db.repartition("M", HashPartitioning(("ID",), 8))
+        assert set(part_db.query(
+            "SELECT ID FROM M WHERE V = 7").rows) == expected
+
+    def test_repartition_refused_with_uncommitted_writes(self, part_db):
+        session = part_db.engine.connect()
+        session.begin()
+        session.execute("INSERT INTO M VALUES (9999, 0, 0)")
+        with pytest.raises(TransactionError):
+            part_db.repartition("M", HashPartitioning(("ID",), 2))
+        session.rollback()
+        session.close()
+        part_db.repartition("M", HashPartitioning(("ID",), 2))
+        assert part_db.catalog.table("M").partition_count == 2
+
+    def test_repartition_bumps_schema_version(self, part_db):
+        version = part_db.catalog.schema_version
+        part_db.repartition("M", None)
+        assert part_db.catalog.schema_version > version
+
+
+# ----------------------------------------------------------------------
+# Durability (rides the PR-6 WAL/snapshot machinery)
+# ----------------------------------------------------------------------
+class TestPartitionDurability:
+    def _populate(self, engine: Engine) -> None:
+        session = engine.connect()
+        session.execute(
+            "CREATE TABLE M (ID INT PRIMARY KEY, V INT) "
+            "PARTITION BY HASH (ID) PARTITIONS 4")
+        session.execute("INSERT INTO M VALUES " + ",".join(
+            f"({i}, {i * 3})" for i in range(50)))
+        session.execute("UPDATE M SET V = -1 WHERE ID = 7")
+        session.execute("DELETE FROM M WHERE ID = 9")
+        session.close()
+
+    def _expected(self) -> set[tuple]:
+        rows = {(i, i * 3) for i in range(50) if i != 9}
+        rows.discard((7, 21))
+        rows.add((7, -1))
+        return rows
+
+    def _verify(self, engine: Engine) -> None:
+        table = engine.catalog.table("M")
+        assert set(table.rows()) == self._expected()
+        assert isinstance(table.partitioning, HashPartitioning)
+        assert table.partition_count == 4
+        for rid, row in table.scan():
+            assert table.partition_of_rid(rid) == stable_hash(
+                (row[0],)) % 4
+        # Recovered state keeps enforcing and routing.
+        session = engine.connect()
+        with pytest.raises(Exception):
+            session.execute("INSERT INTO M VALUES (3, 0)")
+        session.execute("INSERT INTO M VALUES (1000, 0)")
+        assert sum(table.partition_live_counts()) == 50
+        session.execute("DELETE FROM M WHERE ID = 1000")
+        session.close()
+
+    def test_log_replay_restores_partitioned_table(self, tmp_path):
+        dbdir = str(tmp_path / "db")
+        engine = Engine(path=dbdir, fsync="none")
+        self._populate(engine)
+        # Crash: reopen without close; everything lives in the log.
+        engine2 = Engine(path=dbdir, fsync="none")
+        self._verify(engine2)
+        engine2.close()
+        engine.close()
+
+    def test_snapshot_restores_partitioned_table(self, tmp_path):
+        dbdir = str(tmp_path / "db")
+        engine = Engine(path=dbdir, fsync="none")
+        self._populate(engine)
+        engine.checkpoint()
+        engine2 = Engine(path=dbdir, fsync="none")
+        assert engine2.recovery.snapshot_lsn > 0
+        self._verify(engine2)
+        engine2.close()
+        engine.close()
+
+    def test_repartition_survives_crash(self, tmp_path):
+        dbdir = str(tmp_path / "db")
+        engine = Engine(path=dbdir, fsync="none")
+        self._populate(engine)
+        engine.repartition("M", RangePartitioning("ID", (25,)))
+        engine2 = Engine(path=dbdir, fsync="none")
+        table = engine2.catalog.table("M")
+        assert isinstance(table.partitioning, RangePartitioning)
+        assert table.partitioning.bounds == (25,)
+        assert set(table.rows()) == self._expected()
+        engine2.close()
+        engine.close()
+
+    def test_encoded_rids_replay_after_crash_mid_history(self, tmp_path):
+        """RID-addressed WAL records (delete/update by rid) decode into
+        the right partition on replay even after relocations."""
+        dbdir = str(tmp_path / "db")
+        engine = Engine(path=dbdir, fsync="none")
+        session = engine.connect()
+        session.execute("CREATE TABLE M (ID INT PRIMARY KEY, V INT) "
+                        "PARTITION BY HASH (ID) PARTITIONS 3")
+        session.execute("INSERT INTO M VALUES (1, 1), (2, 2), (3, 3)")
+        session.execute("UPDATE M SET ID = 40 WHERE ID = 2")  # relocate
+        session.execute("DELETE FROM M WHERE ID = 40")
+        session.execute("UPDATE M SET V = 30 WHERE ID = 3")
+        session.close()
+        engine2 = Engine(path=dbdir, fsync="none")
+        assert set(engine2.catalog.table("M").rows()) == {(1, 1), (3, 30)}
+        engine2.close()
+        engine.close()
+
+
+def test_rid_encoding_is_partition_shifted(part_db):
+    table = part_db.catalog.table("M")
+    for rid, _row in table.scan():
+        pid = rid >> PARTITION_SHIFT
+        assert 0 <= pid < 4
+        assert table.partition_of_rid(rid) == pid
