@@ -176,9 +176,20 @@ class Database:
         """Evaluate with the reference (unoptimized) evaluator."""
         return self.session.xnf_naive(source)
 
-    def open_cache(self, source: Union[str, ast.XNFQuery]) -> XNFCache:
+    def open_cache(self, source: Union[str, ast.XNFQuery],
+                   write_through: bool = False) -> XNFCache:
         """Evaluate a CO view into a navigable client-side cache."""
-        return self.session.open_cache(source)
+        return self.session.open_cache(source,
+                                       write_through=write_through)
+
+    @property
+    def objects(self):
+        """The object gateway over the default session (lazy)."""
+        gateway = getattr(self, "_objects", None)
+        if gateway is None:
+            from repro.api.gateway import ObjectGateway
+            gateway = self._objects = ObjectGateway(self.session)
+        return gateway
 
     # ------------------------------------------------------------------
     # Materialized XNF views (default session)

@@ -242,6 +242,12 @@ class Engine:
             xnf_component_resolver=self.resolve_xnf_component,
         )
         self.dml = DMLExecutor(self.pipeline)
+        # DML statements naming a view route here: lens-style put-back
+        # translation to base-table mutations (local import — the
+        # subsystem imports executor machinery that imports this
+        # module's siblings).
+        from repro.viewupdate.executor import ViewUpdateManager
+        self.viewupdates = ViewUpdateManager(self)
         # Morsel-driven parallel execution: the runtime owns a forked
         # worker pool; the pipeline stamps it onto SELECT contexts so
         # Gather nodes can reach it.  Degree 1 keeps everything —

@@ -51,10 +51,12 @@ class ObjectView:
     """One opened CO view: classes, extents, and a unit of work."""
 
     def __init__(self, session: Union[Session, Engine, Database],
-                 source: str):
+                 source: str, write_through: bool = False):
         self.session, self._owns_session = _session_of(session)
         self.source = source
-        self.cache: XNFCache = self.session.open_cache(source)
+        self.write_through = write_through
+        self.cache: XNFCache = self.session.open_cache(
+            source, write_through=write_through)
         self.classes = bind_classes(self.cache)
 
     def close(self) -> None:
@@ -88,7 +90,8 @@ class ObjectView:
 
     def refresh(self) -> None:
         """Re-extract the view (discarding local state)."""
-        self.cache = self.session.open_cache(self.source)
+        self.cache = self.session.open_cache(
+            self.source, write_through=self.write_through)
         self.classes = bind_classes(self.cache)
 
 
@@ -107,8 +110,13 @@ class ObjectGateway:
     def database(self):  # pragma: no cover - legacy accessor
         return self.session
 
-    def open(self, source: str, name: Optional[str] = None) -> ObjectView:
-        view = ObjectView(self.session, source)
+    def open(self, source: str, name: Optional[str] = None,
+             write_through: bool = False) -> ObjectView:
+        """Open a CO view.  With ``write_through=True`` every object
+        mutation is put back to the base tables immediately (full CRUD
+        surface); the default defers changes until ``commit()``."""
+        view = ObjectView(self.session, source,
+                          write_through=write_through)
         self._views[(name or source).upper()] = view
         return view
 

@@ -211,12 +211,23 @@ class Session:
         if isinstance(statement, ast.XNFQuery):
             return self.run_xnf_query(statement)
         if isinstance(statement, ast.InsertStatement):
+            # DML naming a view (or an XNF component path) routes to
+            # the put-back translator; base tables to the plain path.
+            if engine.viewupdates.handles(statement.table):
+                return self._write_atomic(
+                    lambda: engine.viewupdates.insert(statement, params))
             return self._write_atomic(
                 lambda: engine.dml.insert(statement, params))
         if isinstance(statement, ast.UpdateStatement):
+            if engine.viewupdates.handles(statement.table):
+                return self._write_atomic(
+                    lambda: engine.viewupdates.update(statement, params))
             return self._write_atomic(
                 lambda: engine.dml.update(statement, params))
         if isinstance(statement, ast.DeleteStatement):
+            if engine.viewupdates.handles(statement.table):
+                return self._write_atomic(
+                    lambda: engine.viewupdates.delete(statement, params))
             return self._write_atomic(
                 lambda: engine.dml.delete(statement, params))
         if isinstance(statement, ast.AnalyzeStatement):
@@ -458,11 +469,14 @@ class Session:
                                      engine.stats).evaluate(graph)
         return engine.read(self, run)
 
-    def open_cache(self, source: Union[str, ast.XNFQuery]) -> XNFCache:
+    def open_cache(self, source: Union[str, ast.XNFQuery],
+                   write_through: bool = False) -> XNFCache:
         """Evaluate a CO view into a navigable client-side cache.
 
         The cache's ``write_back()`` applies local changes through this
         session's transaction scope under the engine's write protocol.
+        With ``write_through=True`` every local mutation is put back
+        immediately instead of batching until ``write_back()``.
         """
         self._check_open()
         engine = self.engine
@@ -472,7 +486,8 @@ class Session:
             executable = engine.compile_xnf(query, view_name,
                                             self.xnf_options)
             return XNFCache.evaluate(executable, catalog=engine.catalog,
-                                     transactions=_SessionWriteBack(self))
+                                     transactions=_SessionWriteBack(self),
+                                     write_through=write_through)
         return engine.read(self, run)
 
     # ------------------------------------------------------------------

@@ -55,20 +55,45 @@ def tuple_size(values: tuple) -> int:
 
 @dataclass
 class TransportStats:
-    """Accounted traffic of one extraction."""
+    """Accounted traffic of one extraction (down) or write-back (up)."""
 
     mode: str
     messages: int = 0
     tuples: int = 0
     payload_bytes: int = 0
+    #: write traffic: update/insert/delete operations shipped to the
+    #: server and their request payload, accounted separately from the
+    #: read direction so a CRUD gateway's up-traffic is visible.
+    updates_shipped: int = 0
+    payload_bytes_up: int = 0
 
     @property
     def total_bytes(self) -> int:
-        return self.payload_bytes + self.messages * MESSAGE_OVERHEAD
+        return (self.payload_bytes + self.payload_bytes_up
+                + self.messages * MESSAGE_OVERHEAD)
 
     def __str__(self) -> str:
-        return (f"{self.mode}: {self.messages} messages, "
+        text = (f"{self.mode}: {self.messages} messages, "
                 f"{self.tuples} tuples, {self.total_bytes} bytes")
+        if self.updates_shipped:
+            text += (f" ({self.updates_shipped} updates, "
+                     f"{self.payload_bytes_up} bytes up)")
+        return text
+
+
+def entry_size(entry) -> int:
+    """Wire size of one workspace log entry (a write-back operation)."""
+    payload = entry.payload
+    size = len(entry.target) + 8  # target name + object identity
+    values = payload.get("values")
+    if isinstance(values, dict):
+        size += sum(value_size(v) for v in values.values())
+    elif "new" in payload:
+        size += len(payload.get("column", "")) \
+            + value_size(payload["new"])
+    else:
+        size += 8  # connect/disconnect: partner identities
+    return size
 
 
 class TransportSimulator:
@@ -137,6 +162,36 @@ class TransportSimulator:
             stats.tuples += len(block)
             stats.payload_bytes += sum(tuple_size(row) for row in block)
         stats.messages += 1  # end-of-stream reply
+        return stats
+
+    def update_round_trips(self, entries) -> TransportStats:
+        """Write-through CRUD: one request + one ack per operation —
+        the up-direction analogue of tuple-at-a-time."""
+        stats = TransportStats(mode="update-round-trips")
+        for entry in entries:
+            stats.updates_shipped += 1
+            stats.messages += 2  # request + acknowledgement
+            stats.payload_bytes_up += entry_size(entry)
+        return stats
+
+    def update_block_shipping(self, entries,
+                              block_bytes: int = 32 * 1024
+                              ) -> TransportStats:
+        """Deferred write-back: the whole update log ships in few
+        large messages, answered by one acknowledgement."""
+        stats = TransportStats(mode="update-block")
+        current = 0
+        open_block = False
+        for entry in entries:
+            size = entry_size(entry)
+            if not open_block or current + size > block_bytes:
+                stats.messages += 1
+                open_block = True
+                current = 0
+            current += size
+            stats.updates_shipped += 1
+            stats.payload_bytes_up += size
+        stats.messages += 1  # the acknowledgement (or empty commit)
         return stats
 
     def page_shipping(self, result: COResult,

@@ -32,12 +32,17 @@ class XNFCache:
     """A client-side composite-object cache."""
 
     def __init__(self, result: COResult, translated=None,
-                 catalog=None, transactions=None):
+                 catalog=None, transactions=None,
+                 write_through: bool = False):
         self.workspace = Workspace(result)
         self.schema = result.schema
         self._translated = translated
         self._catalog = catalog
         self._transactions = transactions
+        #: write-through mode: every local mutation is put back to the
+        #: base tables immediately (one atomic statement each) instead
+        #: of batching in the update log until ``write_back``.
+        self.write_through = write_through
         self.component_updatability = {}
         self.relationship_updatability = {}
         if translated is not None and translated.xnf_box is not None:
@@ -48,13 +53,13 @@ class XNFCache:
     # Construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def evaluate(cls, executable, catalog=None,
-                 transactions=None) -> "XNFCache":
+    def evaluate(cls, executable, catalog=None, transactions=None,
+                 write_through: bool = False) -> "XNFCache":
         """Run an :class:`~repro.xnf.result.XNFExecutable` and cache it."""
         result = executable.run()
         return cls(result, translated=executable.translated,
                    catalog=catalog or executable.catalog,
-                   transactions=transactions)
+                   transactions=transactions, write_through=write_through)
 
     # ------------------------------------------------------------------
     # Navigation API
@@ -107,6 +112,9 @@ class XNFCache:
 
     def write_back(self, catalog=None, transactions=None) -> int:
         """Transfer local changes to the server, all-or-nothing."""
+        return self._writer(catalog, transactions).apply(self.workspace)
+
+    def _writer(self, catalog=None, transactions=None) -> CacheWriteBack:
         catalog = catalog or self._catalog
         transactions = transactions or self._transactions
         if catalog is None:
@@ -114,10 +122,34 @@ class XNFCache:
         if transactions is None:
             from repro.storage.transactions import TransactionManager
             transactions = TransactionManager(catalog)
-        writer = CacheWriteBack(catalog, transactions,
-                                self.component_updatability,
-                                self.relationship_updatability)
-        return writer.apply(self.workspace)
+        return CacheWriteBack(catalog, transactions,
+                              self.component_updatability,
+                              self.relationship_updatability)
+
+    # ------------------------------------------------------------------
+    # Write-through (updatable-view CRUD through the gateway)
+    # ------------------------------------------------------------------
+    def mutation_mark(self) -> int:
+        """Log position before a mutation; pass to
+        :meth:`flush_through`."""
+        return len(self.workspace.log)
+
+    def flush_through(self, mark: int) -> None:
+        """Write-through mode: immediately put back the log entries
+        recorded since ``mark`` (no-op otherwise).
+
+        Rejection reverts the workspace to its pre-mutation state and
+        raises :class:`~repro.errors.ViewUpdateError` — the object and
+        the database never diverge.
+        """
+        if not self.write_through:
+            return
+        entries = self.workspace.log[mark:]
+        if not entries:
+            return
+        del self.workspace.log[mark:]
+        from repro.viewupdate.objects import apply_write_through
+        apply_write_through(self, entries)
 
     # ------------------------------------------------------------------
     # Export (the multi-lingual API surface, Sect. 5.2)

@@ -26,6 +26,7 @@ from __future__ import annotations
 import keyword
 from typing import Iterator
 
+from repro.errors import CacheError
 from repro.cache.manager import XNFCache
 from repro.cache.workspace import CachedObject
 
@@ -50,7 +51,10 @@ class Extent:
                 for o in self._cache.find(self._component, **equalities)]
 
     def insert(self, **values):
-        return self._cls(self._cache.insert(self._component, **values))
+        mark = self._cache.mutation_mark()
+        obj = self._cache.insert(self._component, **values)
+        self._cache.flush_through(mark)
+        return self._cls(obj)
 
     def __repr__(self) -> str:
         return f"<Extent {self._component} ({len(self)} objects)>"
@@ -70,7 +74,62 @@ class BoundObject:
         return self._raw
 
     def delete(self) -> None:
+        mark = self._cache.mutation_mark()
         self._cache.delete(self._raw)
+        self._cache.flush_through(mark)
+
+    def update(self, **assignments) -> "BoundObject":
+        """Set several columns as one write (one put-back round trip
+        in write-through mode)."""
+        cache = self._cache
+        mark = cache.mutation_mark()
+        try:
+            for column, value in assignments.items():
+                self._raw.set(column, value)
+        except Exception:
+            from repro.viewupdate.objects import revert_entries
+            entries = cache.workspace.log[mark:]
+            del cache.workspace.log[mark:]
+            revert_entries(cache.workspace, entries)
+            raise
+        cache.flush_through(mark)
+        return self
+
+    def insert_child(self, relationship: str, **values):
+        """Insert a new child object and connect it to this parent —
+        in write-through mode the child row and its relationship
+        wiring (e.g. foreign-key columns) land in one atomic
+        statement."""
+        cache = self._cache
+        workspace = cache.workspace
+        name = relationship.upper()
+        if name not in workspace.relationship_children:
+            # Accept the role name (the navigation-method name) too.
+            for rel_name, parent in workspace.relationship_parent.items():
+                role = workspace.relationship_role.get(rel_name)
+                if parent == self._component and role \
+                        and role.upper() == name:
+                    name = rel_name
+                    break
+        children = workspace.relationship_children.get(name)
+        if children is None:
+            raise CacheError(f"no relationship {relationship!r}")
+        if len(children) != 1:
+            raise CacheError(
+                f"relationship {relationship} is n-ary; insert and "
+                f"connect its children explicitly")
+        mark = cache.mutation_mark()
+        try:
+            child = cache.insert(children[0], **values)
+            cache.connect(name, self._raw, child)
+        except Exception:
+            from repro.viewupdate.objects import revert_entries
+            entries = cache.workspace.log[mark:]
+            del cache.workspace.log[mark:]
+            revert_entries(cache.workspace, entries)
+            raise
+        cache.flush_through(mark)
+        return cache._classes[children[0]](child)
 
     def __eq__(self, other) -> bool:
         return isinstance(other, BoundObject) and other._raw is self._raw
@@ -94,7 +153,9 @@ def _make_column_property(column: str):
         return self._raw.get(column)
 
     def setter(self, value):
+        mark = self._cache.mutation_mark()
         self._raw.set(column, value)
+        self._cache.flush_through(mark)
 
     return property(getter, setter, doc=f"column {column}")
 

@@ -85,3 +85,27 @@ class UpdateError(ReproError):
 
 class NotUpdatableError(UpdateError):
     """The view or relationship is read-only per updatability analysis."""
+
+
+class ViewUpdateError(UpdateError):
+    """A DML statement against a view has no sound base-table
+    translation, or its put-back failed the well-definedness check.
+
+    Carries the offending QGM box label, the column (when one is at
+    fault) and a reason string, so rejections always name *what* in the
+    view's derivation blocks the write and *why*.
+    """
+
+    def __init__(self, message: str, box: str = "", column: str = "",
+                 reason: str = ""):
+        parts = [message]
+        if column:
+            parts.append(f"column {column!r}")
+        if box:
+            parts.append(f"box {box!r}")
+        if reason:
+            parts.append(reason)
+        super().__init__(": ".join(parts))
+        self.box = box
+        self.column = column
+        self.reason = reason

@@ -159,6 +159,18 @@ class DMLExecutor:
         return deleted
 
     # ------------------------------------------------------------------
+    def qualify(self, table: Table, where: Optional[ast.Expression],
+                value_expressions: list[ast.Expression],
+                params=None) -> list[tuple]:
+        """Public qualification hook: ``[(rid, value...), ...]`` rows.
+
+        The view-update put-back path translates view DML into
+        base-table form and qualifies here, so it shares the plan cache
+        (and the Halloween-safe materialize-then-mutate discipline)
+        with hand-written DML.
+        """
+        return self._qualify(table, where, value_expressions, params)
+
     def _qualify(self, table: Table, where: Optional[ast.Expression],
                  value_expressions: list[ast.Expression],
                  params=None) -> list[tuple]:

@@ -259,6 +259,32 @@ def replace_qrefs(expr: ast.Expression, mapping) -> ast.Expression:
     return expr
 
 
+def trace_column(box: "Box", column: str):
+    """Provenance walk: follow a head column's QRef chain down the box
+    tree to the stored base column it denotes.
+
+    Returns ``(quantifier, base_column)`` where ``quantifier`` is the
+    *immediate* body quantifier of ``box`` whose subtree stores the
+    column, or ``None`` when the column is computed (any non-QRef
+    expression on the way down) — the view-update layer's criterion for
+    "traces to a unique base column".
+    """
+    upper = column.upper()
+    if not box.has_head_column(upper):
+        return None
+    expression = box.head_column(upper).expression
+    if not isinstance(expression, QRef):
+        return None
+    quantifier = expression.quantifier
+    inner = quantifier.box
+    if isinstance(inner, BaseBox):
+        return quantifier, expression.column.upper()
+    traced = trace_column(inner, expression.column)
+    if traced is None:
+        return None
+    return quantifier, traced[1]
+
+
 # ----------------------------------------------------------------------
 # Heads, quantifiers, boxes
 # ----------------------------------------------------------------------

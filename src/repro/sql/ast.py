@@ -544,6 +544,56 @@ def walk_expression(expr: Expression):
             yield from walk_expression(expr.default)
 
 
+def replace_column_refs(expr: Expression, mapping) -> Expression:
+    """Rebuild ``expr`` with every :class:`ColumnRef` passed through
+    ``mapping`` (a callable returning a replacement expression).
+
+    Composite nodes are reconstructed structurally; subquery nodes
+    (Exists/InSubquery/ScalarSubquery) are *not* descended into — their
+    query blocks resolve their own names — so callers that cannot
+    tolerate them must reject them beforehand.  The view-update
+    translator uses this for the lens *put* direction: substituting
+    view columns with their base-level definitions.
+    """
+    if isinstance(expr, ColumnRef):
+        return mapping(expr)
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, replace_column_refs(expr.left, mapping),
+                        replace_column_refs(expr.right, mapping))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, replace_column_refs(expr.operand, mapping))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(
+            expr.name,
+            tuple(replace_column_refs(a, mapping) for a in expr.args),
+            expr.distinct)
+    if isinstance(expr, IsNull):
+        return IsNull(replace_column_refs(expr.operand, mapping),
+                      expr.negated)
+    if isinstance(expr, Between):
+        return Between(replace_column_refs(expr.operand, mapping),
+                       replace_column_refs(expr.low, mapping),
+                       replace_column_refs(expr.high, mapping),
+                       expr.negated)
+    if isinstance(expr, Like):
+        return Like(replace_column_refs(expr.operand, mapping),
+                    replace_column_refs(expr.pattern, mapping),
+                    expr.negated)
+    if isinstance(expr, InList):
+        return InList(
+            replace_column_refs(expr.operand, mapping),
+            tuple(replace_column_refs(i, mapping) for i in expr.items),
+            expr.negated)
+    if isinstance(expr, CaseWhen):
+        return CaseWhen(
+            tuple((replace_column_refs(c, mapping),
+                   replace_column_refs(r, mapping))
+                  for c, r in expr.whens),
+            None if expr.default is None
+            else replace_column_refs(expr.default, mapping))
+    return expr
+
+
 def conjuncts(expr: Optional[Expression]) -> list[Expression]:
     """Split a predicate on top-level ANDs: WHERE a AND b AND c -> [a,b,c]."""
     if expr is None:

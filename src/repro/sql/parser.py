@@ -532,10 +532,18 @@ class Parser:
     # ------------------------------------------------------------------
     # DML
     # ------------------------------------------------------------------
+    def _parse_dml_target(self) -> str:
+        """A DML target: base table, view, or ``view.component`` (one
+        component of an XNF view, updated through put-back)."""
+        name = self._expect_identifier("table name")
+        if self._accept_punct("."):
+            name = f"{name}.{self._expect_identifier('component name')}"
+        return name
+
     def _parse_insert(self) -> ast.InsertStatement:
         self._expect_keyword("INSERT")
         self._expect_keyword("INTO")
-        table = self._expect_identifier("table name")
+        table = self._parse_dml_target()
         columns: tuple[str, ...] = ()
         if self._accept_punct("("):
             names = [self._expect_identifier("column name")]
@@ -563,7 +571,7 @@ class Parser:
 
     def _parse_update(self) -> ast.UpdateStatement:
         self._expect_keyword("UPDATE")
-        table = self._expect_identifier("table name")
+        table = self._parse_dml_target()
         self._expect_keyword("SET")
         assignments = [self._parse_assignment()]
         while self._accept_punct(","):
@@ -580,7 +588,7 @@ class Parser:
     def _parse_delete(self) -> ast.DeleteStatement:
         self._expect_keyword("DELETE")
         self._expect_keyword("FROM")
-        table = self._expect_identifier("table name")
+        table = self._parse_dml_target()
         where = self._parse_expression() if self._accept_keyword("WHERE") else None
         return ast.DeleteStatement(table, where)
 

@@ -1,0 +1,31 @@
+"""Updatable composite-object views: lens-style put-back (ISSUE 10).
+
+The read direction of this repo — XNF translation, materialized views,
+the object gateway — moves data *out* of base tables.  This package is
+the backward direction: DML statements (and gateway object mutations)
+targeting a *view* are compiled into base-table DML by tracing each
+written column through the view's QGM to a unique base column, in the
+spirit of relational lenses ("Re-looking at the View Update Problem",
+"Incremental Relational Lenses"): a *put* translation whose
+well-definedness is checked both statically (shape classification) and
+dynamically (get∘put identity on the touched rows, inside the same
+transaction).
+
+Modules:
+
+* :mod:`repro.viewupdate.provenance` — classify a view's derivation box
+  as translatable or not; trace view columns to base columns.
+* :mod:`repro.viewupdate.translator` — rewrite view DML ASTs into
+  base-table form (single-source views) or a view-qualification plan
+  (key-preserved joins).
+* :mod:`repro.viewupdate.executor` — the engine-side manager: apply the
+  translated mutations atomically, emit ordinary ``TableDelta``s, and
+  run the dynamic round-trip check.
+* :mod:`repro.viewupdate.objects` — the gateway's write-through object
+  CRUD (``co.update`` / ``co.insert_child`` / ``co.delete``).
+"""
+
+from repro.viewupdate.executor import ViewUpdateManager
+from repro.viewupdate.provenance import ViewWritePlan, analyze_view_box
+
+__all__ = ["ViewUpdateManager", "ViewWritePlan", "analyze_view_box"]

@@ -1,0 +1,460 @@
+"""Engine-side execution of translated view DML.
+
+The manager resolves a DML statement's view target, classifies the view
+(cached per catalog schema version), translates the statement, applies
+the base-table mutations, and — before anything is acknowledged — runs
+the *dynamic well-definedness check*: every touched view row is
+re-evaluated against the view's derivation and must read back exactly
+the written image (get∘put = identity on the touched slice).  A
+violation raises :class:`~repro.errors.ViewUpdateError`, which unwinds
+through the session's ``run_atomic`` and rolls the whole statement
+back — rejected writes leave the transaction unchanged.
+
+Mutations emit ordinary per-table :class:`TableDelta`s through the
+catalog's delta protocol, so materialized views, statistics and the WAL
+observe a view write exactly as they would the equivalent hand-written
+base DML.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import CatalogError, SemanticError, ViewUpdateError
+from repro.executor.expressions import ExpressionCompiler
+from repro.optimizer.plan import ExecutionContext
+from repro.sql import ast
+from repro.storage.catalog import TableDelta
+from repro.viewupdate.provenance import ViewWritePlan, analyze_view_box
+from repro.viewupdate.translator import (compile_join_qualification,
+                                         translate_assignments,
+                                         translate_where)
+
+
+class _BaseRow:
+    """A stand-in quantifier so base-level ASTs (ColumnRef over one
+    table's columns) compile through the shared ExpressionCompiler."""
+
+    qid = 0
+
+
+def compile_base_expression(expression: ast.Expression, table):
+    """Compile an AST over ``table``'s columns into ``fn(row) -> value``."""
+    def to_qref(ref: ast.ColumnRef):
+        from repro.qgm.model import QRef
+        return QRef(_BaseRow, ref.column.upper())
+    layout = {(0, c.name.upper()): i for i, c in enumerate(table.columns)}
+    compiled = ExpressionCompiler(layout).compile(
+        ast.replace_column_refs(expression, to_qref))
+    ctx = ExecutionContext()
+    return lambda row: compiled(row, ctx)
+
+
+class _CachedPlan:
+    """A classified view plus its compiled dynamic-check artifacts."""
+
+    def __init__(self, plan: ViewWritePlan, catalog):
+        self.plan = plan
+        self.catalog = catalog
+        #: view column -> base Column, for coercing written values the
+        #: way storage does (CHAR padding etc.) before the round-trip
+        #: comparison.
+        self.normalizers = {}
+        if plan.single_source:
+            table = catalog.table(plan.table)
+            self.checks = [(compile_base_expression(p, table), str(p))
+                           for p in plan.predicates]
+            self.getters = {
+                column: compile_base_expression(expr, table)
+                for column, expr in plan.base_ast.items()
+            }
+            by_name = {c.name.upper(): c for c in table.columns}
+            for column, expr in plan.base_ast.items():
+                if isinstance(expr, ast.ColumnRef):
+                    self.normalizers[column] = by_name[expr.column.upper()]
+        else:
+            anchor_table = plan.anchor.box.table
+            self.checks = [
+                (compile_base_expression(_deqref(p), anchor_table), str(p))
+                for p in plan.box.local_predicates_of(plan.anchor)
+            ]
+            self.getters = {}
+            #: per key-bound side: (table, its local-predicate checks,
+            #: [(partner_column_position, anchor_value_fn)])
+            self.partners = []
+            for binding in plan.key_bindings:
+                side_table = binding.quantifier.box.table
+                side_checks = [
+                    compile_base_expression(_deqref(p), side_table)
+                    for p in plan.box.local_predicates_of(
+                        binding.quantifier)
+                ]
+                pairs = [
+                    (side_table.column_position(column),
+                     compile_base_expression(expr, anchor_table))
+                    for column, expr in binding.pairs
+                ]
+                self.partners.append((side_table, side_checks, pairs))
+            by_name = {c.name.upper(): c for c in anchor_table.columns}
+            for column, source in plan.column_sources.items():
+                if source is not None and source[0] == plan.anchor.qid:
+                    self.normalizers[column] = by_name[source[1]]
+
+    def expected(self, column: str, value):
+        """The written value as storage normalizes it (CHAR padding
+        etc.) — what get must read back for the write to round-trip."""
+        normalizer = self.normalizers.get(column.upper())
+        if normalizer is None:
+            return value
+        return normalizer.validate(value)
+
+
+def _deqref(expression: ast.Expression) -> ast.Expression:
+    """QGM predicate (QRef leaves over one quantifier) -> base AST."""
+    from repro.qgm.model import replace_qrefs
+    return replace_qrefs(
+        expression, lambda leaf: ast.ColumnRef(None, leaf.column.upper()))
+
+
+class ViewUpdateManager:
+    """Accepts DML against views; compiles, applies, verifies."""
+
+    #: Bounded caches: classified plans and per-statement translations.
+    PLAN_CAPACITY = 64
+    STATEMENT_CAPACITY = 256
+
+    def __init__(self, engine):
+        self.engine = engine
+        self.catalog = engine.catalog
+        self._plans: OrderedDict = OrderedDict()
+        self._statements: OrderedDict = OrderedDict()
+
+    # ------------------------------------------------------------------
+    # Target resolution + classification (schema-version cached)
+    # ------------------------------------------------------------------
+    def handles(self, target: str) -> bool:
+        """Is ``target`` a view (or XNF component path) this manager
+        owns?  Base tables — which shadow nothing, the namespace is
+        shared — stay with the plain DML executor."""
+        return "." in target or self.catalog.has_view(target)
+
+    def _analyze(self, target: str) -> _CachedPlan:
+        key = (target.upper(), self.catalog.schema_version)
+        cached = self._plans.get(key)
+        if cached is not None:
+            self._plans.move_to_end(key)
+            return cached
+        if "." not in target:
+            view = self.catalog.view(target)
+            if view.materialized:
+                raise ViewUpdateError(
+                    f"view {target!r} is not updatable", box=view.name,
+                    reason="materialized views are maintained from base "
+                           "deltas; write to the base tables (or the "
+                           "defining view) instead")
+            if view.is_xnf:
+                raise ViewUpdateError(
+                    f"view {target!r} is not updatable", box=view.name,
+                    reason="target one component of the XNF view as "
+                           f"{target}.<component> instead")
+        box = self._resolve_target_box(target)
+        plan = analyze_view_box(box, target, self.catalog)
+        cached = _CachedPlan(plan, self.catalog)
+        self._plans[key] = cached
+        while len(self._plans) > self.PLAN_CAPACITY:
+            self._plans.popitem(last=False)
+        return cached
+
+    def _resolve_target_box(self, target: str):
+        """The view derivation the put-back inverts.
+
+        For ``view.component`` paths the lens target is the component's
+        *own* derivation (its defining query), not the DISTINCT
+        reachability-restricted box the read side composes: membership
+        in the composite is a property of the assembly, while writes
+        address the component's extent.
+        """
+        if "." in target:
+            view_name, component = target.split(".", 1)
+            if self.catalog.has_view(view_name):
+                view = self.catalog.view(view_name)
+                if view.materialized:
+                    raise ViewUpdateError(
+                        f"view {target!r} is not updatable", box=view_name,
+                        reason="materialized views are maintained from "
+                               "base deltas; write to the base tables "
+                               "instead")
+                if view.is_xnf:
+                    return self._component_raw_box(view, component)
+        builder = self.engine.pipeline.builder()
+        return builder._resolve_table(target)
+
+    def _component_raw_box(self, view, component: str):
+        from repro.xnf.translate import XNFTranslator
+        compiler = self.engine.pipeline.compiler
+        graph = compiler.build_xnf(view.definition, view_name=view.name)
+        translated = XNFTranslator(
+            self.catalog, self.engine.xnf_options,
+            compiler=compiler).translate(graph)
+        info = translated.components.get(component.upper())
+        if info is None:
+            raise CatalogError(
+                f"XNF view {view.name!r} has no component {component!r}")
+        if translated.recursive:
+            raise ViewUpdateError(
+                f"view {view.name!r} is not updatable", box=component,
+                reason="components of recursive XNF views have no "
+                       "row-level put-back")
+        return info.raw_box
+    # ------------------------------------------------------------------
+    # Statement translation cache (ASTs are frozen, hence hashable)
+    # ------------------------------------------------------------------
+    def _translated(self, statement, build):
+        key = (statement, self.catalog.schema_version)
+        try:
+            cached = self._statements.get(key)
+        except TypeError:  # unhashable literal somewhere in the AST
+            return build()
+        if cached is not None:
+            self._statements.move_to_end(key)
+            return cached
+        cached = build()
+        self._statements[key] = cached
+        while len(self._statements) > self.STATEMENT_CAPACITY:
+            self._statements.popitem(last=False)
+        return cached
+
+    # ------------------------------------------------------------------
+    # UPDATE
+    # ------------------------------------------------------------------
+    def update(self, statement: ast.UpdateStatement, params=None) -> int:
+        cached = self._analyze(statement.table)
+        plan = cached.plan
+        triples = self._translated(
+            statement,
+            lambda: (translate_assignments(plan, statement.assignments),
+                     translate_where(plan, statement.where)
+                     if plan.single_source else statement.where))
+        assignments, where = triples
+        if plan.single_source:
+            return self._update_single(cached, assignments, where, params)
+        return self._update_join(cached, assignments, where, params)
+
+    def _update_single(self, cached: _CachedPlan, assignments,
+                       where, params) -> int:
+        plan = cached.plan
+        table = self.catalog.table(plan.table)
+        value_expressions = [value for _, _, value in assignments]
+        rows = self.engine.dml.qualify(table, where, value_expressions,
+                                       params)
+        positions = [table.column_position(base)
+                     for _, base, _ in assignments]
+        return self._apply_update(cached, table, rows, positions,
+                                  [v for v, _, _ in assignments])
+
+    def _update_join(self, cached: _CachedPlan, assignments,
+                     where, params) -> int:
+        plan = cached.plan
+        table = plan.anchor.box.table
+        value_expressions = [value for _, _, value in assignments]
+        qualification = compile_join_qualification(
+            self.engine.pipeline, plan, where, value_expressions)
+        ctx = qualification.new_context(params)
+        _stream, node = qualification.single_output()
+        rows = qualification.run_node(node, ctx)
+        deduped: dict[int, tuple] = {}
+        for row in rows:
+            rid, values = row[0], tuple(row[1:])
+            if deduped.setdefault(rid, values) != values:
+                raise ViewUpdateError(
+                    "ambiguous put-back", box=plan.box.label,
+                    reason="one base row backs several view rows whose "
+                           "updates disagree")
+        positions = [table.column_position(base)
+                     for _, base, _ in assignments]
+        return self._apply_update(
+            cached, table,
+            [(rid,) + values for rid, values in deduped.items()],
+            positions, [v for v, _, _ in assignments])
+
+    def _apply_update(self, cached: _CachedPlan, table, rows,
+                      positions, view_columns) -> int:
+        delta = TableDelta(table.name) if self.catalog.wants_deltas \
+            else None
+        pk_positions = {table.column_position(c)
+                        for c in table.primary_key}
+        updated = 0
+        for row_values in rows:
+            rid = row_values[0]
+            new_values = row_values[1:]
+            old_row = table.fetch(rid)
+            new_row = list(old_row)
+            for position, value in zip(positions, new_values):
+                new_row[position] = value
+            if any(p in pk_positions and old_row[p] != new_row[p]
+                   for p in positions):
+                self.catalog.check_no_referencing_children(table.name,
+                                                           old_row)
+            self.catalog.check_foreign_keys(table.name, tuple(new_row))
+            stored_rid, stored = table.update_row(rid, new_row)
+            self._verify_row(cached, stored,
+                             dict(zip(view_columns, new_values)))
+            if delta is not None and stored != old_row:
+                delta.deleted.append((rid, old_row))
+                delta.inserted.append((stored_rid, stored))
+            updated += 1
+        if delta is not None:
+            self.catalog.emit_table_delta(delta)
+        return updated
+
+    # ------------------------------------------------------------------
+    # DELETE
+    # ------------------------------------------------------------------
+    def delete(self, statement: ast.DeleteStatement, params=None) -> int:
+        cached = self._analyze(statement.table)
+        plan = cached.plan
+        if plan.single_source:
+            where = self._translated(
+                statement,
+                lambda: translate_where(plan, statement.where))
+            table = self.catalog.table(plan.table)
+            rows = self.engine.dml.qualify(table, where, [], params)
+        else:
+            table = plan.anchor.box.table
+            qualification = compile_join_qualification(
+                self.engine.pipeline, plan, statement.where, [])
+            ctx = qualification.new_context(params)
+            _stream, node = qualification.single_output()
+            rows = [(rid,) for rid in
+                    dict.fromkeys(r[0] for r in
+                                  qualification.run_node(node, ctx))]
+        delta = TableDelta(table.name) if self.catalog.wants_deltas \
+            else None
+        deleted = 0
+        for row_values in rows:
+            rid = row_values[0]
+            old_row = table.fetch(rid)
+            self.catalog.check_no_referencing_children(table.name,
+                                                       old_row)
+            table.delete(rid)
+            if delta is not None:
+                delta.deleted.append((rid, old_row))
+            deleted += 1
+        if delta is not None:
+            self.catalog.emit_table_delta(delta)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # INSERT
+    # ------------------------------------------------------------------
+    def insert(self, statement: ast.InsertStatement, params=None) -> int:
+        cached = self._analyze(statement.table)
+        plan = cached.plan
+        if not plan.single_source:
+            raise ViewUpdateError(
+                "INSERT through a join view is ambiguous",
+                box=plan.box.label,
+                reason="a new view row does not determine rows for the "
+                       "key-bound sides")
+        if statement.query is not None:
+            raise SemanticError(
+                "INSERT ... SELECT into a view is not supported; "
+                "insert plain VALUES rows")
+        table = self.catalog.table(plan.table)
+        view_columns = [c.upper() for c in statement.columns] \
+            if statement.columns else \
+            [c.name.upper() for c in plan.box.head
+             if not c.name.startswith("$")]
+        positions = [table.column_position(plan.writable_base_column(c))
+                     for c in view_columns]
+        compiler = ExpressionCompiler({})
+        value_ctx = ExecutionContext()
+        value_ctx.bind_parameters(params)
+        delta = TableDelta(table.name) if self.catalog.wants_deltas \
+            else None
+        inserted = 0
+        for value_row in statement.rows:
+            values = tuple(compiler.compile(expression)((), value_ctx)
+                           for expression in value_row)
+            if len(values) != len(positions):
+                raise SemanticError(
+                    f"INSERT provides {len(values)} values for "
+                    f"{len(positions)} columns")
+            full_row = [None] * len(table.columns)
+            for position, value in zip(positions, values):
+                full_row[position] = value
+            self.catalog.check_foreign_keys(table.name, tuple(full_row))
+            rid = table.insert(full_row)
+            stored = table.fetch(rid)
+            self._verify_row(cached, stored,
+                             dict(zip(view_columns, values)))
+            if delta is not None:
+                delta.inserted.append((rid, stored))
+            inserted += 1
+        if delta is not None:
+            self.catalog.emit_table_delta(delta)
+        return inserted
+
+    # ------------------------------------------------------------------
+    # The dynamic well-definedness check (get∘put = identity)
+    # ------------------------------------------------------------------
+    def _verify_row(self, cached: _CachedPlan, stored_row,
+                    written: dict) -> None:
+        """Re-evaluate one touched view row against the derivation.
+
+        ``stored_row`` is the base row as stored; ``written`` maps view
+        columns to the values the statement assigned.  The row must (a)
+        still satisfy the view's selection predicates — and, for joins,
+        still find exactly one partner per key-bound side — and (b)
+        read back exactly the written values.  Any failure aborts the
+        statement (and, through run_atomic, undoes its mutations).
+        """
+        plan = cached.plan
+        for check, text in cached.checks:
+            if check(stored_row) is not True:
+                raise ViewUpdateError(
+                    "write escapes the view", box=plan.box.label,
+                    reason=f"the stored row no longer satisfies the "
+                           f"view predicate ({text}); get∘put is not "
+                           f"the identity, statement aborted")
+        if plan.single_source:
+            for column, value in written.items():
+                getter = cached.getters.get(column.upper())
+                if getter is not None \
+                        and getter(stored_row) != cached.expected(column,
+                                                                  value):
+                    raise ViewUpdateError(
+                        "write does not round-trip", box=plan.box.label,
+                        column=column.upper(),
+                        reason="re-reading the view yields a different "
+                               "value than was written")
+            return
+        for side_table, side_checks, pairs in cached.partners:
+            matches = 0
+            wanted = [(position, value_of(stored_row))
+                      for position, value_of in pairs]
+            for _rid, row in side_table.scan():
+                if all(row[position] == value
+                       for position, value in wanted) \
+                        and all(c(row) is True for c in side_checks):
+                    matches += 1
+                    if matches > 1:
+                        break
+            if matches != 1:
+                raise ViewUpdateError(
+                    "write escapes the view", box=plan.box.label,
+                    reason=f"the updated row finds {matches} partners "
+                           f"in key-bound side {side_table.name} "
+                           f"(exactly one required); get∘put is not "
+                           f"the identity, statement aborted")
+        anchor_table = plan.anchor.box.table
+        for column, value in written.items():
+            source = plan.column_sources.get(column.upper())
+            if source is not None and source[0] == plan.anchor.qid:
+                position = anchor_table.column_position(source[1])
+                if stored_row[position] != cached.expected(column, value):
+                    raise ViewUpdateError(
+                        "write does not round-trip",
+                        box=plan.box.label, column=column.upper(),
+                        reason="re-reading the view yields a different "
+                               "value than was written")

@@ -239,6 +239,10 @@ class CacheWriteBack:
         self.relationship_info = relationship_info
         #: workspace ("new", n) oids -> storage RIDs after insert
         self._new_rids: dict = {}
+        #: (table, rid) -> new rid for rows relocated by a partition-key
+        #: change mid-transaction; later entries touching the old rid
+        #: chase the chain to the row's current home.
+        self._moved: dict = {}
         #: Consolidates this write-back's base-table mutations into the
         #: delta protocol (one TableDelta per touched table), published
         #: only after the transaction committed.
@@ -247,23 +251,59 @@ class CacheWriteBack:
     # ------------------------------------------------------------------
     def apply(self, workspace: Workspace) -> int:
         """Write every logged change back; returns #applied entries."""
-        log = list(workspace.log)
+        applied = self.apply_now(list(workspace.log))
+        self.remap_relocated(workspace)
+        workspace.clear_log()
+        return applied
+
+    def remap_relocated(self, workspace: Workspace) -> None:
+        """Point cached objects at their rows' new homes.
+
+        A partition-key change relocated the base row (new RID), but
+        the workspace still addresses the object by the RID it was
+        extracted under; later write batches would chase a stale RID.
+        """
+        if not self._moved:
+            return
+        tables = {component: self.catalog.table(info.table).name
+                  for component, info in self.component_info.items()
+                  if info.updatable and info.table}
+        for table_name, old_rid in list(self._moved):
+            final = self._current_rid(table_name, old_rid)
+            for component, base in tables.items():
+                if base != table_name:
+                    continue
+                obj = workspace.by_oid.pop((component, old_rid), None)
+                if obj is not None:
+                    obj.oid = final
+                    workspace.by_oid[(component, final)] = obj
+
+    def apply_now(self, entries: list, verify=None) -> int:
+        """Apply ``entries`` atomically; returns #applied entries.
+
+        ``verify``, when given, runs inside the same atomic scope after
+        the mutations — the write-through gateway path uses it for the
+        round-trip (get∘put) check so a violation rolls everything back.
+        """
         self._recorder = DeltaRecorder() if self.catalog.wants_deltas \
             else None
 
         def run() -> int:
             applied = 0
-            for entry in log:
+            for entry in entries:
                 self._apply_entry(entry)
                 applied += 1
+            if verify is not None:
+                verify(self)
             return applied
 
-        applied = self.transactions.run_atomic(run)
-        workspace.clear_log()
-        if self._recorder is not None:
-            for delta in self._recorder.deltas():
+        try:
+            applied = self.transactions.run_atomic(run)
+        finally:
+            recorder, self._recorder = self._recorder, None
+        if recorder is not None:
+            for delta in recorder.deltas():
                 self.catalog.emit_table_delta(delta)
-            self._recorder = None
         return applied
 
     def _record(self, table_name: str, rid, old, new) -> None:
@@ -310,10 +350,32 @@ class CacheWriteBack:
             )
         return oid
 
+    def _current_rid(self, table_name: str, rid: int) -> int:
+        """Chase relocations: a partition-key update may have moved the
+        row to a fresh rid earlier in this write-back."""
+        while (table_name, rid) in self._moved:
+            rid = self._moved[(table_name, rid)]
+        return rid
+
+    def _store_update(self, table, rid: int, row: list) -> None:
+        """Write ``row`` over ``rid``, recording the delta — as a
+        delete+insert pair when the row relocates (changed partition
+        key), in place otherwise."""
+        old = table.fetch(rid)
+        new_rid, stored = table.update_row(rid, row)
+        if new_rid == rid:
+            self._record(table.name, rid, old, stored)
+        else:
+            self._moved[(table.name, rid)] = new_rid
+            self._record(table.name, rid, old, None)
+            self._record(table.name, new_rid, None, stored)
+
     def _apply_update(self, entry: LogEntry) -> None:
         info = self._component_info(entry.target)
         table = self.catalog.table(info.table)
-        rid = self._resolve_rid(entry.target, entry.payload["oid"])
+        rid = self._current_rid(
+            table.name,
+            self._resolve_rid(entry.target, entry.payload["oid"]))
         row = list(table.fetch(rid))
         base_column = info.column_map.get(entry.payload["column"])
         if base_column is None:
@@ -324,8 +386,7 @@ class CacheWriteBack:
         row[table.column_position(base_column)] = entry.payload["new"]
         self._check_view_predicates(info, entry.target, row)
         self.catalog.check_foreign_keys(table.name, tuple(row))
-        old = table.fetch(rid)
-        self._record(table.name, rid, old, table.update(rid, row))
+        self._store_update(table, rid, row)
 
     def _apply_insert(self, entry: LogEntry) -> None:
         info = self._component_info(entry.target)
@@ -355,6 +416,7 @@ class CacheWriteBack:
                 return  # inserted and deleted inside the cache only
         else:
             rid = self._resolve_rid(entry.target, entry.payload["oid"])
+        rid = self._current_rid(table.name, rid)
         self.catalog.check_no_referencing_children(table.name,
                                                    table.fetch(rid))
         self._record(table.name, rid, table.delete(rid), None)
@@ -382,14 +444,14 @@ class CacheWriteBack:
                              parent, child, disconnect: bool) -> None:
         child_info = self._component_info(child.component)
         table = self.catalog.table(child_info.table)
-        rid = self._resolve_rid(child.component, child.oid)
+        rid = self._current_rid(
+            table.name, self._resolve_rid(child.component, child.oid))
         row = list(table.fetch(rid))
         for child_column, parent_column in info.fk_pairs:
             value = None if disconnect else parent.get(parent_column)
             row[table.column_position(child_column)] = value
         self.catalog.check_foreign_keys(table.name, tuple(row))
-        old = table.fetch(rid)
-        self._record(table.name, rid, old, table.update(rid, row))
+        self._store_update(table, rid, row)
 
     def _connect_table(self, info: RelationshipUpdatability,
                        parent, child, disconnect: bool) -> None:

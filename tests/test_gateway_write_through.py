@@ -1,0 +1,130 @@
+"""Write-through CRUD on the object gateway.
+
+Opening a composite-object view with ``write_through=True`` turns every
+object mutation (attribute assignment, ``update``, ``insert_child``,
+``delete``, extent inserts) into an immediate put-back statement against
+the base tables; rejected writes revert the workspace so the cache never
+drifts from the database.
+"""
+
+import pytest
+
+from repro.cache.objects import bind_classes
+from repro.errors import ViewUpdateError
+
+
+@pytest.fixture
+def live(org_db):
+    cache = org_db.open_cache("deps_arc", write_through=True)
+    return cache, bind_classes(cache)
+
+
+def base_emp(org_db, eno):
+    rows = org_db.query(
+        "SELECT ENAME, EDNO, SAL FROM EMP WHERE ENO = ?", [eno]).rows
+    return rows[0] if rows else None
+
+
+def some_emp(classes):
+    emp = next(iter(classes["XEMP"].extent))
+    return emp
+
+
+class TestWriteThrough:
+    def test_attribute_assignment_hits_base(self, org_db, live):
+        cache, classes = live
+        emp = some_emp(classes)
+        emp.sal = emp.sal + 7
+        assert base_emp(org_db, emp.eno)[2] == emp.sal
+        assert not cache.workspace.log  # flushed, not queued
+        assert not cache.dirty
+
+    def test_update_many_columns_is_one_write(self, org_db, live):
+        cache, classes = live
+        emp = some_emp(classes)
+        emp.update(SAL=emp.sal + 1, ENAME="renamed")
+        name, _, sal = base_emp(org_db, emp.eno)
+        assert name.strip() == "renamed" and sal == emp.sal
+
+    def test_insert_child_wires_foreign_key(self, org_db, live):
+        cache, classes = live
+        dept = next(iter(classes["XDEPT"].extent))
+        child = dept.insert_child("EMPLOYS", ENO=7001,
+                                  ENAME="hire", SAL=11)
+        # the FK column was filled from the connect, base row exists
+        assert base_emp(org_db, 7001)[1] == dept.dno
+        assert child.edno == dept.dno  # cache shows the wired FK too
+        # the new object's oid was fixed up to its real rid
+        assert not child.raw.is_new
+        assert child in dept.employs()
+
+    def test_extent_insert(self, org_db, live):
+        cache, classes = live
+        classes["XEMP"].extent.insert(ENO=7002, ENAME="solo",
+                                      EDNO=1, SAL=9)
+        assert base_emp(org_db, 7002) is not None
+
+    def test_delete_removes_base_row(self, org_db, live):
+        cache, classes = live
+        # a fresh employee: seeded ones have EMPSKILLS children, which
+        # RESTRICT semantics would (correctly) refuse to strand
+        emp = classes["XEMP"].extent.insert(ENO=7003, ENAME="temp",
+                                            EDNO=1, SAL=1)
+        emp.delete()
+        assert base_emp(org_db, 7003) is None
+        assert emp.raw.deleted
+
+    def test_delete_with_children_is_restricted(self, org_db, live):
+        cache, classes = live
+        emp = some_emp(classes)  # seeded: has EMPSKILLS rows
+        eno = emp.eno
+        with pytest.raises(ViewUpdateError) as info:
+            emp.delete()
+        assert "foreign key" in info.value.reason
+        assert base_emp(org_db, eno) is not None
+        assert not emp.raw.deleted  # workspace reverted too
+
+    def test_rejected_write_reverts_workspace(self, org_db, live):
+        cache, classes = live
+        emp = some_emp(classes)
+        old = emp.edno
+        with pytest.raises(ViewUpdateError) as info:
+            emp.edno = 424242  # FK violation: no such department
+        assert info.value.reason  # names why the server refused it
+        # neither the base nor the cached object changed
+        assert base_emp(org_db, emp.eno)[1] == old
+        assert emp.edno == old
+        assert not cache.workspace.log
+
+    def test_rejected_insert_child_reverts(self, org_db, live):
+        cache, classes = live
+        dept = next(iter(classes["XDEPT"].extent))
+        taken = some_emp(classes).eno  # duplicate primary key
+        count = len(classes["XEMP"].extent)
+        with pytest.raises(ViewUpdateError):
+            dept.insert_child("EMPLOYS", ENO=taken, ENAME="dup", SAL=1)
+        assert len(classes["XEMP"].extent) == count
+        assert not cache.workspace.log
+
+
+class TestDeferredStillWorks:
+    def test_deferred_mode_queues_until_writeback(self, org_db):
+        cache = org_db.open_cache("deps_arc")  # write_through=False
+        classes = bind_classes(cache)
+        emp = next(iter(classes["XEMP"].extent))
+        emp.sal = emp.sal + 5
+        assert cache.dirty
+        assert base_emp(org_db, emp.eno)[2] != emp.sal  # not yet
+        assert cache.write_back() == 1
+        assert base_emp(org_db, emp.eno)[2] == emp.sal
+
+    def test_gateway_open_flag(self, org_db):
+        view = org_db.objects.open("deps_arc", write_through=True)
+        classes = view.classes
+        emp = next(iter(classes["XEMP"].extent))
+        emp.sal = emp.sal + 3
+        assert base_emp(org_db, emp.eno)[2] == emp.sal
+        view.refresh()
+        refreshed = next(o for o in view.classes["XEMP"].extent
+                         if o.eno == emp.eno)
+        assert refreshed.sal == emp.sal

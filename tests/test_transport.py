@@ -3,7 +3,8 @@
 import pytest
 
 from repro.api.transport import (MESSAGE_OVERHEAD, TransportSimulator,
-                                 tuple_size, value_size)
+                                 TransportStats, entry_size, tuple_size,
+                                 value_size)
 
 
 @pytest.fixture
@@ -78,3 +79,58 @@ class TestDisciplines:
         simulator = TransportSimulator()
         assert simulator.block_shipping(slim).payload_bytes < \
             simulator.block_shipping(full).payload_bytes
+
+
+class TestUpDirection:
+    """Write traffic (the gateway CRUD surface shipping updates up)."""
+
+    @pytest.fixture
+    def entries(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("XEMP")[0]
+        emp.set("SAL", emp.get("SAL") + 1)
+        emp.set("ENAME", "renamed")
+        cache.insert("XEMP", ENO=9001, ENAME="new", EDNO=1, SAL=5)
+        cache.delete(cache.extent("XEMP")[1])
+        return list(cache.workspace.log)
+
+    def test_round_trips_two_messages_per_update(self, entries):
+        stats = TransportSimulator().update_round_trips(entries)
+        assert stats.mode == "update-round-trips"
+        assert stats.updates_shipped == len(entries)
+        assert stats.messages == 2 * len(entries)
+        assert stats.payload_bytes_up > 0
+        assert stats.payload_bytes == 0  # nothing ships down
+
+    def test_block_shipping_few_messages(self, entries):
+        stats = TransportSimulator().update_block_shipping(entries)
+        assert stats.updates_shipped == len(entries)
+        assert stats.messages == 2  # one block + one acknowledgement
+        trips = TransportSimulator().update_round_trips(entries)
+        assert stats.payload_bytes_up == trips.payload_bytes_up
+        assert stats.total_bytes < trips.total_bytes
+
+    def test_total_bytes_includes_up_payload(self, entries):
+        stats = TransportSimulator().update_round_trips(entries)
+        assert stats.total_bytes == stats.payload_bytes_up + \
+            stats.messages * MESSAGE_OVERHEAD
+
+    def test_str_reports_up_traffic(self, entries):
+        stats = TransportSimulator().update_round_trips(entries)
+        text = str(stats)
+        assert "updates" in text and "bytes up" in text
+        # the read disciplines keep their historical rendering
+        assert "updates" not in str(TransportStats(mode="block"))
+
+    def test_entry_sizes_scale_with_payload(self, org_db):
+        cache = org_db.open_cache("deps_arc")
+        emp = cache.extent("XEMP")[0]
+        emp.set("ENAME", "x")
+        emp.set("ENAME", "a-much-longer-replacement-name")
+        short, long = cache.workspace.log[-2:]
+        assert entry_size(long) > entry_size(short)
+
+    def test_empty_log_still_acknowledged(self):
+        stats = TransportSimulator().update_block_shipping([])
+        assert stats.updates_shipped == 0
+        assert stats.messages == 1  # the (empty) commit round trip
